@@ -1,0 +1,41 @@
+# Development targets for the loopmap reproduction (module "repro").
+
+GO ?= go
+
+.PHONY: all build vet test race short bench fuzz experiments cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Fast subset: skips the tests that invoke the go tool on generated code.
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Ten seconds of parser fuzzing beyond the checked-in seeds.
+fuzz:
+	$(GO) test -fuzz FuzzParseProgram -fuzztime 10s ./internal/parser/
+
+# Regenerate every table and figure of the paper.
+experiments:
+	$(GO) run ./cmd/experiments -e all
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

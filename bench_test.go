@@ -1,0 +1,488 @@
+package loopmap
+
+// Benchmark harness: one benchmark per table/figure of the paper (see the
+// per-experiment index in DESIGN.md) plus ablation benches for the design
+// choices the paper leaves open. Custom metrics report the quantities the
+// paper's artifacts contain (block counts, interblock dependences, hop
+// weights, symbolic T_exec coefficients) so `go test -bench=.` regenerates
+// the evaluation alongside the timing numbers.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/hyperplane"
+	"repro/internal/machine"
+	"repro/internal/mapping"
+	"repro/internal/sim"
+)
+
+func mustPlan(b *testing.B, kernel string, size int64, dim int) *Plan {
+	b.Helper()
+	plan, err := NewPlan(NewKernel(kernel, size), PlanOptions{CubeDim: dim})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan
+}
+
+// BenchmarkFig1StructureL1 regenerates Fig. 1: the computational structure
+// and hyperplane schedule of loop L1.
+func BenchmarkFig1StructureL1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := NewKernel("l1", 3)
+		st, err := k.Structure()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sch, err := hyperplane.NewSchedule(st, k.Pi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sch.Steps() != 7 || st.EdgeCount() != 33 {
+			b.Fatalf("Fig. 1 shape broken: steps=%d edges=%d", sch.Steps(), st.EdgeCount())
+		}
+	}
+	b.ReportMetric(7, "hyperplanes")
+	b.ReportMetric(33, "dependences")
+}
+
+// BenchmarkFig3PartitionL1 regenerates Fig. 3: the grouping of loop L1
+// (4 blocks, 12 of 33 dependences interblock).
+func BenchmarkFig3PartitionL1(b *testing.B) {
+	var inter int
+	for i := 0; i < b.N; i++ {
+		plan := mustPlan(b, "l1", 3, -1)
+		es := plan.Partitioning.EdgeStats()
+		if plan.Partitioning.NumBlocks() != 4 || es.InterBlock != 12 {
+			b.Fatalf("Fig. 3 shape broken: blocks=%d inter=%d", plan.Partitioning.NumBlocks(), es.InterBlock)
+		}
+		inter = es.InterBlock
+	}
+	b.ReportMetric(4, "blocks")
+	b.ReportMetric(float64(inter), "interblock-deps")
+}
+
+// BenchmarkFig5ProjectMatMul regenerates Fig. 5: the projected structure of
+// the 4×4×4 matrix multiplication (37 projected points, r = 3).
+func BenchmarkFig5ProjectMatMul(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		plan := mustPlan(b, "matmul", 4, -1)
+		if len(plan.Projected.Points) != 37 || plan.Partitioning.R != 3 {
+			b.Fatalf("Fig. 5 shape broken: points=%d r=%d", len(plan.Projected.Points), plan.Partitioning.R)
+		}
+	}
+	b.ReportMetric(37, "projected-points")
+	b.ReportMetric(3, "group-size-r")
+}
+
+// BenchmarkFig7GroupMatMul regenerates Figs. 6–7: 17 groups with max TIG
+// out-degree exactly the Theorem 2 bound 2m − β = 4.
+func BenchmarkFig7GroupMatMul(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		plan := mustPlan(b, "matmul", 4, -1)
+		if plan.Partitioning.NumBlocks() != 17 || plan.TIG.MaxOutDegree() != 4 {
+			b.Fatalf("Fig. 7 shape broken: blocks=%d outdeg=%d",
+				plan.Partitioning.NumBlocks(), plan.TIG.MaxOutDegree())
+		}
+	}
+	b.ReportMetric(17, "groups")
+	b.ReportMetric(4, "max-out-degree")
+}
+
+// BenchmarkFig8MapTIG regenerates Fig. 8: a 4×4 mesh TIG Gray-mapped onto a
+// 3-cube with mesh-edge dilation 1.
+func BenchmarkFig8MapTIG(b *testing.B) {
+	items := make([]mapping.Item, 0, 16)
+	for y := int64(0); y < 4; y++ {
+		for x := int64(0); x < 4; x++ {
+			items = append(items, mapping.Item{ID: int(4*y + x), Coords: []int64{x, y}})
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := mapping.MapItems(items, 3, mapping.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cl := range res.Clusters {
+			if len(cl) != 2 {
+				b.Fatalf("Fig. 8 shape broken: cluster %v", cl)
+			}
+		}
+	}
+	b.ReportMetric(8, "clusters")
+}
+
+// BenchmarkFig9StructureMatVec regenerates Fig. 9: the computational
+// structure of loop L5 (2M−1 projection lines, M blocks).
+func BenchmarkFig9StructureMatVec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		plan := mustPlan(b, "matvec", 16, -1)
+		if len(plan.Projected.Points) != 31 || plan.Partitioning.NumBlocks() != 16 {
+			b.Fatalf("Fig. 9 shape broken")
+		}
+	}
+	b.ReportMetric(31, "projection-lines")
+}
+
+// BenchmarkTable1MatVec regenerates Table I row by row: the symbolic
+// coefficients of T_exec(N) for M = 1024.
+func BenchmarkTable1MatVec(b *testing.B) {
+	paperCalc := map[int64]int64{1: 2097152, 4: 786944, 16: 245888, 64: 64544, 256: 16328, 1024: 4094}
+	for _, n := range analysis.PaperTableISizes {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			var calc, comm int64
+			for i := 0; i < b.N; i++ {
+				calc = analysis.MatVecCalcOps(1024, n)
+				comm = analysis.MatVecCommWords(1024, n)
+				if calc != paperCalc[n] {
+					b.Fatalf("Table I coefficient for N=%d: got %d, want %d", n, calc, paperCalc[n])
+				}
+			}
+			b.ReportMetric(float64(calc), "tcalc-coeff")
+			b.ReportMetric(float64(comm), "comm-coeff")
+		})
+	}
+}
+
+// BenchmarkTable1Simulated runs the detailed event simulation behind the
+// Table I cross-check at a laptop-friendly M.
+func BenchmarkTable1Simulated(b *testing.B) {
+	const m = 128
+	for _, dim := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("N=%d", 1<<uint(dim)), func(b *testing.B) {
+			plan := mustPlan(b, "matvec", m, dim)
+			var makespan float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := plan.Simulate(machine.Era1991(), SimOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = s.Makespan
+			}
+			b.ReportMetric(makespan, "makespan")
+		})
+	}
+}
+
+// BenchmarkAblationBaselines compares the paper's grouping against the
+// baseline partitionings (A1 in DESIGN.md).
+func BenchmarkAblationBaselines(b *testing.B) {
+	plan := mustPlan(b, "matmul", 8, -1)
+	st := plan.Structure
+	blocks := map[string]*baselines.Blocks{
+		"paper": baselines.FromPartitioning("paper", plan.Partitioning.BlockOf, plan.Partitioning.NumBlocks()),
+		"lines": baselines.LinePerBlock(plan.Projected),
+	}
+	if rr, err := baselines.RoundRobin(st, plan.Partitioning.NumBlocks()); err == nil {
+		blocks["round-robin"] = rr
+	}
+	for name, bl := range blocks {
+		b.Run(name, func(b *testing.B) {
+			var makespan float64
+			for i := 0; i < b.N; i++ {
+				a := sim.Assignment{ProcOf: bl.Of, NumProcs: bl.N}
+				s, err := sim.Simulate(st, plan.Schedule, a, machine.Params{TCalc: 50, TStart: 2, TComm: 1}, sim.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = s.Makespan
+			}
+			es := bl.EdgeStats(st)
+			b.ReportMetric(float64(es.InterBlock), "interblock-deps")
+			b.ReportMetric(makespan, "makespan")
+		})
+	}
+}
+
+// BenchmarkAblationGroupingChoice sweeps the grouping-vector tie-break the
+// paper leaves arbitrary.
+func BenchmarkAblationGroupingChoice(b *testing.B) {
+	for choice := 1; choice <= 3; choice++ {
+		b.Run(fmt.Sprintf("choice=%d", choice), func(b *testing.B) {
+			var traffic int64
+			for i := 0; i < b.N; i++ {
+				plan, err := NewPlan(NewKernel("matmul", 6), PlanOptions{
+					CubeDim:   -1,
+					Partition: PartitionOptions{GroupingChoice: choice},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				traffic = plan.TIG.TotalTraffic()
+			}
+			b.ReportMetric(float64(traffic), "tig-traffic")
+		})
+	}
+}
+
+// BenchmarkAblationGranularity sweeps the merge factor q: groups of q·r
+// projected points trade schedule overlap (Theorem 1 is relaxed) for
+// less interblock traffic. Under 1991-era costs coarser grain can win.
+func BenchmarkAblationGranularity(b *testing.B) {
+	for _, q := range []int64{1, 2, 4} {
+		b.Run(fmt.Sprintf("q=%d", q), func(b *testing.B) {
+			var traffic int64
+			var makespan float64
+			for i := 0; i < b.N; i++ {
+				plan, err := NewPlan(NewKernel("matvec", 64), PlanOptions{
+					CubeDim:   3,
+					Partition: PartitionOptions{MergeFactor: q},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				traffic = plan.TIG.TotalTraffic()
+				s, err := plan.Simulate(machine.Era1991(), SimOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = s.Makespan
+			}
+			b.ReportMetric(float64(traffic), "tig-traffic")
+			b.ReportMetric(makespan, "makespan")
+		})
+	}
+}
+
+// BenchmarkAblationMapping compares Gray, linear, and random mappings
+// (A2 in DESIGN.md).
+func BenchmarkAblationMapping(b *testing.B) {
+	plan := mustPlan(b, "matmul", 10, 4)
+	gray, err := plan.EvaluateMapping()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("gray", func(b *testing.B) {
+		var hw int64
+		for i := 0; i < b.N; i++ {
+			m, err := mapping.MapPartitioning(plan.Partitioning, 4, MapOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			hw = mapping.Evaluate(plan.TIG, m).HopWeight
+		}
+		b.ReportMetric(float64(hw), "hop-weight")
+	})
+	b.Run("linear", func(b *testing.B) {
+		var hw int64
+		for i := 0; i < b.N; i++ {
+			m, err := mapping.Linear(plan.TIG.N, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hw = mapping.Evaluate(plan.TIG, m).HopWeight
+		}
+		b.ReportMetric(float64(hw), "hop-weight")
+		if hw < gray.HopWeight {
+			b.Fatalf("linear hop-weight %d beat gray %d", hw, gray.HopWeight)
+		}
+	})
+	b.Run("greedy", func(b *testing.B) {
+		var hw int64
+		for i := 0; i < b.N; i++ {
+			m, err := mapping.Greedy(plan.TIG, 4, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hw = mapping.Evaluate(plan.TIG, m).HopWeight
+		}
+		b.ReportMetric(float64(hw), "hop-weight")
+	})
+	b.Run("random", func(b *testing.B) {
+		var hw int64
+		for i := 0; i < b.N; i++ {
+			m, err := mapping.Random(plan.TIG.N, 4, int64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			hw = mapping.Evaluate(plan.TIG, m).HopWeight
+		}
+		b.ReportMetric(float64(hw), "hop-weight")
+	})
+}
+
+// BenchmarkGrainSweep regenerates the grain-size analysis (A3): the
+// comm/comp ratio across problem sizes.
+func BenchmarkGrainSweep(b *testing.B) {
+	for _, m := range []int64{64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				ratio = analysis.CommCompRatio(m, 16, machine.Era1991())
+			}
+			b.ReportMetric(ratio, "comm/comp")
+		})
+	}
+}
+
+// BenchmarkHyperplaneSearch measures the exhaustive optimal-Π search.
+func BenchmarkHyperplaneSearch(b *testing.B) {
+	k := NewKernel("matmul", 6)
+	st, err := k.Structure()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sch, err := hyperplane.FindOptimal(st, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sch.Pi.Equal(Vec(1, 1, 1)) {
+			b.Fatalf("unexpected Π %v", sch.Pi)
+		}
+	}
+}
+
+// BenchmarkPartitionScaling measures Algorithm 1 across problem sizes.
+func BenchmarkPartitionScaling(b *testing.B) {
+	for _, size := range []int64{4, 8, 16} {
+		b.Run(fmt.Sprintf("matmul-%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				plan := mustPlan(b, "matmul", size, -1)
+				if err := core.CheckInvariants(plan.Partitioning); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConcurrentExecution measures the goroutine/channel executor.
+func BenchmarkConcurrentExecution(b *testing.B) {
+	for _, kernel := range []string{"matmul", "matvec", "stencil"} {
+		b.Run(kernel, func(b *testing.B) {
+			plan := mustPlan(b, kernel, 8, 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := plan.Execute(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParser measures the DSL front end.
+func BenchmarkParser(b *testing.B) {
+	src := `
+for i = 0 to 63
+for j = 0 to 63
+{
+  A[i+1, j+1] = A[i+1, j] + B[i, j]
+  B[i+1, j]   = A[i, j] * 2 + C
+}
+`
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseKernel("bench", src, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeshVsCubeMapping compares Algorithm 2's two targets.
+func BenchmarkMeshVsCubeMapping(b *testing.B) {
+	plan := mustPlan(b, "matmul", 10, 4)
+	b.Run("cube", func(b *testing.B) {
+		var hw int64
+		for i := 0; i < b.N; i++ {
+			m, err := mapping.MapPartitioning(plan.Partitioning, 4, MapOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			hw = mapping.Evaluate(plan.TIG, m).HopWeight
+		}
+		b.ReportMetric(float64(hw), "hop-weight")
+	})
+	b.Run("mesh4x4", func(b *testing.B) {
+		var hw int64
+		for i := 0; i < b.N; i++ {
+			m, err := mapping.MapPartitioningMesh(plan.Partitioning, 4, 4, MapOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			hw = mapping.EvaluateMesh(plan.TIG, m).HopWeight
+		}
+		b.ReportMetric(float64(hw), "hop-weight")
+	})
+}
+
+// BenchmarkAblationLinkContention measures the cost of the contended
+// network model and reports the makespan inflation it predicts.
+func BenchmarkAblationLinkContention(b *testing.B) {
+	plan := mustPlan(b, "matmul", 8, 3)
+	params := machine.Params{TCalc: 1, TStart: 10, TComm: 5}
+	for _, cont := range []bool{false, true} {
+		name := "uncontended"
+		if cont {
+			name = "contended"
+		}
+		b.Run(name, func(b *testing.B) {
+			var makespan float64
+			for i := 0; i < b.N; i++ {
+				s, err := plan.Simulate(params, SimOptions{LinkContention: cont})
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = s.Makespan
+			}
+			b.ReportMetric(makespan, "makespan")
+		})
+	}
+}
+
+// BenchmarkPrediction measures the closed-form predictor and reports its
+// gap to the event simulation.
+func BenchmarkPrediction(b *testing.B) {
+	plan := mustPlan(b, "matvec", 64, 3)
+	params := machine.Era1991()
+	s, err := plan.Simulate(params, SimOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pred float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr := analysis.PredictMapped(plan.Partitioning, plan.TIG, plan.Mapping, params)
+		pred = pr.Time
+	}
+	b.ReportMetric(pred, "predicted")
+	b.ReportMetric(s.Makespan, "simulated")
+}
+
+// BenchmarkPaperScaleMatVec runs the full Table I workload — matvec at
+// M = 1024 (one million iterations) on a 32-processor cube — through
+// partitioning, mapping, and simulation, asserting the analytic 2W.
+func BenchmarkPaperScaleMatVec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		plan, err := NewPlan(NewKernel("matvec", 1024), PlanOptions{CubeDim: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := plan.Simulate(machine.Era1991(), SimOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := s.MaxProcOps / 3 * 2; got != analysis.MatVecCalcOps(1024, 32) {
+			b.Fatalf("critical ops %d != analytic %d", got, analysis.MatVecCalcOps(1024, 32))
+		}
+	}
+	b.ReportMetric(1024*1024, "iterations")
+}
+
+// BenchmarkSimulatorThroughput measures event-simulation cost per vertex.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	plan := mustPlan(b, "matvec", 256, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Simulate(machine.Era1991(), SimOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(plan.Structure.V)), "vertices")
+}

@@ -1,0 +1,139 @@
+// Command hypermap runs the full pipeline — partition with Algorithm 1,
+// map onto a hypercube with Algorithm 2 — then compares the Gray-code
+// mapping against linear and random placements and simulates the execution
+// under a chosen machine model.
+//
+// Usage:
+//
+//	hypermap -kernel matmul -size 8 -dim 3
+//	hypermap -kernel matvec -size 64 -dim 4 -tcalc 1 -tstart 100 -tcomm 10
+//	hypermap -kernel matvec -size 32 -dim 3 -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	loopmap "repro"
+	"repro/internal/mapping"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/svg"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		kernel = flag.String("kernel", "matmul", "kernel name ("+strings.Join(loopmap.KernelNames(), ", ")+")")
+		size   = flag.Int64("size", 8, "kernel size parameter")
+		dim    = flag.Int("dim", 3, "hypercube dimension n (N = 2^n processors)")
+		tcalc  = flag.Float64("tcalc", 1, "time per floating-point operation")
+		tstart = flag.Float64("tstart", 100, "message startup time")
+		tcomm  = flag.Float64("tcomm", 10, "per-word transmission time")
+		thop   = flag.Float64("thop", 0, "extra per-hop latency")
+		agg    = flag.Bool("aggregate", false, "aggregate per-destination messages")
+		verify = flag.Bool("verify", false, "execute concurrently and verify against the sequential reference")
+		gantt  = flag.Bool("gantt", false, "render a per-processor activity timeline of the parallel run")
+		traceF = flag.String("trace", "", "write a chrome://tracing JSON timeline of the parallel run to this file")
+		svgF   = flag.String("svg", "", "write the parallel run's Gantt chart as SVG to this file")
+		cont   = flag.Bool("contention", false, "model store-and-forward link contention on the e-cube routes")
+	)
+	flag.Parse()
+
+	plan, err := loopmap.NewPlan(loopmap.NewKernel(*kernel, *size), loopmap.PlanOptions{CubeDim: *dim})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(plan.Summary())
+
+	// Mapping comparison.
+	gray, err := plan.EvaluateMapping()
+	if err != nil {
+		fail(err)
+	}
+	lin, err := mapping.Linear(plan.TIG.N, *dim)
+	if err != nil {
+		fail(err)
+	}
+	rnd, err := mapping.Random(plan.TIG.N, *dim, 1)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("\nmapping comparison:")
+	tb := report.NewTable("mapping", "hop-weight", "remote words", "max dilation", "load [min,max]")
+	add := func(name string, s mapping.Stats) {
+		tb.AddRow(name, s.HopWeight, s.RemoteWeight, s.MaxDilation, fmt.Sprintf("[%d,%d]", s.MinLoad, s.MaxLoad))
+	}
+	add("gray (Algorithm 2)", gray)
+	add("linear", mapping.Evaluate(plan.TIG, lin))
+	add("random", mapping.Evaluate(plan.TIG, rnd))
+	tb.Render(os.Stdout)
+
+	// Simulation.
+	params := loopmap.Params{TCalc: *tcalc, TStart: *tstart, TComm: *tcomm, THop: *thop}
+	seq, err := plan.SimulateSequential(params)
+	if err != nil {
+		fail(err)
+	}
+	par, err := plan.Simulate(params, loopmap.SimOptions{Aggregate: *agg, Timeline: *gantt || *traceF != "" || *svgF != "", LinkContention: *cont})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("\nsimulation:")
+	st := report.NewTable("run", "makespan", "speedup", "messages", "words", "max proc ops")
+	st.AddRow("sequential", seq.Makespan, 1.0, seq.Messages, seq.Words, seq.MaxProcOps)
+	st.AddRow(fmt.Sprintf("parallel (N=%d)", plan.Procs()), par.Makespan, seq.Makespan/par.Makespan, par.Messages, par.Words, par.MaxProcOps)
+	st.Render(os.Stdout)
+
+	if *gantt {
+		fmt.Println("\ntimeline ('#' compute, '~' send, '.' idle):")
+		spans := make([]report.GanttSpan, 0, len(par.Spans))
+		for _, s := range par.Spans {
+			g := byte('#')
+			if s.Kind == sim.SpanSend {
+				g = '~'
+			}
+			spans = append(spans, report.GanttSpan{Proc: s.Proc, Start: s.Start, End: s.End, Glyph: g})
+		}
+		fmt.Print(report.Gantt(spans, plan.Procs(), 96))
+	}
+
+	if *traceF != "" {
+		f, err := os.Create(*traceF)
+		if err != nil {
+			fail(err)
+		}
+		if err := trace.Chrome(f, par); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nwrote %s (open in chrome://tracing or Perfetto)\n", *traceF)
+	}
+
+	if *svgF != "" {
+		doc, err := svg.Gantt(par)
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*svgF, []byte(doc), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nwrote %s\n", *svgF)
+	}
+
+	if *verify {
+		if err := plan.Verify(); err != nil {
+			fail(err)
+		}
+		fmt.Println("\nverify: concurrent execution matches the sequential reference")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hypermap:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,150 @@
+// Command sweep generates the data series behind the paper's evaluation as
+// CSV, for plotting or regression against other implementations.
+//
+// Usage:
+//
+//	sweep -s exectime                  # T_exec(M, N): analytic + simulated
+//	sweep -s grain                     # comm/comp ratio over M for several N
+//	sweep -s mapping                   # hop-weight of gray/linear/random over cube dims
+//	sweep -s speedup -tstart 10        # speedup/efficiency curves
+//	sweep -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	loopmap "repro"
+	"repro/internal/analysis"
+	"repro/internal/machine"
+	"repro/internal/mapping"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		series = flag.String("s", "exectime", "series to generate")
+		list   = flag.Bool("list", false, "list series and exit")
+		tcalc  = flag.Float64("tcalc", 1, "time per floating-point operation")
+		tstart = flag.Float64("tstart", 100, "message startup time")
+		tcomm  = flag.Float64("tcomm", 10, "per-word transmission time")
+	)
+	flag.Parse()
+	params := machine.Params{TCalc: *tcalc, TStart: *tstart, TComm: *tcomm}
+	if err := params.Validate(); err != nil {
+		fail(err)
+	}
+
+	gens := map[string]func(machine.Params) *report.Table{
+		"exectime": execTime,
+		"grain":    grain,
+		"mapping":  mappingSweep,
+		"speedup":  speedup,
+	}
+	if *list {
+		for name := range gens {
+			fmt.Println(name)
+		}
+		return
+	}
+	gen, ok := gens[*series]
+	if !ok {
+		fail(fmt.Errorf("unknown series %q; use -list", *series))
+	}
+	gen(params).CSV(os.Stdout)
+}
+
+// execTime sweeps T_exec over problem and machine sizes: the analytic §IV
+// model next to the event simulation through the real pipeline.
+func execTime(params machine.Params) *report.Table {
+	tb := report.NewTable("M", "N", "analytic_texec", "sim_makespan", "sim_critical_ops", "sim_critical_words")
+	for _, m := range []int64{32, 64, 128, 256} {
+		for dim := 0; dim <= 5; dim++ {
+			n := int64(1) << uint(dim)
+			if n > m {
+				break
+			}
+			plan, err := loopmap.NewPlan(loopmap.NewKernel("matvec", m), loopmap.PlanOptions{CubeDim: dim})
+			if err != nil {
+				fail(err)
+			}
+			s, err := plan.Simulate(params, loopmap.SimOptions{})
+			if err != nil {
+				fail(err)
+			}
+			tb.AddRow(m, n, analysis.MatVecExecTime(m, n, params), s.Makespan, s.MaxProcOps, s.CriticalInOutWords())
+		}
+	}
+	return tb
+}
+
+// grain sweeps the comm/comp ratio of the critical processor.
+func grain(params machine.Params) *report.Table {
+	tb := report.NewTable("M", "N", "comm_comp_ratio")
+	for _, n := range []int64{4, 16, 64, 256} {
+		for m := int64(64); m <= 8192; m *= 2 {
+			tb.AddRow(m, n, analysis.CommCompRatio(m, n, params))
+		}
+	}
+	return tb
+}
+
+// mappingSweep compares mapping policies across cube dimensions.
+func mappingSweep(params machine.Params) *report.Table {
+	tb := report.NewTable("dim", "policy", "hop_weight", "max_dilation", "max_load")
+	for dim := 2; dim <= 6; dim++ {
+		plan, err := loopmap.NewPlan(loopmap.NewKernel("matmul", 12), loopmap.PlanOptions{CubeDim: dim})
+		if err != nil {
+			fail(err)
+		}
+		gray, err := plan.EvaluateMapping()
+		if err != nil {
+			fail(err)
+		}
+		tb.AddRow(dim, "gray", gray.HopWeight, gray.MaxDilation, gray.MaxLoad)
+		lin, err := mapping.Linear(plan.TIG.N, dim)
+		if err != nil {
+			fail(err)
+		}
+		ls := mapping.Evaluate(plan.TIG, lin)
+		tb.AddRow(dim, "linear", ls.HopWeight, ls.MaxDilation, ls.MaxLoad)
+		var rndHop, rndLoad int64
+		maxDil := 0
+		const seeds = 5
+		for s := int64(0); s < seeds; s++ {
+			rnd, err := mapping.Random(plan.TIG.N, dim, s)
+			if err != nil {
+				fail(err)
+			}
+			rs := mapping.Evaluate(plan.TIG, rnd)
+			rndHop += rs.HopWeight
+			rndLoad += rs.MaxLoad
+			if rs.MaxDilation > maxDil {
+				maxDil = rs.MaxDilation
+			}
+		}
+		tb.AddRow(dim, "random_mean5", rndHop/seeds, maxDil, rndLoad/seeds)
+	}
+	return tb
+}
+
+// speedup sweeps analytic speedup and efficiency at several problem sizes.
+func speedup(params machine.Params) *report.Table {
+	tb := report.NewTable("M", "N", "texec", "speedup", "efficiency")
+	for _, m := range []int64{256, 1024, 4096} {
+		for _, n := range analysis.PaperTableISizes {
+			if n > m {
+				break
+			}
+			tb.AddRow(m, n, analysis.MatVecExecTime(m, n, params),
+				analysis.Speedup(m, n, params), analysis.Efficiency(m, n, params))
+		}
+	}
+	return tb
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Matmul reproduces the paper's Example 2 end to end: the rewritten
+// matrix-multiplication nest with dependence matrix I₃ is scheduled with
+// Π = (1,1,1), projected (37 projected points at size 4), grouped with
+// r = 3 and one auxiliary vector into 17 blocks (Figs. 4–7), mapped onto a
+// 3-cube with Algorithm 2, simulated, and finally *executed for real* on
+// one goroutine per hypercube node — the product C = A·B is checked
+// element-by-element against a direct computation.
+//
+// Run with: go run ./examples/matmul
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	loopmap "repro"
+	"repro/internal/core"
+	"repro/internal/kernels"
+)
+
+func main() {
+	const size = 8
+	k := loopmap.NewKernel("matmul", size)
+	plan, err := loopmap.NewPlan(k, loopmap.PlanOptions{CubeDim: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan.Summary())
+
+	// Theorem 2 in action: no block talks to more than 2m − β = 4 others.
+	if err := core.CheckTheorem2(plan.Partitioning, plan.TIG); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nevery block sends to at most %d others (Theorem 2 bound %d)\n",
+		plan.TIG.MaxOutDegree(), core.Theorem2Bound(plan.Partitioning))
+
+	// Simulate under 1991-era costs and under a compute-bound machine.
+	for _, pc := range []struct {
+		name   string
+		params loopmap.Params
+	}{
+		{"era-1991 (t_start=100 t_comm=10 t_calc=1)", loopmap.Era1991()},
+		{"compute-bound (t_start=2 t_comm=1 t_calc=50)", loopmap.Params{TCalc: 50, TStart: 2, TComm: 1}},
+	} {
+		seq, err := plan.SimulateSequential(pc.params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		par, err := plan.Simulate(pc.params, loopmap.SimOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-46s makespan %10.0f vs sequential %10.0f (speedup %.2f)\n",
+			pc.name, par.Makespan, seq.Makespan, seq.Makespan/par.Makespan)
+	}
+
+	// Execute for real: 8 goroutines exchange pipelined A/B/C values over
+	// channels exactly along the TIG edges; extract C from the dataflow
+	// trace and compare with a plain triple loop.
+	res, stats, err := plan.Execute()
+	if err != nil {
+		log.Fatal(err)
+	}
+	exits := res.ExitValues(plan.Structure, 0) // C leaves along (0,0,1)
+	ref := kernels.MatMulReference(size)
+	worst := 0.0
+	for i := 0; i < size; i++ {
+		for j := 0; j < size; j++ {
+			if d := math.Abs(exits[i*size+j] - ref[i][j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	fmt.Printf("\nexecuted on %d goroutine-processors, %d messages exchanged\n",
+		plan.Procs(), stats.Messages)
+	fmt.Printf("max |C_parallel - C_reference| = %g over %d elements\n", worst, size*size)
+	if worst > 1e-9 {
+		log.Fatal("matmul verification failed")
+	}
+	fmt.Println("C = A·B verified")
+}

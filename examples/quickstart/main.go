@@ -1,0 +1,63 @@
+// Quickstart: partition the paper's Example 1 (loop L1) end-to-end.
+//
+//	for i = 0 to 3 { for j = 0 to 3 {
+//	  S1: A[i+1,j+1] := A[i+1,j] + B[i,j];
+//	  S2: B[i+1,j]   := A[i,j]*2 + C;
+//	}}
+//
+// The program derives the dependence vectors from the array accesses,
+// schedules the loop with the hyperplane time function Π = (1,1), projects
+// the iterations onto the zero-hyperplane, groups the projected points with
+// Algorithm 1, and prints the resulting blocks — reproducing Figs. 1 and 3
+// of the paper (4 blocks; 12 of 33 dependences interblock).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	loopmap "repro"
+	"repro/internal/report"
+	"repro/internal/vec"
+)
+
+func main() {
+	k := loopmap.NewKernel("l1", 3)
+
+	// The dependence analyzer reads the statement accesses:
+	// A[i+1,j+1] vs A[i+1,j] gives (0,1); vs A[i,j] gives (1,1);
+	// B[i+1,j] vs B[i,j] gives (1,0).
+	fmt.Println("derived dependence vectors:", k.Nest.Dependences())
+
+	plan, err := loopmap.NewPlan(k, loopmap.PlanOptions{CubeDim: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan.Summary())
+
+	fmt.Println("\nexecution step of each iteration (Fig. 1; i down, j right):")
+	fmt.Print(report.Grid2D(plan.Structure.V, func(p vec.Int) string {
+		return fmt.Sprint(plan.Schedule.Step(p))
+	}))
+
+	fmt.Println("\nblock of each iteration (Fig. 3(b); i down, j right):")
+	fmt.Print(report.Grid2D(plan.Structure.V, func(p vec.Int) string {
+		return fmt.Sprintf("B%d", plan.Partitioning.BlockOfPoint(p))
+	}))
+
+	// Each block pairs two projection lines, so no two of its iterations
+	// share a hyperplane — assigning a block per processor keeps the
+	// 7-step schedule intact while cutting interblock traffic to 12.
+	es := plan.Partitioning.EdgeStats()
+	fmt.Printf("\n%d of %d dependences cross blocks (the paper reports 12 of 33)\n",
+		es.InterBlock, es.Total)
+
+	// The semantics are executable: run the loop for real on one goroutine
+	// per block and verify against sequential execution.
+	if err := plan.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("concurrent execution verified against the sequential reference")
+}

@@ -1,0 +1,106 @@
+// Package analysis implements the closed-form performance model of §IV of
+// the paper for matrix–vector multiplication on an N-processor hypercube,
+// including the exact Table I generator.
+//
+// With problem size M and the partitioning of §IV (M blocks of two
+// projection lines each, M/N blocks per processor), the most-loaded
+// processor owns the main-diagonal block; it computes
+// W = Σ_{i=l}^{M} i index points with l = ⌊(N−2)/N · M⌋ + 1, two flops
+// each, and exchanges 2M−2 single-word messages:
+//
+//	T_exec(N) = 2·W·t_calc + (2M−2)(t_start + t_comm)      (N > 1)
+//	T_exec(1) = 2·M²·t_calc                                 (sequential)
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/ints"
+	"repro/internal/machine"
+)
+
+// MatVecLoad returns W, the number of index points on the most-loaded
+// processor for problem size M on N processors (N ≥ 2, N | M assumed as in
+// the paper; callers with ragged sizes get the same formula applied to the
+// floor).
+func MatVecLoad(m, n int64) int64 {
+	if n <= 1 {
+		return m * m
+	}
+	l := ints.FloorDiv((n-2)*m, n) + 1
+	return ints.SumRange(l, m)
+}
+
+// MatVecCalcOps returns the flop count of the most-loaded processor: two
+// operations (multiply + add) per index point.
+func MatVecCalcOps(m, n int64) int64 { return 2 * MatVecLoad(m, n) }
+
+// MatVecCommWords returns the number of word transmissions on the critical
+// processor: 2M−2 for any N > 1 (the paper's machine-size-invariant
+// communication term), 0 for N = 1.
+func MatVecCommWords(m, n int64) int64 {
+	if n <= 1 {
+		return 0
+	}
+	return 2*m - 2
+}
+
+// MatVecExecTime returns T_exec(N) under the given machine parameters. The
+// paper's model charges each word its own message (t_start + t_comm).
+func MatVecExecTime(m, n int64, p machine.Params) float64 {
+	t := float64(MatVecCalcOps(m, n)) * p.TCalc
+	if n > 1 {
+		t += float64(MatVecCommWords(m, n)) * (p.TStart + p.TComm)
+	}
+	return t
+}
+
+// TableIRow is one symbolic row of Table I.
+type TableIRow struct {
+	N int64
+	// CalcCoeff is the coefficient of t_calc.
+	CalcCoeff int64
+	// CommCoeff is the coefficient of (t_comm + t_start); 0 for N = 1.
+	CommCoeff int64
+}
+
+// String renders the row the way the paper prints it.
+func (r TableIRow) String() string {
+	if r.CommCoeff == 0 {
+		return fmt.Sprintf("N = %-5d %d·t_calc", r.N, r.CalcCoeff)
+	}
+	return fmt.Sprintf("N = %-5d %d·t_calc + %d·(t_comm + t_start)", r.N, r.CalcCoeff, r.CommCoeff)
+}
+
+// TableI generates the paper's Table I for problem size m and the given
+// machine sizes (the paper uses M = 1024 and N ∈ {1, 4, 16, 64, 256, 1024}).
+func TableI(m int64, sizes []int64) []TableIRow {
+	rows := make([]TableIRow, len(sizes))
+	for i, n := range sizes {
+		rows[i] = TableIRow{N: n, CalcCoeff: MatVecCalcOps(m, n), CommCoeff: MatVecCommWords(m, n)}
+	}
+	return rows
+}
+
+// PaperTableISizes are the machine sizes of Table I.
+var PaperTableISizes = []int64{1, 4, 16, 64, 256, 1024}
+
+// Speedup returns T_exec(1) / T_exec(N).
+func Speedup(m, n int64, p machine.Params) float64 {
+	return MatVecExecTime(m, 1, p) / MatVecExecTime(m, n, p)
+}
+
+// Efficiency returns Speedup / N.
+func Efficiency(m, n int64, p machine.Params) float64 {
+	return Speedup(m, n, p) / float64(n)
+}
+
+// CommCompRatio returns the ratio of communication time to computation time
+// on the critical processor — the paper's grain-size argument: the ratio
+// "declines rapidly as the grain size grows", so the method suits medium-
+// to coarse-grain computation.
+func CommCompRatio(m, n int64, p machine.Params) float64 {
+	comp := float64(MatVecCalcOps(m, n)) * p.TCalc
+	comm := float64(MatVecCommWords(m, n)) * (p.TStart + p.TComm)
+	return comm / comp
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestTableIExactCoefficients(t *testing.T) {
+	// The six rows of Table I (M = 1024) verbatim from the paper.
+	want := []TableIRow{
+		{N: 1, CalcCoeff: 2097152, CommCoeff: 0},
+		{N: 4, CalcCoeff: 786944, CommCoeff: 2046},
+		{N: 16, CalcCoeff: 245888, CommCoeff: 2046},
+		{N: 64, CalcCoeff: 64544, CommCoeff: 2046},
+		{N: 256, CalcCoeff: 16328, CommCoeff: 2046},
+		{N: 1024, CalcCoeff: 4094, CommCoeff: 2046},
+	}
+	got := TableI(1024, PaperTableISizes)
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCommInvariantWithMachineSize(t *testing.T) {
+	// §IV: "the communication time of our method is invariant when the
+	// machine size becomes larger."
+	base := MatVecCommWords(1024, 4)
+	for _, n := range []int64{16, 64, 256, 1024} {
+		if MatVecCommWords(1024, n) != base {
+			t.Fatalf("comm words for N=%d differ from N=4", n)
+		}
+	}
+}
+
+func TestLoadMonotonicInN(t *testing.T) {
+	prev := MatVecLoad(1024, 1)
+	for _, n := range []int64{4, 16, 64, 256, 1024} {
+		cur := MatVecLoad(1024, n)
+		if cur >= prev {
+			t.Fatalf("load did not decrease at N=%d: %d >= %d", n, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestExecTimeNumeric(t *testing.T) {
+	p := machine.Params{TCalc: 1, TStart: 100, TComm: 10}
+	// N=1024: 4094*1 + 2046*110 = 4094 + 225060 = 229154.
+	got := MatVecExecTime(1024, 1024, p)
+	if math.Abs(got-229154) > 1e-9 {
+		t.Fatalf("T_exec(1024) = %v, want 229154", got)
+	}
+	// N=1: pure compute.
+	if got := MatVecExecTime(1024, 1, p); got != 2097152 {
+		t.Fatalf("T_exec(1) = %v", got)
+	}
+}
+
+func TestSpeedupBounds(t *testing.T) {
+	p := machine.Era1991()
+	for _, n := range []int64{4, 16, 64, 256, 1024} {
+		s := Speedup(1024, n, p)
+		if s <= 1 || s > float64(n) {
+			t.Fatalf("speedup(N=%d) = %v out of (1, N]", n, s)
+		}
+		e := Efficiency(1024, n, p)
+		if e <= 0 || e > 1 {
+			t.Fatalf("efficiency(N=%d) = %v out of (0,1]", n, e)
+		}
+	}
+}
+
+func TestGrainSizeClaim(t *testing.T) {
+	// The comm/comp ratio declines as the problem (grain) size grows, for
+	// fixed N: the paper's medium-to-coarse-grain suitability claim.
+	p := machine.Era1991()
+	prev := math.Inf(1)
+	for _, m := range []int64{64, 128, 256, 512, 1024, 2048} {
+		r := CommCompRatio(m, 16, p)
+		if r >= prev {
+			t.Fatalf("comm/comp ratio did not decline at M=%d: %v >= %v", m, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestRowString(t *testing.T) {
+	r := TableIRow{N: 4, CalcCoeff: 786944, CommCoeff: 2046}
+	if r.String() != "N = 4     786944·t_calc + 2046·(t_comm + t_start)" {
+		t.Errorf("String = %q", r.String())
+	}
+	r1 := TableIRow{N: 1, CalcCoeff: 2097152}
+	if r1.String() != "N = 1     2097152·t_calc" {
+		t.Errorf("String = %q", r1.String())
+	}
+}
+
+func TestMessageTime(t *testing.T) {
+	p := machine.Params{TCalc: 1, TStart: 5, TComm: 2, THop: 3}
+	if got := p.MessageTime(4, 1); got != 5+8 {
+		t.Errorf("MessageTime(4,1) = %v", got)
+	}
+	if got := p.MessageTime(4, 3); got != 5+8+6 {
+		t.Errorf("MessageTime(4,3) = %v", got)
+	}
+	if got := p.MessageTime(0, 3); got != 0 {
+		t.Errorf("MessageTime(0,3) = %v", got)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := machine.Era1991().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (machine.Params{TCalc: 0, TStart: 1, TComm: 1}).Validate(); err == nil {
+		t.Fatal("zero TCalc accepted")
+	}
+	if err := (machine.Params{TCalc: 1, TStart: -1}).Validate(); err == nil {
+		t.Fatal("negative TStart accepted")
+	}
+}

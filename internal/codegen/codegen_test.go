@@ -1,0 +1,114 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/loop"
+	"repro/internal/parser"
+	"repro/internal/vec"
+)
+
+func parseProg(t *testing.T, src string) *parser.Program {
+	t.Helper()
+	prog, err := parser.ParseProgram("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestGenerateBasicStructure(t *testing.T) {
+	prog := parseProg(t, "for i = 0 to 3\n{\n y[i+1] = y[i] * a + x[i] / 2\n}")
+	procOf := []int{0, 0, 1, 1}
+	code, err := Generate(prog, vec.NewInt(1), procOf, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"const numProcs = 2",
+		"const numChans = 1",
+		"var seed uint64 = 9",
+		`scalarValue("a")`,
+		`inputValue("x", []int64{int64(0) + int64(1)*x[0]})`,
+		"div(", // division lowered through the total-division helper
+		"for x[0] = int64(0); x[0] <= int64(3); x[0]++",
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+}
+
+func TestGenerateAffineBounds(t *testing.T) {
+	prog := parseProg(t, "for i = 0 to 4\nfor j = 0 to i\n{\n A[i, j+1] = A[i, j]\n}")
+	size := int(prog.Nest.Size())
+	procOf := make([]int, size)
+	code, err := Generate(prog, vec.NewInt(1, 1), procOf, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(code, "x[1] <= int64(0) + int64(1)*x[0]") {
+		t.Errorf("affine upper bound not emitted:\n%s", grep(code, "x[1] <="))
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	prog := parseProg(t, "for i = 0 to 3\n{\n y[i+1] = y[i]\n}")
+	if _, err := Generate(prog, vec.NewInt(1, 1), []int{0, 0, 0, 0}, 1, 1); err == nil {
+		t.Error("Π arity mismatch accepted")
+	}
+	if _, err := Generate(prog, vec.NewInt(1), []int{0, 0}, 1, 1); err == nil {
+		t.Error("short placement accepted")
+	}
+	if _, err := Generate(prog, vec.NewInt(1), []int{0, 0, 0, 5}, 2, 1); err == nil {
+		t.Error("out-of-range processor accepted")
+	}
+	if _, err := Generate(prog, vec.NewInt(1), []int{0, 0, 0, 0}, 0, 1); err == nil {
+		t.Error("zero processors accepted")
+	}
+	noDeps := parseProg(t, "for i = 0 to 3\n{\n y[i] = x[i]\n}")
+	if _, err := Generate(noDeps, vec.NewInt(1), []int{0, 0, 0, 0}, 1, 1); err == nil {
+		t.Error("dependence-free program accepted")
+	}
+}
+
+func TestExprGoForms(t *testing.T) {
+	prog := parseProg(t, "for i = 0 to 3\n{\n y[i+1] = -(y[i] + 2) * c\n}")
+	df, err := prog.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := exprGo(prog.Stmts[0].Expr, df)
+	if got != `((-(in[0] + float64(2))) * scalarValue("c"))` {
+		t.Fatalf("exprGo = %q", got)
+	}
+}
+
+func TestAffineGo(t *testing.T) {
+	a := loop.Affine{Const: 2, Coeffs: []int64{0, -3}}
+	if got := affineGo(a); got != "int64(2) + int64(-3)*x[1]" {
+		t.Fatalf("affineGo = %q", got)
+	}
+	if got := affineGo(loop.Const(7)); got != "int64(7)" {
+		t.Fatalf("affineGo const = %q", got)
+	}
+}
+
+func TestIntVectorAndMatrix(t *testing.T) {
+	if got := intVector(vec.NewInt(1, -2)); got != "[]int64{1, -2}" {
+		t.Fatalf("intVector = %q", got)
+	}
+	if got := intMatrix([]vec.Int{vec.NewInt(1), vec.NewInt(-2)}); got != "[][]int64{[]int64{1}, []int64{-2}}" {
+		t.Fatalf("intMatrix = %q", got)
+	}
+}
+
+func grep(s, needle string) string {
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, needle) {
+			return l
+		}
+	}
+	return "(not found)"
+}

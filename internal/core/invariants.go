@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+)
+
+// CheckInvariants verifies the structural guarantees the paper proves about
+// Algorithm 1's output. It returns the first violation found, or nil.
+//
+//   - Completeness/disjointness: every index point belongs to exactly one
+//     block (Definition 6 partitions V).
+//   - Group geometry: member k of a group sits at Base + slot_k·d_l^p.
+//   - Lemma 1 / Theorem 1: no two index points of one block share an
+//     execution step, so blocks respect the schedule of Π.
+//   - Group size: no group exceeds r members.
+func CheckInvariants(p *Partitioning) error {
+	ps := p.PS
+
+	// Every projected point grouped exactly once.
+	seen := make([]int, len(ps.Points))
+	for gi, g := range p.Groups {
+		if g.ID != gi {
+			return fmt.Errorf("group %d has ID %d", gi, g.ID)
+		}
+		if int64(len(g.Members)) > p.R {
+			return fmt.Errorf("group %d has %d members, exceeds r=%d", gi, len(g.Members), p.R)
+		}
+		if len(g.Members) != len(g.Slot) {
+			return fmt.Errorf("group %d: members/slots length mismatch", gi)
+		}
+		for mi, m := range g.Members {
+			seen[m]++
+			if p.GroupOf[m] != gi {
+				return fmt.Errorf("GroupOf[%d] = %d, expected %d", m, p.GroupOf[m], gi)
+			}
+			if p.Grouping != nil {
+				want := g.Base.AddScaled(int64(g.Slot[mi]), p.Grouping.Scaled)
+				if !ps.Points[m].Equal(want) {
+					return fmt.Errorf("group %d member %d at %v, want %v (base %v slot %d)",
+						gi, m, ps.Points[m], want, g.Base, g.Slot[mi])
+				}
+			}
+		}
+	}
+	for i, c := range seen {
+		if c != 1 {
+			return fmt.Errorf("projected point %d grouped %d times", i, c)
+		}
+	}
+
+	// Lemma 1 / Theorem 1: all index points of a block execute at distinct
+	// steps. A coarsened partitioning (MergeFactor > 1) deliberately
+	// relaxes the distinct-step property, so only block validity is
+	// checked then.
+	times := map[int]map[int64]bool{}
+	for vi, x := range ps.Orig.V {
+		g := p.BlockOf[vi]
+		if g < 0 || g >= len(p.Groups) {
+			return fmt.Errorf("vertex %v has invalid block %d", x, g)
+		}
+		if p.MergeFactor > 1 {
+			continue
+		}
+		t := ps.Pi.Dot(x)
+		if times[g] == nil {
+			times[g] = map[int64]bool{}
+		}
+		if times[g][t] {
+			return fmt.Errorf("block %d executes two index points at step %d (Lemma 1 violated)", g, t)
+		}
+		times[g][t] = true
+	}
+	return nil
+}
+
+// Theorem2Bound returns 2m − β for the partitioning, the paper's bound on
+// the number of groups any group must send data to.
+func Theorem2Bound(p *Partitioning) int {
+	m := len(p.PS.Orig.D)
+	return 2*m - p.Beta
+}
+
+// CheckTheorem2 verifies that the TIG's max out-degree respects the
+// Theorem 2 bound.
+func CheckTheorem2(p *Partitioning, t *TIG) error {
+	bound := Theorem2Bound(p)
+	if d := t.MaxOutDegree(); d > bound {
+		return fmt.Errorf("max out-degree %d exceeds Theorem 2 bound 2m-β = %d", d, bound)
+	}
+	return nil
+}

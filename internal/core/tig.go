@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/loop"
+)
+
+// TIGEdge is one directed communication requirement between two blocks.
+type TIGEdge struct {
+	From, To int
+	// Weight is the number of data items crossing the edge (one per
+	// dependence arc between the blocks).
+	Weight int64
+}
+
+// TIG is the Task Interaction Graph of §IV: vertices are partitioned
+// blocks, edges carry the interblock communication volume.
+type TIG struct {
+	// N is the number of blocks (TIG vertices).
+	N int
+	// Loads[g] is the number of index points in block g (its computation
+	// weight).
+	Loads []int64
+	// Edges holds the directed edges, sorted by (From, To).
+	Edges []TIGEdge
+
+	out map[int]map[int]int64
+	// byDep[u][v][dep] breaks edge weights down by the dependence vector
+	// (index into the structure's D) that carried them. Only filled by
+	// BuildTIG; synthetic TIGs from NewTIG have no breakdown.
+	byDep map[int]map[int]map[int]int64
+}
+
+// NewTIG builds a TIG directly from loads and edges — used for synthetic
+// task graphs such as the 4×4 mesh of the paper's Example 3 (Fig. 8).
+func NewTIG(n int, loads []int64, edges []TIGEdge) *TIG {
+	t := &TIG{N: n, out: map[int]map[int]int64{}}
+	t.Loads = make([]int64, n)
+	copy(t.Loads, loads)
+	for _, e := range edges {
+		m, ok := t.out[e.From]
+		if !ok {
+			m = map[int]int64{}
+			t.out[e.From] = m
+		}
+		m[e.To] += e.Weight
+	}
+	for u, m := range t.out {
+		for v, w := range m {
+			t.Edges = append(t.Edges, TIGEdge{From: u, To: v, Weight: w})
+		}
+	}
+	sort.Slice(t.Edges, func(i, j int) bool {
+		if t.Edges[i].From != t.Edges[j].From {
+			return t.Edges[i].From < t.Edges[j].From
+		}
+		return t.Edges[i].To < t.Edges[j].To
+	})
+	return t
+}
+
+// BuildTIG constructs the TIG of a partitioning by classifying every
+// dependence arc of the computational structure.
+func BuildTIG(p *Partitioning) *TIG {
+	t := &TIG{N: len(p.Groups), out: map[int]map[int]int64{}, byDep: map[int]map[int]map[int]int64{}}
+	t.Loads = make([]int64, t.N)
+	for g := range p.Groups {
+		t.Loads[g] = int64(p.BlockSize(g))
+	}
+	st := p.PS.Orig
+	st.ForEachEdge(func(e loop.Edge) {
+		gu := p.BlockOf[st.VertexIndex(e.From)]
+		gv := p.BlockOf[st.VertexIndex(e.To)]
+		if gu == gv {
+			return
+		}
+		m, ok := t.out[gu]
+		if !ok {
+			m = map[int]int64{}
+			t.out[gu] = m
+		}
+		m[gv]++
+		mu, ok := t.byDep[gu]
+		if !ok {
+			mu = map[int]map[int]int64{}
+			t.byDep[gu] = mu
+		}
+		mv, ok := mu[gv]
+		if !ok {
+			mv = map[int]int64{}
+			mu[gv] = mv
+		}
+		mv[e.Dep]++
+	})
+	for u, m := range t.out {
+		for v, w := range m {
+			t.Edges = append(t.Edges, TIGEdge{From: u, To: v, Weight: w})
+		}
+	}
+	sort.Slice(t.Edges, func(i, j int) bool {
+		if t.Edges[i].From != t.Edges[j].From {
+			return t.Edges[i].From < t.Edges[j].From
+		}
+		return t.Edges[i].To < t.Edges[j].To
+	})
+	return t
+}
+
+// Weight returns the communication volume from block u to block v.
+func (t *TIG) Weight(u, v int) int64 {
+	if m, ok := t.out[u]; ok {
+		return m[v]
+	}
+	return 0
+}
+
+// WeightByDep returns the volume from u to v carried by dependence dep
+// (an index into the structure's D). Zero for synthetic TIGs.
+func (t *TIG) WeightByDep(u, v, dep int) int64 {
+	if mu, ok := t.byDep[u]; ok {
+		if mv, ok := mu[v]; ok {
+			return mv[dep]
+		}
+	}
+	return 0
+}
+
+// DepBreakdown returns the per-dependence volumes from u to v (nil when
+// there is no traffic or the TIG is synthetic). The returned map is a copy.
+func (t *TIG) DepBreakdown(u, v int) map[int]int64 {
+	mu, ok := t.byDep[u]
+	if !ok {
+		return nil
+	}
+	mv, ok := mu[v]
+	if !ok {
+		return nil
+	}
+	out := make(map[int]int64, len(mv))
+	for k, w := range mv {
+		out[k] = w
+	}
+	return out
+}
+
+// OutDegree returns the number of distinct blocks u sends data to.
+func (t *TIG) OutDegree(u int) int { return len(t.out[u]) }
+
+// MaxOutDegree returns the largest out-degree over all blocks. Theorem 2
+// bounds it by 2m − β.
+func (t *TIG) MaxOutDegree() int {
+	mx := 0
+	for u := 0; u < t.N; u++ {
+		if d := t.OutDegree(u); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// TotalTraffic returns the sum of all edge weights (total interblock data
+// items).
+func (t *TIG) TotalTraffic() int64 {
+	var s int64
+	for _, e := range t.Edges {
+		s += e.Weight
+	}
+	return s
+}
+
+// Successors returns the blocks u sends data to, sorted.
+func (t *TIG) Successors(u int) []int {
+	var out []int
+	for v := range t.out[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// String summarizes the TIG.
+func (t *TIG) String() string {
+	return fmt.Sprintf("TIG{blocks: %d, edges: %d, traffic: %d, maxOutDeg: %d}",
+		t.N, len(t.Edges), t.TotalTraffic(), t.MaxOutDegree())
+}

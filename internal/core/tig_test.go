@@ -1,0 +1,153 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewTIGAndAccessors(t *testing.T) {
+	tig := NewTIG(3, []int64{5, 7, 2}, []TIGEdge{
+		{From: 0, To: 1, Weight: 4},
+		{From: 0, To: 1, Weight: 2}, // duplicate edges accumulate
+		{From: 1, To: 2, Weight: 1},
+	})
+	if tig.N != 3 {
+		t.Fatalf("N = %d", tig.N)
+	}
+	if got := tig.Weight(0, 1); got != 6 {
+		t.Fatalf("Weight(0,1) = %d, want 6 (accumulated)", got)
+	}
+	if tig.Weight(1, 0) != 0 || tig.Weight(2, 0) != 0 {
+		t.Fatal("absent edges should weigh 0")
+	}
+	if got := tig.TotalTraffic(); got != 7 {
+		t.Fatalf("TotalTraffic = %d", got)
+	}
+	if got := tig.OutDegree(0); got != 1 {
+		t.Fatalf("OutDegree(0) = %d", got)
+	}
+	if got := tig.MaxOutDegree(); got != 1 {
+		t.Fatalf("MaxOutDegree = %d", got)
+	}
+	if s := tig.Successors(0); len(s) != 1 || s[0] != 1 {
+		t.Fatalf("Successors(0) = %v", s)
+	}
+	if s := tig.Successors(2); len(s) != 0 {
+		t.Fatalf("Successors(2) = %v", s)
+	}
+	if !strings.Contains(tig.String(), "blocks: 3") || !strings.Contains(tig.String(), "traffic: 7") {
+		t.Fatalf("String = %q", tig.String())
+	}
+	if tig.Loads[1] != 7 {
+		t.Fatalf("Loads = %v", tig.Loads)
+	}
+}
+
+func TestTIGEdgesSorted(t *testing.T) {
+	tig := NewTIG(3, []int64{1, 1, 1}, []TIGEdge{
+		{From: 2, To: 0, Weight: 1},
+		{From: 0, To: 2, Weight: 1},
+		{From: 0, To: 1, Weight: 1},
+	})
+	for i := 1; i < len(tig.Edges); i++ {
+		a, b := tig.Edges[i-1], tig.Edges[i]
+		if a.From > b.From || (a.From == b.From && a.To >= b.To) {
+			t.Fatalf("edges not sorted: %v", tig.Edges)
+		}
+	}
+}
+
+func TestDepBreakdownSumsToWeight(t *testing.T) {
+	p, err := Partition(matmulProjected(t, 4), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tig := BuildTIG(p)
+	for _, e := range tig.Edges {
+		var sum int64
+		for dep, w := range tig.DepBreakdown(e.From, e.To) {
+			if w != tig.WeightByDep(e.From, e.To, dep) {
+				t.Fatalf("breakdown/accessor mismatch on %d->%d dep %d", e.From, e.To, dep)
+			}
+			sum += w
+		}
+		if sum != e.Weight {
+			t.Fatalf("edge %d->%d: breakdown sums to %d, weight %d", e.From, e.To, sum, e.Weight)
+		}
+	}
+	// Synthetic TIGs have no breakdown.
+	syn := NewTIG(2, []int64{1, 1}, []TIGEdge{{From: 0, To: 1, Weight: 3}})
+	if syn.DepBreakdown(0, 1) != nil || syn.WeightByDep(0, 1, 0) != 0 {
+		t.Fatal("synthetic TIG should have no dependence breakdown")
+	}
+	if tig.DepBreakdown(0, 0) != nil {
+		t.Fatal("self breakdown should be nil")
+	}
+}
+
+func TestCheckInvariantsCatchesCorruption(t *testing.T) {
+	p, err := Partition(l1Projected(t), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt GroupOf: point claimed by the wrong group.
+	saved := p.GroupOf[0]
+	p.GroupOf[0] = (saved + 1) % len(p.Groups)
+	if err := CheckInvariants(p); err == nil {
+		t.Fatal("corrupted GroupOf not detected")
+	}
+	p.GroupOf[0] = saved
+
+	// Corrupt a group ID.
+	p.Groups[1].ID = 7
+	if err := CheckInvariants(p); err == nil {
+		t.Fatal("corrupted group ID not detected")
+	}
+	p.Groups[1].ID = 1
+
+	// Corrupt BlockOf: two same-hyperplane points in one block.
+	savedBlocks := append([]int{}, p.BlockOf...)
+	for vi := range p.BlockOf {
+		p.BlockOf[vi] = 0
+	}
+	if err := CheckInvariants(p); err == nil {
+		t.Fatal("Lemma 1 violation not detected")
+	}
+	copy(p.BlockOf, savedBlocks)
+
+	// Out-of-range block.
+	p.BlockOf[0] = 99
+	if err := CheckInvariants(p); err == nil {
+		t.Fatal("invalid block not detected")
+	}
+	copy(p.BlockOf, savedBlocks)
+
+	// Mismatched member/slot lengths.
+	savedSlots := p.Groups[0].Slot
+	p.Groups[0].Slot = p.Groups[0].Slot[:0]
+	if err := CheckInvariants(p); err == nil {
+		t.Fatal("member/slot mismatch not detected")
+	}
+	p.Groups[0].Slot = savedSlots
+
+	// After restoring everything the check passes again.
+	if err := CheckInvariants(p); err != nil {
+		t.Fatalf("restored partitioning fails: %v", err)
+	}
+}
+
+func TestCheckTheorem2CatchesViolation(t *testing.T) {
+	p, err := Partition(matmulProjected(t, 4), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fabricated TIG with a hub exceeding the bound.
+	var edges []TIGEdge
+	for v := 1; v <= Theorem2Bound(p)+1; v++ {
+		edges = append(edges, TIGEdge{From: 0, To: v, Weight: 1})
+	}
+	bad := NewTIG(p.NumBlocks(), make([]int64, p.NumBlocks()), edges)
+	if err := CheckTheorem2(p, bad); err == nil {
+		t.Fatal("Theorem 2 violation not detected")
+	}
+}

@@ -1,0 +1,111 @@
+// Package hypercube models the binary n-cube interconnection network the
+// paper targets in §IV: N = 2^n identical processors, each with local
+// memory, directly connected to the n processors whose addresses differ in
+// exactly one bit.
+package hypercube
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/ints"
+)
+
+// Cube is an n-dimensional hypercube.
+type Cube struct {
+	// Dim is the cube dimension n.
+	Dim int
+	// N is the number of processors, 2^n.
+	N int
+}
+
+// New returns an n-dimensional hypercube. It panics for n < 0 or n > 30.
+func New(dim int) Cube {
+	if dim < 0 || dim > 30 {
+		panic(fmt.Sprintf("hypercube: dimension %d out of range", dim))
+	}
+	return Cube{Dim: dim, N: 1 << uint(dim)}
+}
+
+// FromProcessors returns the smallest cube with at least p processors.
+func FromProcessors(p int) Cube {
+	if p < 1 {
+		panic("hypercube: need at least one processor")
+	}
+	return New(ints.Log2Ceil(int64(p)))
+}
+
+// Valid reports whether node is a legal address.
+func (c Cube) Valid(node int) bool { return node >= 0 && node < c.N }
+
+// Neighbors returns the n adjacent nodes of a node, in dimension order.
+func (c Cube) Neighbors(node int) []int {
+	if !c.Valid(node) {
+		panic(fmt.Sprintf("hypercube: invalid node %d", node))
+	}
+	out := make([]int, c.Dim)
+	for d := 0; d < c.Dim; d++ {
+		out[d] = node ^ (1 << uint(d))
+	}
+	return out
+}
+
+// Adjacent reports whether two nodes share a physical link.
+func (c Cube) Adjacent(a, b int) bool { return c.Distance(a, b) == 1 }
+
+// Distance returns the Hamming distance (hop count of the shortest path)
+// between two nodes.
+func (c Cube) Distance(a, b int) int {
+	if !c.Valid(a) || !c.Valid(b) {
+		panic(fmt.Sprintf("hypercube: invalid nodes %d,%d", a, b))
+	}
+	return bits.OnesCount(uint(a ^ b))
+}
+
+// Route returns the e-cube (dimension-ordered) route from src to dst,
+// inclusive of both endpoints. The e-cube rule corrects differing address
+// bits from the lowest dimension upward, the standard deadlock-free
+// oblivious routing on hypercubes.
+func (c Cube) Route(src, dst int) []int {
+	if !c.Valid(src) || !c.Valid(dst) {
+		panic(fmt.Sprintf("hypercube: invalid nodes %d,%d", src, dst))
+	}
+	path := []int{src}
+	cur := src
+	for d := 0; d < c.Dim; d++ {
+		bit := 1 << uint(d)
+		if cur&bit != dst&bit {
+			cur ^= bit
+			path = append(path, cur)
+		}
+	}
+	return path
+}
+
+// GrayNode returns the node address of the i-th element of the n-bit
+// binary-reflected Gray sequence: consecutive i map to adjacent nodes.
+// This is the numbering Algorithm 2 Phase II uses per divided direction.
+func (c Cube) GrayNode(i int) int {
+	if i < 0 || i >= c.N {
+		panic(fmt.Sprintf("hypercube: Gray index %d out of range for %d nodes", i, c.N))
+	}
+	return int(ints.Gray(uint64(i)))
+}
+
+// String renders the cube briefly.
+func (c Cube) String() string { return fmt.Sprintf("hypercube(dim=%d, N=%d)", c.Dim, c.N) }
+
+// SubcubePartitionBits splits n address bits across m directions as evenly
+// as the paper's Phase I round-robin does: direction i (0-based) receives
+// p_i = number of times the round-robin `j mod m` hits i in n draws, so
+// n = p_1 + … + p_m. Used for per-axis Gray field widths.
+func SubcubePartitionBits(n, m int) []int {
+	if m <= 0 || n < 0 {
+		panic("hypercube: invalid SubcubePartitionBits arguments")
+	}
+	out := make([]int, m)
+	for j := 0; j < n; j++ {
+		out[j%m]++
+	}
+	return out
+}

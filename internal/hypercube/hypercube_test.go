@@ -1,0 +1,173 @@
+package hypercube
+
+import (
+	"testing"
+)
+
+func TestNewAndValid(t *testing.T) {
+	c := New(3)
+	if c.N != 8 || c.Dim != 3 {
+		t.Fatalf("cube = %+v", c)
+	}
+	if !c.Valid(0) || !c.Valid(7) || c.Valid(8) || c.Valid(-1) {
+		t.Error("Valid wrong")
+	}
+}
+
+func TestFromProcessors(t *testing.T) {
+	cases := []struct{ p, wantDim int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10},
+	}
+	for _, c := range cases {
+		if got := FromProcessors(c.p).Dim; got != c.wantDim {
+			t.Errorf("FromProcessors(%d).Dim = %d, want %d", c.p, got, c.wantDim)
+		}
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	c := New(3)
+	nb := c.Neighbors(5) // 101 -> 100, 111, 001
+	want := []int{4, 7, 1}
+	if len(nb) != 3 {
+		t.Fatalf("neighbors = %v", nb)
+	}
+	for i := range want {
+		if nb[i] != want[i] {
+			t.Errorf("nb[%d] = %d, want %d", i, nb[i], want[i])
+		}
+	}
+	for _, b := range nb {
+		if !c.Adjacent(5, b) {
+			t.Errorf("5 and %d should be adjacent", b)
+		}
+	}
+}
+
+func TestNeighborSymmetryAndDegree(t *testing.T) {
+	c := New(4)
+	for a := 0; a < c.N; a++ {
+		nb := c.Neighbors(a)
+		if len(nb) != c.Dim {
+			t.Fatalf("node %d degree %d", a, len(nb))
+		}
+		for _, b := range nb {
+			found := false
+			for _, x := range c.Neighbors(b) {
+				if x == a {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency not symmetric between %d and %d", a, b)
+			}
+		}
+	}
+}
+
+func TestDistance(t *testing.T) {
+	c := New(4)
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 15, 4}, {5, 10, 4}, {3, 1, 1},
+	}
+	for _, cse := range cases {
+		if got := c.Distance(cse.a, cse.b); got != cse.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", cse.a, cse.b, got, cse.want)
+		}
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	c := New(4)
+	for a := 0; a < c.N; a++ {
+		for b := 0; b < c.N; b++ {
+			for m := 0; m < c.N; m++ {
+				if c.Distance(a, b) > c.Distance(a, m)+c.Distance(m, b) {
+					t.Fatalf("triangle inequality fails at %d,%d via %d", a, b, m)
+				}
+			}
+		}
+	}
+}
+
+func TestRoute(t *testing.T) {
+	c := New(4)
+	for src := 0; src < c.N; src++ {
+		for dst := 0; dst < c.N; dst++ {
+			path := c.Route(src, dst)
+			if path[0] != src || path[len(path)-1] != dst {
+				t.Fatalf("route %d->%d endpoints wrong: %v", src, dst, path)
+			}
+			if len(path)-1 != c.Distance(src, dst) {
+				t.Fatalf("route %d->%d length %d, distance %d", src, dst, len(path)-1, c.Distance(src, dst))
+			}
+			for i := 1; i < len(path); i++ {
+				if !c.Adjacent(path[i-1], path[i]) {
+					t.Fatalf("route %d->%d uses non-link %d-%d", src, dst, path[i-1], path[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGrayNodeAdjacency(t *testing.T) {
+	// Consecutive Gray indices land on adjacent nodes, and the numbering is
+	// a bijection.
+	c := New(4)
+	seen := map[int]bool{}
+	for i := 0; i < c.N; i++ {
+		node := c.GrayNode(i)
+		if seen[node] {
+			t.Fatalf("GrayNode not a bijection at %d", i)
+		}
+		seen[node] = true
+		if i > 0 && !c.Adjacent(c.GrayNode(i-1), node) {
+			t.Fatalf("GrayNode(%d)=%d and GrayNode(%d)=%d not adjacent", i-1, c.GrayNode(i-1), i, node)
+		}
+	}
+}
+
+func TestSubcubePartitionBits(t *testing.T) {
+	cases := []struct {
+		n, m int
+		want []int
+	}{
+		{3, 2, []int{2, 1}}, // Example 3: divided twice along y, once along x
+		{4, 2, []int{2, 2}},
+		{5, 3, []int{2, 2, 1}},
+		{0, 2, []int{0, 0}},
+		{3, 5, []int{1, 1, 1, 0, 0}},
+	}
+	for _, c := range cases {
+		got := SubcubePartitionBits(c.n, c.m)
+		if len(got) != len(c.want) {
+			t.Fatalf("SubcubePartitionBits(%d,%d) = %v", c.n, c.m, got)
+		}
+		total := 0
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SubcubePartitionBits(%d,%d)[%d] = %d, want %d", c.n, c.m, i, got[i], c.want[i])
+			}
+			total += got[i]
+		}
+		if total != c.n {
+			t.Errorf("bits do not sum to n: %v", got)
+		}
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("New(-1)", func() { New(-1) })
+	mustPanic("Neighbors", func() { New(2).Neighbors(4) })
+	mustPanic("Distance", func() { New(2).Distance(0, 9) })
+	mustPanic("GrayNode", func() { New(2).GrayNode(4) })
+	mustPanic("FromProcessors(0)", func() { FromProcessors(0) })
+}

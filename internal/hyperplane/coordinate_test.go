@@ -1,0 +1,100 @@
+package hyperplane
+
+import (
+	"testing"
+
+	"repro/internal/loop"
+	"repro/internal/vec"
+)
+
+func TestCoordinateMethodFailsOnPaperKernels(t *testing.T) {
+	// For matmul's dependence matrix I₃ no dimension is dependence-free:
+	// the coordinate method serializes the loop entirely (64 steps for a
+	// 4×4×4 nest), while the hyperplane method needs only 10 — the
+	// contrast the paper's introduction draws.
+	st := matmulStructure(t, 4)
+	c := CoordinateMethod(st)
+	if c.Applicable() {
+		t.Fatalf("coordinate method should not apply: %+v", c)
+	}
+	if c.Steps != 64 {
+		t.Fatalf("steps = %d, want 64", c.Steps)
+	}
+	sch, err := FindOptimal(st, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Steps() >= c.Steps {
+		t.Fatalf("hyperplane %d steps should beat coordinate %d", sch.Steps(), c.Steps)
+	}
+}
+
+func TestCoordinateMethodFindsDOALL(t *testing.T) {
+	// Single dependence (1,0): dimension 1 is dependence-free, so the j
+	// loop is DOALL and only 4 sequential steps remain on a 4×6 nest.
+	n := loop.NewRect("col", []int64{0, 0}, []int64{3, 5})
+	st, err := loop.NewStructure(n, vec.NewInt(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := CoordinateMethod(st)
+	if !c.Applicable() {
+		t.Fatal("coordinate method should apply")
+	}
+	if len(c.ParallelDims) != 1 || c.ParallelDims[0] != 1 {
+		t.Fatalf("parallel dims = %v", c.ParallelDims)
+	}
+	if c.Steps != 4 {
+		t.Fatalf("steps = %d, want 4", c.Steps)
+	}
+}
+
+func TestCoordinateMethodAllParallel(t *testing.T) {
+	// With a dependence only in dimension 0 of a 3-D nest, dims 1 and 2
+	// are both DOALL.
+	n := loop.NewRect("plane", []int64{0, 0, 0}, []int64{2, 3, 4})
+	st, err := loop.NewStructure(n, vec.NewInt(1, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := CoordinateMethod(st)
+	if len(c.ParallelDims) != 2 {
+		t.Fatalf("parallel dims = %v", c.ParallelDims)
+	}
+	if c.Steps != 3 {
+		t.Fatalf("steps = %d, want 3", c.Steps)
+	}
+}
+
+func TestCoordinateMethodTriangular(t *testing.T) {
+	// Triangular index set: sequential steps count distinct coordinates,
+	// not the bounding box.
+	nest := &loop.Nest{
+		Name:  "tri",
+		Dims:  2,
+		Lower: []loop.Affine{loop.Const(0), loop.Const(0)},
+		Upper: []loop.Affine{loop.Const(3), {Const: 0, Coeffs: []int64{1, 0}}},
+	}
+	st, err := loop.NewStructure(nest, vec.NewInt(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := CoordinateMethod(st)
+	// Dimension 0 is dependence-free (DOALL over i); dim 1 sequential with
+	// extents 0..3 -> 4 distinct j values.
+	if len(c.ParallelDims) != 1 || c.ParallelDims[0] != 0 {
+		t.Fatalf("parallel dims = %v", c.ParallelDims)
+	}
+	if c.Steps != 4 {
+		t.Fatalf("steps = %d, want 4", c.Steps)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int64]string{0: "0", 7: "7", -3: "-3", 120: "120", -4096: "-4096"}
+	for v, want := range cases {
+		if got := itoa(v); got != want {
+			t.Errorf("itoa(%d) = %q", v, got)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package ints provides exact integer helpers used throughout the
+// partitioning pipeline: GCD/LCM, floor/ceiling division, Gray codes,
+// and overflow-checked arithmetic.
+//
+// Everything in the combinatorial part of the reproduction is exact
+// integer or rational arithmetic; this package is the lowest layer.
+package ints
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Abs returns the absolute value of x. It panics on math.MinInt64 whose
+// absolute value is not representable.
+func Abs(x int64) int64 {
+	if x == -x && x != 0 {
+		panic("ints: Abs overflow on MinInt64")
+	}
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Sign returns -1, 0, or +1 according to the sign of x.
+func Sign(x int64) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// GCD returns the greatest common divisor of a and b, always non-negative.
+// GCD(0, 0) == 0 by convention.
+func GCD(a, b int64) int64 {
+	a, b = Abs(a), Abs(b)
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// GCDAll folds GCD over all values; GCDAll() == 0.
+func GCDAll(vals ...int64) int64 {
+	var g int64
+	for _, v := range vals {
+		g = GCD(g, v)
+		if g == 1 {
+			return 1
+		}
+	}
+	return g
+}
+
+// LCM returns the least common multiple of a and b, non-negative.
+// LCM(x, 0) == 0.
+func LCM(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	g := GCD(a, b)
+	return Abs(a/g) * Abs(b)
+}
+
+// LCMAll folds LCM over all values; LCMAll() == 1 (the identity).
+func LCMAll(vals ...int64) int64 {
+	var l int64 = 1
+	for _, v := range vals {
+		l = LCM(l, v)
+		if l == 0 {
+			return 0
+		}
+	}
+	return l
+}
+
+// FloorDiv returns floor(a/b) for b != 0 (rounds toward negative infinity).
+func FloorDiv(a, b int64) int64 {
+	if b == 0 {
+		panic("ints: FloorDiv by zero")
+	}
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// CeilDiv returns ceil(a/b) for b != 0 (rounds toward positive infinity).
+func CeilDiv(a, b int64) int64 {
+	if b == 0 {
+		panic("ints: CeilDiv by zero")
+	}
+	q := a / b
+	if (a%b != 0) && ((a < 0) == (b < 0)) {
+		q++
+	}
+	return q
+}
+
+// Mod returns the non-negative remainder a mod b for b > 0,
+// i.e. a - FloorDiv(a,b)*b, which is always in [0, b).
+func Mod(a, b int64) int64 {
+	if b <= 0 {
+		panic("ints: Mod requires positive modulus")
+	}
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}
+
+// Gray returns the binary-reflected Gray code of i (i >= 0).
+func Gray(i uint64) uint64 {
+	return i ^ (i >> 1)
+}
+
+// GrayInv inverts Gray: GrayInv(Gray(i)) == i.
+func GrayInv(g uint64) uint64 {
+	var i uint64
+	for ; g != 0; g >>= 1 {
+		i ^= g
+	}
+	return i
+}
+
+// GrayDistance returns the Hamming distance between the Gray codes of a and b.
+// Consecutive integers always have GrayDistance 1 — the property Algorithm 2
+// of the paper relies on to place neighbouring clusters on adjacent hypercube
+// nodes.
+func GrayDistance(a, b uint64) int {
+	return bits.OnesCount64(Gray(a) ^ Gray(b))
+}
+
+// Pow2 returns 2^k for 0 <= k < 63.
+func Pow2(k int) int64 {
+	if k < 0 || k >= 63 {
+		panic(fmt.Sprintf("ints: Pow2 exponent %d out of range", k))
+	}
+	return int64(1) << uint(k)
+}
+
+// Log2Ceil returns the smallest k with 2^k >= n, for n >= 1.
+func Log2Ceil(n int64) int {
+	if n <= 0 {
+		panic("ints: Log2Ceil requires positive n")
+	}
+	k := 0
+	for Pow2(k) < n {
+		k++
+	}
+	return k
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int64) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// CheckedMul returns a*b and reports whether the product overflowed int64.
+func CheckedMul(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+// CheckedAdd returns a+b and reports whether the sum stayed within int64.
+func CheckedAdd(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+// MinMax returns the smallest and largest of vals; panics on empty input.
+func MinMax(vals ...int64) (mn, mx int64) {
+	if len(vals) == 0 {
+		panic("ints: MinMax of empty slice")
+	}
+	mn, mx = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx
+}
+
+// SumRange returns the sum of the integers l..u inclusive (0 if l > u).
+// Used by the §IV closed-form load formula W = Σ_{i=l}^{M} i.
+func SumRange(l, u int64) int64 {
+	if l > u {
+		return 0
+	}
+	n := u - l + 1
+	return n * (l + u) / 2
+}

@@ -1,0 +1,96 @@
+package loop
+
+import (
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestClassifyL1AllFlow(t *testing.T) {
+	// Loop L1 in the paper's form has only flow dependences — its anti
+	// counterparts are lexicographically negative and so not dependences.
+	n := NewRect("L1", []int64{0, 0}, []int64{3, 3})
+	n.Stmts = []Stmt{
+		{
+			Label:  "S1",
+			Writes: []Access{{Var: "A", Offset: vec.NewInt(1, 1)}},
+			Reads:  []Access{{Var: "A", Offset: vec.NewInt(1, 0)}, {Var: "B", Offset: vec.NewInt(0, 0)}},
+		},
+		{
+			Label:  "S2",
+			Writes: []Access{{Var: "B", Offset: vec.NewInt(1, 0)}},
+			Reads:  []Access{{Var: "A", Offset: vec.NewInt(0, 0)}},
+		},
+	}
+	deps := n.ClassifyDependences()
+	for _, d := range deps {
+		if d.Class != Flow {
+			t.Errorf("unexpected %s dependence %v on %s", d.Class, d.Vector, d.Var)
+		}
+	}
+	if len(deps) != 3 {
+		t.Fatalf("deps = %v", deps)
+	}
+}
+
+func TestClassifyAnti(t *testing.T) {
+	// A[i] = ...; ... = A[i+1] later in iteration order: reading A[i+1]
+	// at iteration i, which iteration i+1 overwrites — an anti dependence
+	// with distance (1).
+	n := NewRect("anti", []int64{0}, []int64{5})
+	n.Stmts = []Stmt{
+		{
+			Label:  "S1",
+			Writes: []Access{{Var: "A", Offset: vec.NewInt(0)}},
+			Reads:  []Access{{Var: "A", Offset: vec.NewInt(1)}, {Var: "A", Offset: vec.NewInt(-1)}},
+		},
+	}
+	deps := n.ClassifyDependences()
+	var flows, antis int
+	for _, d := range deps {
+		switch d.Class {
+		case Flow:
+			flows++
+			if !d.Vector.Equal(vec.NewInt(1)) {
+				t.Errorf("flow vector = %v", d.Vector)
+			}
+		case Anti:
+			antis++
+			if !d.Vector.Equal(vec.NewInt(1)) {
+				t.Errorf("anti vector = %v", d.Vector)
+			}
+		}
+	}
+	// Read A[i-1]: flow from write A[i] with d = (0)-(-1) = (1).
+	// Read A[i+1]: anti toward write A[i] with d = (1)-(0) = (1).
+	if flows != 1 || antis != 1 {
+		t.Fatalf("flows=%d antis=%d (%v)", flows, antis, deps)
+	}
+}
+
+func TestClassifyOutput(t *testing.T) {
+	// Two statements writing the same variable at different offsets.
+	n := NewRect("out", []int64{0}, []int64{5})
+	n.Stmts = []Stmt{
+		{Label: "S1", Writes: []Access{{Var: "A", Offset: vec.NewInt(0)}}},
+		{Label: "S2", Writes: []Access{{Var: "A", Offset: vec.NewInt(2)}}},
+	}
+	deps := n.ClassifyDependences()
+	if len(deps) != 1 {
+		t.Fatalf("deps = %v", deps)
+	}
+	if deps[0].Class != Output || !deps[0].Vector.Equal(vec.NewInt(2)) {
+		t.Fatalf("dep = %+v", deps[0])
+	}
+	// S2's write at i reaches the element S1 writes at i+2: S1's instance
+	// at i+2 is the later writer.
+	if deps[0].FromStmt != "S2" || deps[0].ToStmt != "S1" {
+		t.Fatalf("direction = %s -> %s", deps[0].FromStmt, deps[0].ToStmt)
+	}
+}
+
+func TestClassifyStringNames(t *testing.T) {
+	if Flow.String() != "flow" || Anti.String() != "anti" || Output.String() != "output" {
+		t.Fatal("class names wrong")
+	}
+}

@@ -1,0 +1,405 @@
+// Package loop models n-nested loops with constant (uniform) loop-carried
+// dependencies — the program class of the paper (§II).
+//
+// A Nest has per-dimension affine bounds (lower/upper expressions that may
+// reference outer loop indices, as in the paper's loop model where l_j and
+// u_j are "integer-valued linear expressions possibly involving
+// I_1 … I_{j-1}") and statements whose array accesses are *uniform*:
+// the array of a pipelined single-assignment variable is indexed by the full
+// iteration vector plus a constant offset, exactly the rewritten forms the
+// paper shows for matrix multiplication (Example 2) and matrix–vector
+// multiplication (L5). Dependence vectors are derived as
+// writeOffset − readOffset for each (write, read) pair on the same variable.
+package loop
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vec"
+)
+
+// Affine is an affine expression c + Σ Coeffs[k]·I_k over the loop indices.
+// For a bound of dimension j, only coefficients of dimensions < j may be
+// nonzero (checked by Nest.Validate).
+type Affine struct {
+	Const  int64
+	Coeffs []int64 // length == nest dims; may be nil for a constant
+}
+
+// Const returns a constant affine expression.
+func Const(c int64) Affine { return Affine{Const: c} }
+
+// Eval evaluates the expression at the given index point prefix.
+func (a Affine) Eval(idx vec.Int) int64 {
+	v := a.Const
+	for k, c := range a.Coeffs {
+		if c != 0 {
+			v += c * idx[k]
+		}
+	}
+	return v
+}
+
+// IsConst reports whether the expression has no index terms.
+func (a Affine) IsConst() bool {
+	for _, c := range a.Coeffs {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the expression.
+func (a Affine) String() string {
+	s := fmt.Sprintf("%d", a.Const)
+	for k, c := range a.Coeffs {
+		if c != 0 {
+			s += fmt.Sprintf("%+d*I%d", c, k+1)
+		}
+	}
+	return s
+}
+
+// Access is a uniform array access Var[I + Offset].
+type Access struct {
+	Var    string
+	Offset vec.Int
+}
+
+// Stmt is one loop-body statement with its uniform accesses.
+type Stmt struct {
+	Label  string
+	Writes []Access
+	Reads  []Access
+	// Ops is the abstract operation count of the statement (floating-point
+	// multiply/adds); used by the cost model. Defaults to 1 if zero.
+	Ops int
+}
+
+// OpCount returns the effective operation count of the statement.
+func (s Stmt) OpCount() int {
+	if s.Ops <= 0 {
+		return 1
+	}
+	return s.Ops
+}
+
+// Nest is an n-nested loop.
+type Nest struct {
+	Name  string
+	Dims  int
+	Lower []Affine
+	Upper []Affine
+	Stmts []Stmt
+}
+
+// NewRect returns a nest over the rectangular index set
+// [lo_1, hi_1] × … × [lo_n, hi_n].
+func NewRect(name string, lo, hi []int64) *Nest {
+	if len(lo) != len(hi) {
+		panic("loop: NewRect bounds length mismatch")
+	}
+	n := &Nest{Name: name, Dims: len(lo)}
+	for i := range lo {
+		n.Lower = append(n.Lower, Const(lo[i]))
+		n.Upper = append(n.Upper, Const(hi[i]))
+	}
+	return n
+}
+
+// Validate checks structural well-formedness: positive depth, bounds of the
+// right arity that reference only outer indices, and accesses whose offsets
+// match the nest depth.
+func (n *Nest) Validate() error {
+	if n.Dims <= 0 {
+		return fmt.Errorf("loop %q: non-positive depth %d", n.Name, n.Dims)
+	}
+	if len(n.Lower) != n.Dims || len(n.Upper) != n.Dims {
+		return fmt.Errorf("loop %q: bounds arity %d/%d, want %d", n.Name, len(n.Lower), len(n.Upper), n.Dims)
+	}
+	for j := 0; j < n.Dims; j++ {
+		for _, a := range []Affine{n.Lower[j], n.Upper[j]} {
+			if len(a.Coeffs) > n.Dims {
+				return fmt.Errorf("loop %q: bound %d has %d coefficients", n.Name, j, len(a.Coeffs))
+			}
+			for k := j; k < len(a.Coeffs); k++ {
+				if a.Coeffs[k] != 0 {
+					return fmt.Errorf("loop %q: bound of I%d references I%d (not an outer index)", n.Name, j+1, k+1)
+				}
+			}
+		}
+	}
+	for _, s := range n.Stmts {
+		for _, acc := range append(append([]Access{}, s.Writes...), s.Reads...) {
+			if len(acc.Offset) != n.Dims {
+				return fmt.Errorf("loop %q stmt %q: access %s offset arity %d, want %d",
+					n.Name, s.Label, acc.Var, len(acc.Offset), n.Dims)
+			}
+		}
+	}
+	return nil
+}
+
+// Contains reports whether the index point lies inside the iteration space.
+func (n *Nest) Contains(p vec.Int) bool {
+	if len(p) != n.Dims {
+		return false
+	}
+	for j := 0; j < n.Dims; j++ {
+		if p[j] < n.Lower[j].Eval(p) || p[j] > n.Upper[j].Eval(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach visits every point of the index set in lexicographic order.
+func (n *Nest) ForEach(visit func(vec.Int)) {
+	idx := make(vec.Int, n.Dims)
+	var rec func(j int)
+	rec = func(j int) {
+		if j == n.Dims {
+			visit(idx.Clone())
+			return
+		}
+		lo := n.Lower[j].Eval(idx)
+		hi := n.Upper[j].Eval(idx)
+		for v := lo; v <= hi; v++ {
+			idx[j] = v
+			rec(j + 1)
+		}
+		idx[j] = 0
+	}
+	rec(0)
+}
+
+// Points materializes the index set.
+func (n *Nest) Points() []vec.Int {
+	var out []vec.Int
+	n.ForEach(func(p vec.Int) { out = append(out, p) })
+	return out
+}
+
+// Size returns the number of iterations.
+func (n *Nest) Size() int64 {
+	var c int64
+	n.ForEach(func(vec.Int) { c++ })
+	return c
+}
+
+// OpsPerIteration returns the total abstract operation count of the loop
+// body (the paper's matvec body counts 2: one multiply, one add).
+func (n *Nest) OpsPerIteration() int {
+	total := 0
+	for _, s := range n.Stmts {
+		total += s.OpCount()
+	}
+	if total == 0 {
+		return 1
+	}
+	return total
+}
+
+// DepInfo records one derived dependence and its provenance.
+type DepInfo struct {
+	Vector   vec.Int
+	Var      string
+	FromStmt string // writer
+	ToStmt   string // reader
+}
+
+// Dependences derives the set of constant flow-dependence vectors of the
+// nest: for every (write, read) pair on the same variable, the vector
+// d = writeOffset − readOffset, kept when it is lexicographically positive
+// (a loop-carried flow dependence). Vectors are deduplicated and returned in
+// lexicographic order, matching the paper's dependence sets for L1,
+// Example 2, and L5.
+func (n *Nest) Dependences() []vec.Int {
+	infos := n.DependenceDetails()
+	seen := map[string]bool{}
+	var out []vec.Int
+	for _, in := range infos {
+		k := in.Vector.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, in.Vector)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cmp(out[j]) < 0 })
+	return out
+}
+
+// DependenceDetails derives dependences with provenance, without
+// deduplication across (variable, statement) pairs.
+func (n *Nest) DependenceDetails() []DepInfo {
+	var out []DepInfo
+	for _, sw := range n.Stmts {
+		for _, w := range sw.Writes {
+			for _, sr := range n.Stmts {
+				for _, r := range sr.Reads {
+					if w.Var != r.Var {
+						continue
+					}
+					d := w.Offset.Sub(r.Offset)
+					if !d.LexPositive() {
+						// Zero vectors are intra-iteration; lex-negative
+						// differences correspond to the reversed pair and
+						// are covered when that pair is visited.
+						continue
+					}
+					out = append(out, DepInfo{Vector: d, Var: w.Var, FromStmt: sw.Label, ToStmt: sr.Label})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Vector.Cmp(out[j].Vector); c != 0 {
+			return c < 0
+		}
+		return out[i].Var < out[j].Var
+	})
+	return out
+}
+
+// Structure is the computational structure Q = (V, D) of Definition 2.
+type Structure struct {
+	Nest *Nest
+	// V is the vertex set (index points) in lexicographic order.
+	V []vec.Int
+	// D is the set of dependence vectors.
+	D []vec.Int
+	// index maps a point key to its position in V (nil for rectangular
+	// nests, which use the arithmetic indexer below instead).
+	index map[string]int
+	// rect holds the arithmetic indexer for rectangular nests:
+	// idx(p) = Σ (p_k − lo_k)·stride_k.
+	rect *rectIndex
+}
+
+// rectIndex is the O(dims) closed-form vertex indexer for nests whose
+// bounds are all constant — the dominant case, and the one the map-based
+// lookup made the pipeline's hot path at M = 1024 scale.
+type rectIndex struct {
+	lo, hi  []int64
+	strides []int64
+}
+
+func newRectIndex(n *Nest) *rectIndex {
+	r := &rectIndex{
+		lo:      make([]int64, n.Dims),
+		hi:      make([]int64, n.Dims),
+		strides: make([]int64, n.Dims),
+	}
+	for j := 0; j < n.Dims; j++ {
+		if !n.Lower[j].IsConst() || !n.Upper[j].IsConst() {
+			return nil
+		}
+		r.lo[j] = n.Lower[j].Const
+		r.hi[j] = n.Upper[j].Const
+		if r.hi[j] < r.lo[j] {
+			return nil // empty range: fall back to the map
+		}
+	}
+	stride := int64(1)
+	for j := n.Dims - 1; j >= 0; j-- {
+		r.strides[j] = stride
+		stride *= r.hi[j] - r.lo[j] + 1
+	}
+	return r
+}
+
+func (r *rectIndex) indexOf(p vec.Int) int {
+	var idx int64
+	for j, x := range p {
+		if x < r.lo[j] || x > r.hi[j] {
+			return -1
+		}
+		idx += (x - r.lo[j]) * r.strides[j]
+	}
+	return int(idx)
+}
+
+// NewStructure builds the computational structure of the nest, deriving D
+// from the statements. Supplying explicit deps overrides derivation (used
+// by kernels that state their dependence matrix directly).
+func NewStructure(n *Nest, explicitDeps ...vec.Int) (*Structure, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	d := explicitDeps
+	if len(d) == 0 {
+		d = n.Dependences()
+	}
+	for _, dv := range d {
+		if len(dv) != n.Dims {
+			return nil, fmt.Errorf("loop %q: dependence %v arity %d, want %d", n.Name, dv, len(dv), n.Dims)
+		}
+		if dv.IsZero() {
+			return nil, fmt.Errorf("loop %q: zero dependence vector", n.Name)
+		}
+	}
+	s := &Structure{Nest: n, D: d}
+	if s.rect = newRectIndex(n); s.rect == nil {
+		s.index = map[string]int{}
+	}
+	n.ForEach(func(p vec.Int) {
+		if s.index != nil {
+			s.index[p.Key()] = len(s.V)
+		}
+		s.V = append(s.V, p)
+	})
+	return s, nil
+}
+
+// HasVertex reports whether p is a vertex of the structure.
+func (s *Structure) HasVertex(p vec.Int) bool {
+	return s.VertexIndex(p) >= 0
+}
+
+// VertexIndex returns the position of p in V, or -1.
+func (s *Structure) VertexIndex(p vec.Int) int {
+	if len(p) != s.Nest.Dims {
+		return -1
+	}
+	if s.rect != nil {
+		return s.rect.indexOf(p)
+	}
+	i, ok := s.index[p.Key()]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Edge is a dependence arc u → v (v depends on u) labelled with the
+// dependence vector index into D.
+type Edge struct {
+	From, To vec.Int
+	Dep      int
+}
+
+// ForEachEdge visits every dependence arc of the structure: for each vertex
+// u and dependence d ∈ D, the arc u → u+d when u+d is also a vertex.
+func (s *Structure) ForEachEdge(visit func(Edge)) {
+	for _, u := range s.V {
+		for di, d := range s.D {
+			v := u.Add(d)
+			if s.HasVertex(v) {
+				visit(Edge{From: u, To: v, Dep: di})
+			}
+		}
+	}
+}
+
+// EdgeCount returns the total number of dependence arcs (the paper counts
+// 33 for loop L1 on a 4×4 index set).
+func (s *Structure) EdgeCount() int {
+	c := 0
+	s.ForEachEdge(func(Edge) { c++ })
+	return c
+}
+
+// Dim returns the nest depth.
+func (s *Structure) Dim() int { return s.Nest.Dims }

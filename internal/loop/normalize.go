@@ -1,0 +1,86 @@
+package loop
+
+import (
+	"fmt"
+
+	"repro/internal/vec"
+)
+
+// SteppedNest is an n-nested loop with non-unit strides
+// `for I_j = l_j to u_j by k_j` — the general form of the paper's loop
+// model before its "without loss of generality, k_j = 1" normalization.
+// Bounds must be constant (affine stride normalization would need
+// floor-division bounds, which leaves the affine model).
+type SteppedNest struct {
+	Name  string
+	Lower []int64
+	Upper []int64
+	Step  []int64
+	Stmts []Stmt
+}
+
+// Normalize rewrites the stepped loop into the unit-stride nest the rest
+// of the pipeline consumes, realizing the paper's "without loss of
+// generality" assumption: index I_j = l_j + k_j·I'_j with I'_j = 0 …
+// ⌊(u_j − l_j)/k_j⌋. Uniform access offsets are rewritten accordingly;
+// offsets not divisible by their stride cannot arise from a dependence
+// between stepped iterations and are rejected.
+func (s *SteppedNest) Normalize() (*Nest, error) {
+	n := len(s.Lower)
+	if len(s.Upper) != n || len(s.Step) != n {
+		return nil, fmt.Errorf("loop %q: ragged stepped bounds", s.Name)
+	}
+	for j, k := range s.Step {
+		if k <= 0 {
+			return nil, fmt.Errorf("loop %q: non-positive step %d in dimension %d", s.Name, k, j+1)
+		}
+	}
+	out := &Nest{Name: s.Name, Dims: n}
+	for j := 0; j < n; j++ {
+		out.Lower = append(out.Lower, Const(0))
+		out.Upper = append(out.Upper, Const((s.Upper[j]-s.Lower[j])/s.Step[j]))
+	}
+	for _, st := range s.Stmts {
+		ns := Stmt{Label: st.Label, Ops: st.Ops}
+		rewrite := func(accs []Access) ([]Access, error) {
+			var outAccs []Access
+			for _, a := range accs {
+				if len(a.Offset) != n {
+					return nil, fmt.Errorf("loop %q stmt %q: access %s arity %d", s.Name, st.Label, a.Var, len(a.Offset))
+				}
+				off := make(vec.Int, n)
+				for j, o := range a.Offset {
+					if o%s.Step[j] != 0 {
+						return nil, fmt.Errorf("loop %q stmt %q: offset %d of %s not divisible by step %d — no stepped iteration can produce it",
+							s.Name, st.Label, o, a.Var, s.Step[j])
+					}
+					off[j] = o / s.Step[j]
+				}
+				outAccs = append(outAccs, Access{Var: a.Var, Offset: off})
+			}
+			return outAccs, nil
+		}
+		var err error
+		if ns.Writes, err = rewrite(st.Writes); err != nil {
+			return nil, err
+		}
+		if ns.Reads, err = rewrite(st.Reads); err != nil {
+			return nil, err
+		}
+		out.Stmts = append(out.Stmts, ns)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Denormalize maps a unit-stride index point of the normalized nest back
+// to the original stepped index values.
+func (s *SteppedNest) Denormalize(p vec.Int) vec.Int {
+	out := make(vec.Int, len(p))
+	for j := range p {
+		out[j] = s.Lower[j] + s.Step[j]*p[j]
+	}
+	return out
+}

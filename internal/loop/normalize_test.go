@@ -1,0 +1,97 @@
+package loop
+
+import (
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestNormalizeBasic(t *testing.T) {
+	// for i = 2 to 10 by 2; for j = 1 to 7 by 3 — 5×3 iterations.
+	s := &SteppedNest{
+		Name:  "stepped",
+		Lower: []int64{2, 1},
+		Upper: []int64{10, 7},
+		Step:  []int64{2, 3},
+		Stmts: []Stmt{{
+			Label:  "S1",
+			Writes: []Access{{Var: "A", Offset: vec.NewInt(2, 0)}},
+			Reads:  []Access{{Var: "A", Offset: vec.NewInt(0, -3)}},
+		}},
+	}
+	n, err := s.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Size() != 15 {
+		t.Fatalf("size = %d, want 15", n.Size())
+	}
+	// Offsets divide by the strides: (2,0) -> (1,0), (0,-3) -> (0,-1).
+	if !n.Stmts[0].Writes[0].Offset.Equal(vec.NewInt(1, 0)) {
+		t.Fatalf("write offset = %v", n.Stmts[0].Writes[0].Offset)
+	}
+	deps := n.Dependences()
+	if len(deps) != 1 || !deps[0].Equal(vec.NewInt(1, 1)) {
+		t.Fatalf("deps = %v", deps)
+	}
+}
+
+func TestDenormalizeRoundTrip(t *testing.T) {
+	s := &SteppedNest{
+		Name:  "rt",
+		Lower: []int64{2, 1},
+		Upper: []int64{10, 7},
+		Step:  []int64{2, 3},
+		Stmts: []Stmt{{
+			Label:  "S1",
+			Writes: []Access{{Var: "A", Offset: vec.NewInt(0, 0)}},
+			Reads:  []Access{{Var: "A", Offset: vec.NewInt(-2, 0)}},
+		}},
+	}
+	n, err := s.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every normalized point maps back into the stepped lattice.
+	n.ForEach(func(p vec.Int) {
+		orig := s.Denormalize(p)
+		for j := range orig {
+			if orig[j] < s.Lower[j] || orig[j] > s.Upper[j] {
+				t.Fatalf("denormalized %v -> %v out of bounds", p, orig)
+			}
+			if (orig[j]-s.Lower[j])%s.Step[j] != 0 {
+				t.Fatalf("denormalized %v -> %v off the stride lattice", p, orig)
+			}
+		}
+	})
+	if got := s.Denormalize(vec.NewInt(0, 0)); !got.Equal(vec.NewInt(2, 1)) {
+		t.Fatalf("Denormalize(0,0) = %v", got)
+	}
+	if got := s.Denormalize(vec.NewInt(4, 2)); !got.Equal(vec.NewInt(10, 7)) {
+		t.Fatalf("Denormalize(4,2) = %v", got)
+	}
+}
+
+func TestNormalizeRejectsBadInput(t *testing.T) {
+	bad := &SteppedNest{Name: "b", Lower: []int64{0}, Upper: []int64{4}, Step: []int64{0}}
+	if _, err := bad.Normalize(); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	ragged := &SteppedNest{Name: "r", Lower: []int64{0, 0}, Upper: []int64{4}, Step: []int64{1}}
+	if _, err := ragged.Normalize(); err == nil {
+		t.Fatal("ragged bounds accepted")
+	}
+	indivisible := &SteppedNest{
+		Name:  "i",
+		Lower: []int64{0},
+		Upper: []int64{8},
+		Step:  []int64{2},
+		Stmts: []Stmt{{
+			Label:  "S1",
+			Writes: []Access{{Var: "A", Offset: vec.NewInt(1)}},
+		}},
+	}
+	if _, err := indivisible.Normalize(); err == nil {
+		t.Fatal("stride-indivisible offset accepted")
+	}
+}

@@ -1,0 +1,60 @@
+// Package machine holds the cost-model parameters of the paper's target
+// machine (§IV): a message-passing hypercube where a floating-point
+// operation costs t_calc and transmitting k real words between two
+// processors costs t_start + k·t_comm.
+package machine
+
+import "fmt"
+
+// Params are the machine timing parameters. All values are in the same
+// abstract time unit (the paper reports results symbolically in t_calc,
+// t_start, t_comm).
+type Params struct {
+	// TCalc is the time of one floating-point multiply or add.
+	TCalc float64
+	// TStart is the startup (latency) cost of one message.
+	TStart float64
+	// TComm is the per-word transmission cost.
+	TComm float64
+	// THop is the extra cost per additional hop beyond the first when a
+	// message crosses multiple links (0 reproduces the paper's
+	// distance-independent model).
+	THop float64
+}
+
+// Validate rejects non-positive compute cost or negative comm costs.
+func (p Params) Validate() error {
+	if p.TCalc <= 0 {
+		return fmt.Errorf("machine: TCalc %v must be positive", p.TCalc)
+	}
+	if p.TStart < 0 || p.TComm < 0 || p.THop < 0 {
+		return fmt.Errorf("machine: negative communication cost %+v", p)
+	}
+	return nil
+}
+
+// MessageTime returns the cost of sending k words over hops links.
+func (p Params) MessageTime(k int64, hops int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	t := p.TStart + float64(k)*p.TComm
+	if hops > 1 {
+		t += float64(hops-1) * p.THop
+	}
+	return t
+}
+
+// Unit returns symbolic unit parameters (t_calc = t_start = t_comm = 1),
+// handy for structural comparisons.
+func Unit() Params { return Params{TCalc: 1, TStart: 1, TComm: 1} }
+
+// Era1991 returns parameters with the relative magnitudes the paper's
+// introduction describes for first-generation multicomputers:
+// communication startup roughly two orders of magnitude above a flop
+// (Athas & Seitz report ~ that ratio), per-word transfer one order above.
+func Era1991() Params { return Params{TCalc: 1, TStart: 100, TComm: 10} }
+
+// Balanced returns parameters of a machine with cheap communication,
+// used in the grain-size sweep to show where partitioning stops mattering.
+func Balanced() Params { return Params{TCalc: 1, TStart: 2, TComm: 1} }

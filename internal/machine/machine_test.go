@@ -1,0 +1,64 @@
+package machine
+
+import "testing"
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+		ok   bool
+	}{
+		{"unit", Unit(), true},
+		{"era1991", Era1991(), true},
+		{"balanced", Balanced(), true},
+		{"zero-calc", Params{TCalc: 0, TStart: 1, TComm: 1}, false},
+		{"negative-calc", Params{TCalc: -1}, false},
+		{"negative-start", Params{TCalc: 1, TStart: -1}, false},
+		{"negative-comm", Params{TCalc: 1, TComm: -1}, false},
+		{"negative-hop", Params{TCalc: 1, THop: -1}, false},
+		{"free-comm", Params{TCalc: 1}, true},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestMessageTime(t *testing.T) {
+	p := Params{TCalc: 1, TStart: 5, TComm: 2, THop: 3}
+	cases := []struct {
+		k    int64
+		hops int
+		want float64
+	}{
+		{1, 1, 7},  // t_start + t_comm
+		{4, 1, 13}, // t_start + 4 t_comm
+		{4, 3, 19}, // + 2 extra hops
+		{0, 5, 0},  // nothing to send
+		{-2, 1, 0}, // defensive
+		{1, 0, 7},  // hops < 2 adds nothing
+	}
+	for _, c := range cases {
+		if got := p.MessageTime(c.k, c.hops); got != c.want {
+			t.Errorf("MessageTime(%d,%d) = %v, want %v", c.k, c.hops, got, c.want)
+		}
+	}
+}
+
+func TestPresetRatios(t *testing.T) {
+	// Era1991 must reflect the paper's premise: startup around two orders
+	// of magnitude above a flop, per-word an order above.
+	p := Era1991()
+	if p.TStart/p.TCalc < 50 {
+		t.Errorf("Era1991 startup/calc ratio %v too low for the paper's premise", p.TStart/p.TCalc)
+	}
+	if p.TComm/p.TCalc < 5 {
+		t.Errorf("Era1991 comm/calc ratio %v too low", p.TComm/p.TCalc)
+	}
+	// Balanced must be meaningfully cheaper on communication.
+	b := Balanced()
+	if b.TStart >= p.TStart {
+		t.Error("Balanced startup should be below Era1991")
+	}
+}

@@ -1,0 +1,363 @@
+// Package mapping implements Algorithm 2 of the paper (§IV): mapping the
+// partitioned blocks of a nested loop onto a hypercube.
+//
+// Phase I (cluster formation) recursively bisects the set of blocks n
+// times, cycling round-robin over the grouping/auxiliary axes (the paper's
+// `i = j mod β`), so that neighbouring blocks stay in the same cluster.
+// Phase II (cluster allocation) numbers the 2^{p_i} slices of each axis
+// with a p_i-bit Gray code and concatenates the per-axis fields into an
+// n-bit node address; each cluster is placed on the processor with the
+// identical binary address, which puts axis-neighbouring clusters on
+// physically adjacent hypercube nodes.
+//
+// Baseline mappings (Linear, Random) and mapping quality metrics are
+// provided for the ablation experiments.
+package mapping
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hypercube"
+	"repro/internal/ints"
+)
+
+// Item is one mappable task: a partitioned block with its lattice
+// coordinates along the grouping/auxiliary axes.
+type Item struct {
+	// ID is the block/TIG vertex id.
+	ID int
+	// Component separates region-growing components; blocks of different
+	// components are never interleaved inside a sort.
+	Component int
+	// Coords are the block's integer lattice coordinates (axis 0 is the
+	// grouping vector, axis 1+j the j-th auxiliary vector).
+	Coords []int64
+}
+
+// AxisPolicy selects how Phase I chooses the bisection axis at each step.
+type AxisPolicy int
+
+const (
+	// RoundRobin is the paper's rule: axis = step mod numAxes.
+	RoundRobin AxisPolicy = iota
+	// WidestFirst picks the axis with the widest coordinate span inside
+	// the largest cluster (ablation alternative).
+	WidestFirst
+)
+
+// Options tunes Algorithm 2.
+type Options struct {
+	Policy AxisPolicy
+}
+
+// Result is a completed mapping of blocks onto a hypercube.
+type Result struct {
+	Cube hypercube.Cube
+	// NodeOf[blockID] is the hypercube node the block is placed on.
+	NodeOf []int
+	// Clusters[node] lists the block IDs placed on that node.
+	Clusters [][]int
+	// BitsPerAxis records p_i, the number of bisections along each axis.
+	BitsPerAxis []int
+}
+
+// MapItems runs Algorithm 2 on the given items for a dim-dimensional cube.
+func MapItems(items []Item, dim int, opt Options) (*Result, error) {
+	if len(items) == 0 {
+		return nil, errors.New("mapping: no items")
+	}
+	if dim < 0 {
+		return nil, fmt.Errorf("mapping: negative cube dimension %d", dim)
+	}
+	maxID := 0
+	for _, it := range items {
+		if it.ID < 0 {
+			return nil, fmt.Errorf("mapping: negative item ID %d", it.ID)
+		}
+		if it.ID > maxID {
+			maxID = it.ID
+		}
+	}
+
+	// Normalize coordinate arity; items with no coordinates sort by ID,
+	// which follows the lexicographic order of the projected points.
+	axes := 0
+	for _, it := range items {
+		if len(it.Coords) > axes {
+			axes = len(it.Coords)
+		}
+	}
+	if axes == 0 {
+		axes = 1
+	}
+	coord := func(it Item, a int) int64 {
+		if len(it.Coords) == 0 {
+			if a == 0 {
+				return int64(it.ID)
+			}
+			return 0
+		}
+		if a < len(it.Coords) {
+			return it.Coords[a]
+		}
+		return 0
+	}
+
+	// cluster carries its member items plus the per-axis slice index
+	// accumulated over the bisections.
+	type cluster struct {
+		items   []Item
+		axisIdx []int
+	}
+	clusters := []cluster{{items: append([]Item{}, items...), axisIdx: make([]int, axes)}}
+	bits := make([]int, axes)
+
+	chooseAxis := func(step int) int {
+		switch opt.Policy {
+		case WidestFirst:
+			// Widest coordinate span inside the largest cluster.
+			var biggest *cluster
+			for i := range clusters {
+				if biggest == nil || len(clusters[i].items) > len(biggest.items) {
+					biggest = &clusters[i]
+				}
+			}
+			bestAxis, bestSpan := 0, int64(-1)
+			for a := 0; a < axes; a++ {
+				var mn, mx int64
+				for i, it := range biggest.items {
+					c := coord(it, a)
+					if i == 0 || c < mn {
+						mn = c
+					}
+					if i == 0 || c > mx {
+						mx = c
+					}
+				}
+				if span := mx - mn; span > bestSpan {
+					bestAxis, bestSpan = a, span
+				}
+			}
+			return bestAxis
+		default:
+			return step % axes
+		}
+	}
+
+	for step := 0; step < dim; step++ {
+		axis := chooseAxis(step)
+		bits[axis]++
+		var next []cluster
+		for _, cl := range clusters {
+			sort.SliceStable(cl.items, func(i, j int) bool {
+				a, b := cl.items[i], cl.items[j]
+				if a.Component != b.Component {
+					return a.Component < b.Component
+				}
+				if ca, cb := coord(a, axis), coord(b, axis); ca != cb {
+					return ca < cb
+				}
+				// Tie-break on the remaining axes, then ID, for determinism.
+				for o := 0; o < axes; o++ {
+					if o == axis {
+						continue
+					}
+					if ca, cb := coord(a, o), coord(b, o); ca != cb {
+						return ca < cb
+					}
+				}
+				return a.ID < b.ID
+			})
+			mid := (len(cl.items) + 1) / 2
+			lo := cluster{items: cl.items[:mid], axisIdx: append([]int{}, cl.axisIdx...)}
+			hi := cluster{items: cl.items[mid:], axisIdx: append([]int{}, cl.axisIdx...)}
+			lo.axisIdx[axis] = cl.axisIdx[axis] * 2
+			hi.axisIdx[axis] = cl.axisIdx[axis]*2 + 1
+			next = append(next, lo, hi)
+		}
+		clusters = next
+	}
+
+	// Phase II: per-axis Gray fields concatenated into the node address,
+	// axis 0 in the most significant position.
+	shift := make([]int, axes)
+	total := 0
+	for a := axes - 1; a >= 0; a-- {
+		shift[a] = total
+		total += bits[a]
+	}
+	res := &Result{
+		Cube:        hypercube.New(dim),
+		NodeOf:      make([]int, maxID+1),
+		BitsPerAxis: bits,
+	}
+	for i := range res.NodeOf {
+		res.NodeOf[i] = -1
+	}
+	res.Clusters = make([][]int, res.Cube.N)
+	for _, cl := range clusters {
+		node := 0
+		for a := 0; a < axes; a++ {
+			g := int(ints.Gray(uint64(cl.axisIdx[a])))
+			node |= g << uint(shift[a])
+		}
+		for _, it := range cl.items {
+			res.NodeOf[it.ID] = node
+			res.Clusters[node] = append(res.Clusters[node], it.ID)
+		}
+	}
+	for node := range res.Clusters {
+		sort.Ints(res.Clusters[node])
+	}
+	return res, nil
+}
+
+// ItemsOf converts a partitioning's groups into mappable items.
+func ItemsOf(p *core.Partitioning) []Item {
+	items := make([]Item, len(p.Groups))
+	for i, g := range p.Groups {
+		items[i] = Item{ID: g.ID, Component: g.Component, Coords: g.Coords}
+	}
+	return items
+}
+
+// MapPartitioning runs Algorithm 2 on a partitioning for a dim-cube.
+func MapPartitioning(p *core.Partitioning, dim int, opt Options) (*Result, error) {
+	return MapItems(ItemsOf(p), dim, opt)
+}
+
+// Linear assigns blocks to nodes in contiguous ID chunks with plain binary
+// node numbering — the no-Gray, no-locality baseline.
+func Linear(numBlocks, dim int) (*Result, error) {
+	if numBlocks <= 0 {
+		return nil, errors.New("mapping: no blocks")
+	}
+	res := &Result{Cube: hypercube.New(dim), NodeOf: make([]int, numBlocks)}
+	res.Clusters = make([][]int, res.Cube.N)
+	per := (numBlocks + res.Cube.N - 1) / res.Cube.N
+	for b := 0; b < numBlocks; b++ {
+		node := b / per
+		res.NodeOf[b] = node
+		res.Clusters[node] = append(res.Clusters[node], b)
+	}
+	return res, nil
+}
+
+// Greedy places blocks one at a time, heaviest first, each on the node
+// minimizing a combined cost of added communication (hop-weight to
+// already-placed TIG neighbours) and load imbalance — a classic
+// list-placement heuristic in the spirit of the paper's task-allocation
+// citations, as a comparator for Algorithm 2's structured bisection.
+// commWeight scales the communication term relative to load (0 degenerates
+// to pure load balancing).
+func Greedy(t *core.TIG, dim int, commWeight float64) (*Result, error) {
+	if t.N == 0 {
+		return nil, errors.New("mapping: empty TIG")
+	}
+	res := &Result{Cube: hypercube.New(dim), NodeOf: make([]int, t.N)}
+	res.Clusters = make([][]int, res.Cube.N)
+	for b := range res.NodeOf {
+		res.NodeOf[b] = -1
+	}
+	order := make([]int, t.N)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return t.Loads[order[a]] > t.Loads[order[b]] })
+
+	// Capacity bound keeps the placement balanced: without it the comm
+	// term would pile every block onto one node (zero hops, no
+	// parallelism). A node is eligible while its load stays within the
+	// perfectly balanced share, rounded up; the heaviest single block is
+	// always placeable.
+	var total, maxBlock int64
+	for _, l := range t.Loads {
+		total += l
+		if l > maxBlock {
+			maxBlock = l
+		}
+	}
+	capLoad := (total + int64(res.Cube.N) - 1) / int64(res.Cube.N)
+	if capLoad < maxBlock {
+		capLoad = maxBlock
+	}
+
+	loads := make([]int64, res.Cube.N)
+	// Undirected communication weights per block pair.
+	comm := func(a, b int) int64 { return t.Weight(a, b) + t.Weight(b, a) }
+	for _, blk := range order {
+		bestNode := -1
+		bestCost := 0.0
+		for node := 0; node < res.Cube.N; node++ {
+			if loads[node]+t.Loads[blk] > capLoad && bestNode >= 0 {
+				continue
+			}
+			cost := float64(loads[node] + t.Loads[blk])
+			for other := 0; other < t.N; other++ {
+				if res.NodeOf[other] < 0 {
+					continue
+				}
+				if w := comm(blk, other); w > 0 {
+					cost += commWeight * float64(w) * float64(res.Cube.Distance(node, res.NodeOf[other]))
+				}
+			}
+			overCap := loads[node]+t.Loads[blk] > capLoad
+			bestOver := bestNode >= 0 && loads[bestNode]+t.Loads[blk] > capLoad
+			better := bestNode < 0 || (bestOver && !overCap) || (overCap == bestOver && cost < bestCost)
+			if better {
+				bestNode, bestCost = node, cost
+			}
+		}
+		res.NodeOf[blk] = bestNode
+		loads[bestNode] += t.Loads[blk]
+		res.Clusters[bestNode] = append(res.Clusters[bestNode], blk)
+	}
+	for node := range res.Clusters {
+		sort.Ints(res.Clusters[node])
+	}
+	return res, nil
+}
+
+// Random assigns blocks to nodes uniformly at random (load-balanced by
+// round-robin over a shuffled block order) — the locality-free baseline.
+func Random(numBlocks, dim int, seed int64) (*Result, error) {
+	if numBlocks <= 0 {
+		return nil, errors.New("mapping: no blocks")
+	}
+	res := &Result{Cube: hypercube.New(dim), NodeOf: make([]int, numBlocks)}
+	res.Clusters = make([][]int, res.Cube.N)
+	perm := rand.New(rand.NewSource(seed)).Perm(numBlocks)
+	for i, b := range perm {
+		node := i % res.Cube.N
+		res.NodeOf[b] = node
+		res.Clusters[node] = append(res.Clusters[node], b)
+	}
+	for node := range res.Clusters {
+		sort.Ints(res.Clusters[node])
+	}
+	return res, nil
+}
+
+// Stats quantifies mapping quality against a TIG.
+type Stats struct {
+	// HopWeight is Σ over TIG edges of weight × hop distance — the total
+	// link traffic the mapping induces.
+	HopWeight int64
+	// RemoteWeight is Σ of weights whose endpoints sit on different nodes
+	// (traffic that actually crosses the network).
+	RemoteWeight int64
+	// MaxDilation is the largest hop distance of any TIG edge with
+	// endpoints on different nodes (0 when everything is local).
+	MaxDilation int
+	// MaxLoad and MinLoad are the extreme per-node computation loads.
+	MaxLoad, MinLoad int64
+}
+
+// Evaluate computes mapping statistics for a hypercube mapping.
+func Evaluate(t *core.TIG, r *Result) Stats {
+	return EvaluateGeneral(t, r.NodeOf, r.Cube.N, r.Cube.Distance)
+}

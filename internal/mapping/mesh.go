@@ -1,0 +1,187 @@
+package mapping
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ints"
+	"repro/internal/mesh"
+)
+
+// MeshResult is a completed mapping of blocks onto a 2-D mesh — the
+// extension of Algorithm 2 to the other dominant multicomputer topology of
+// the era. Unlike the hypercube, a mesh needs no Gray code: consecutive
+// slice indices along an axis are already physically adjacent rows or
+// columns.
+type MeshResult struct {
+	Mesh mesh.Mesh
+	// NodeOf[blockID] is the mesh node of the block.
+	NodeOf []int
+	// Clusters[node] lists the block IDs on that node.
+	Clusters [][]int
+}
+
+// MapItemsMesh bisects the items onto a rows×cols mesh (both powers of
+// two): row slices follow the grouping axis and column slices the first
+// auxiliary axis (falling back to the grouping axis for one-axis items),
+// interleaved for balance like Phase I's round-robin.
+func MapItemsMesh(items []Item, rows, cols int, opt Options) (*MeshResult, error) {
+	if len(items) == 0 {
+		return nil, errors.New("mapping: no items")
+	}
+	if !ints.IsPow2(int64(rows)) || !ints.IsPow2(int64(cols)) {
+		return nil, fmt.Errorf("mapping: mesh dimensions %dx%d must be powers of two", rows, cols)
+	}
+	maxID := 0
+	axes := 0
+	for _, it := range items {
+		if it.ID < 0 {
+			return nil, fmt.Errorf("mapping: negative item ID %d", it.ID)
+		}
+		if it.ID > maxID {
+			maxID = it.ID
+		}
+		if len(it.Coords) > axes {
+			axes = len(it.Coords)
+		}
+	}
+	if axes == 0 {
+		axes = 1
+	}
+	coord := func(it Item, a int) int64 {
+		if len(it.Coords) == 0 {
+			if a == 0 {
+				return int64(it.ID)
+			}
+			return 0
+		}
+		if a < len(it.Coords) {
+			return it.Coords[a]
+		}
+		return 0
+	}
+
+	rowAxis := 0
+	colAxis := 0
+	if axes > 1 {
+		colAxis = 1
+	}
+
+	type cluster struct {
+		items  []Item
+		rowIdx int
+		colIdx int
+	}
+	clusters := []cluster{{items: append([]Item{}, items...)}}
+	rowBudget := ints.Log2Ceil(int64(rows))
+	colBudget := ints.Log2Ceil(int64(cols))
+
+	split := func(alongRow bool) {
+		axis := colAxis
+		if alongRow {
+			axis = rowAxis
+		}
+		var next []cluster
+		for _, cl := range clusters {
+			sort.SliceStable(cl.items, func(i, j int) bool {
+				a, b := cl.items[i], cl.items[j]
+				if a.Component != b.Component {
+					return a.Component < b.Component
+				}
+				if ca, cb := coord(a, axis), coord(b, axis); ca != cb {
+					return ca < cb
+				}
+				for o := 0; o < axes; o++ {
+					if o == axis {
+						continue
+					}
+					if ca, cb := coord(a, o), coord(b, o); ca != cb {
+						return ca < cb
+					}
+				}
+				return a.ID < b.ID
+			})
+			mid := (len(cl.items) + 1) / 2
+			lo := cluster{items: cl.items[:mid], rowIdx: cl.rowIdx, colIdx: cl.colIdx}
+			hi := cluster{items: cl.items[mid:], rowIdx: cl.rowIdx, colIdx: cl.colIdx}
+			if alongRow {
+				lo.rowIdx, hi.rowIdx = cl.rowIdx*2, cl.rowIdx*2+1
+			} else {
+				lo.colIdx, hi.colIdx = cl.colIdx*2, cl.colIdx*2+1
+			}
+			next = append(next, lo, hi)
+		}
+		clusters = next
+	}
+	for rowBudget > 0 || colBudget > 0 {
+		if rowBudget >= colBudget && rowBudget > 0 {
+			split(true)
+			rowBudget--
+			continue
+		}
+		if colBudget > 0 {
+			split(false)
+			colBudget--
+		}
+	}
+
+	m := mesh.New(rows, cols)
+	res := &MeshResult{Mesh: m, NodeOf: make([]int, maxID+1)}
+	for i := range res.NodeOf {
+		res.NodeOf[i] = -1
+	}
+	res.Clusters = make([][]int, m.N())
+	for _, cl := range clusters {
+		node := m.Node(cl.rowIdx, cl.colIdx)
+		for _, it := range cl.items {
+			res.NodeOf[it.ID] = node
+			res.Clusters[node] = append(res.Clusters[node], it.ID)
+		}
+	}
+	for node := range res.Clusters {
+		sort.Ints(res.Clusters[node])
+	}
+	return res, nil
+}
+
+// MapPartitioningMesh runs the mesh mapper on a partitioning.
+func MapPartitioningMesh(p *core.Partitioning, rows, cols int, opt Options) (*MeshResult, error) {
+	return MapItemsMesh(ItemsOf(p), rows, cols, opt)
+}
+
+// EvaluateGeneral computes mapping statistics over an arbitrary topology
+// given its distance function.
+func EvaluateGeneral(t *core.TIG, nodeOf []int, numNodes int, dist func(a, b int) int) Stats {
+	var s Stats
+	loads := make([]int64, numNodes)
+	for b := 0; b < t.N; b++ {
+		loads[nodeOf[b]] += t.Loads[b]
+	}
+	s.MinLoad = loads[0]
+	for _, l := range loads {
+		if l > s.MaxLoad {
+			s.MaxLoad = l
+		}
+		if l < s.MinLoad {
+			s.MinLoad = l
+		}
+	}
+	for _, e := range t.Edges {
+		d := dist(nodeOf[e.From], nodeOf[e.To])
+		s.HopWeight += e.Weight * int64(d)
+		if d > 0 {
+			s.RemoteWeight += e.Weight
+			if d > s.MaxDilation {
+				s.MaxDilation = d
+			}
+		}
+	}
+	return s
+}
+
+// EvaluateMesh computes mapping statistics for a mesh mapping.
+func EvaluateMesh(t *core.TIG, r *MeshResult) Stats {
+	return EvaluateGeneral(t, r.NodeOf, r.Mesh.N(), r.Mesh.Distance)
+}

@@ -1,0 +1,102 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/loop"
+)
+
+// Format renders a Program back to DSL source text with canonical loop
+// index names i1 … in. Parsing the result reproduces the program
+// structurally (ParseProgram ∘ Format is the identity up to index
+// renaming), which the round-trip tests verify — the pretty-printer half
+// of the mini-compiler.
+func Format(prog *Program) string {
+	dims := prog.Nest.Dims
+	var b strings.Builder
+	for j := 0; j < dims; j++ {
+		fmt.Fprintf(&b, "for i%d = %s to %s\n", j+1,
+			dslAffine(prog.Nest.Lower[j]), dslAffine(prog.Nest.Upper[j]))
+	}
+	b.WriteString("{\n")
+	for _, st := range prog.Stmts {
+		fmt.Fprintf(&b, "  %s = %s\n", dslAccess(st.Write.Var, accessSubs(st.Write, dims)), dslExpr(st.Expr))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// accessSubs rebuilds the affine subscripts of a uniform loop.Access.
+func accessSubs(a loop.Access, dims int) []loop.Affine {
+	subs := make([]loop.Affine, dims)
+	for k := 0; k < dims; k++ {
+		coeffs := make([]int64, dims)
+		coeffs[k] = 1
+		subs[k] = loop.Affine{Const: a.Offset[k], Coeffs: coeffs}
+	}
+	return subs
+}
+
+// dslAffine renders an affine expression in DSL syntax: terms joined with
+// explicit +/-, coefficients as `k*iN`.
+func dslAffine(a loop.Affine) string {
+	var parts []string
+	for k, c := range a.Coeffs {
+		switch {
+		case c == 0:
+		case c == 1:
+			parts = append(parts, fmt.Sprintf("+ i%d", k+1))
+		case c == -1:
+			parts = append(parts, fmt.Sprintf("- i%d", k+1))
+		case c > 0:
+			parts = append(parts, fmt.Sprintf("+ %d*i%d", c, k+1))
+		default:
+			parts = append(parts, fmt.Sprintf("- %d*i%d", -c, k+1))
+		}
+	}
+	if a.Const != 0 || len(parts) == 0 {
+		if a.Const >= 0 {
+			parts = append(parts, fmt.Sprintf("+ %d", a.Const))
+		} else {
+			parts = append(parts, fmt.Sprintf("- %d", -a.Const))
+		}
+	}
+	out := strings.Join(parts, " ")
+	out = strings.TrimPrefix(out, "+ ")
+	if strings.HasPrefix(out, "- ") {
+		out = "-" + out[2:]
+	}
+	return out
+}
+
+// dslAccess renders an array access.
+func dslAccess(v string, subs []loop.Affine) string {
+	parts := make([]string, len(subs))
+	for k, a := range subs {
+		parts[k] = dslAffine(a)
+	}
+	return fmt.Sprintf("%s[%s]", v, strings.Join(parts, ", "))
+}
+
+// dslExpr renders an expression with explicit parentheses (always valid to
+// re-parse; precedence is preserved by construction).
+func dslExpr(e Expr) string {
+	switch v := e.(type) {
+	case *NumLit:
+		if v.Val < 0 {
+			return fmt.Sprintf("(-%d)", -v.Val)
+		}
+		return fmt.Sprintf("%d", v.Val)
+	case *ScalarRef:
+		return v.Name
+	case *AccessRef:
+		return dslAccess(v.Var, v.Subs)
+	case *Unary:
+		return "(-" + dslExpr(v.X) + ")"
+	case *Binary:
+		return fmt.Sprintf("(%s %c %s)", dslExpr(v.L), v.Op, dslExpr(v.R))
+	default:
+		return "0"
+	}
+}

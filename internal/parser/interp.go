@@ -1,0 +1,242 @@
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/kernels"
+	"repro/internal/vec"
+)
+
+// ReadKind classifies how an array read resolves under the
+// single-assignment dataflow discipline.
+type ReadKind int
+
+const (
+	ReadInput ReadKind = iota // never-written variable: external input
+	ReadLocal                 // d == 0: value computed earlier this iteration
+	ReadChan                  // loop-carried: arrives over a channel
+)
+
+// ReadInfo is the resolution of one AccessRef.
+type ReadInfo struct {
+	// Kind classifies the read.
+	Kind ReadKind
+	// Ch is the channel index for ReadChan reads.
+	Ch int
+}
+
+// Dataflow is the analyzed communication structure of a Program:
+// one channel per distinct (variable, dependence) flow pair.
+type Dataflow struct {
+	// ChanVars[c] and ChanDeps[c] identify channel c.
+	ChanVars []string
+	ChanDeps []vec.Int
+	// WriterOf maps each written variable to its unique write offset;
+	// WriterStmt to the writing statement's index.
+	WriterOf   map[string]vec.Int
+	WriterStmt map[string]int
+	// Reads resolves every AccessRef node of the program.
+	Reads map[*AccessRef]ReadInfo
+}
+
+// Analyze derives the dataflow of the program, validating the
+// single-assignment constant-flow-dependence discipline:
+//
+//   - every variable has at most one writer;
+//   - d = 0 reads must textually follow their writer;
+//   - lexicographically negative d (use before def) is rejected.
+func (prog *Program) Analyze() (*Dataflow, error) {
+	df := &Dataflow{
+		WriterOf:   map[string]vec.Int{},
+		WriterStmt: map[string]int{},
+		Reads:      map[*AccessRef]ReadInfo{},
+	}
+	for si, st := range prog.Stmts {
+		if prev, ok := df.WriterOf[st.Write.Var]; ok {
+			return nil, fmt.Errorf("parser: variable %s written twice (offsets %v and %v); the single-assignment form allows one writer per variable",
+				st.Write.Var, prev, st.Write.Offset)
+		}
+		df.WriterOf[st.Write.Var] = st.Write.Offset
+		df.WriterStmt[st.Write.Var] = si
+	}
+
+	type chanKey struct{ v, d string }
+	chanIndex := map[chanKey]int{}
+
+	var walk func(si int, e Expr) error
+	walk = func(si int, e Expr) error {
+		switch v := e.(type) {
+		case *AccessRef:
+			w, written := df.WriterOf[v.Var]
+			if !written {
+				df.Reads[v] = ReadInfo{Kind: ReadInput}
+				return nil
+			}
+			if !v.Uniform {
+				return fmt.Errorf("parser: statement %s: non-uniform access %s of computed variable %s",
+					prog.Stmts[si].Label, v, v.Var)
+			}
+			d := w.Sub(v.Offset)
+			if d.IsZero() {
+				if df.WriterStmt[v.Var] >= si {
+					return fmt.Errorf("parser: statement %s reads %s of the same iteration before it is written",
+						prog.Stmts[si].Label, v.Var)
+				}
+				df.Reads[v] = ReadInfo{Kind: ReadLocal}
+				return nil
+			}
+			if !d.LexPositive() {
+				return fmt.Errorf("parser: read %s in %s uses a value its iteration has not produced yet (dependence %v is lexicographically negative)",
+					v, prog.Stmts[si].Label, d)
+			}
+			key := chanKey{v: v.Var, d: d.Key()}
+			ch, ok := chanIndex[key]
+			if !ok {
+				ch = len(df.ChanDeps)
+				chanIndex[key] = ch
+				df.ChanVars = append(df.ChanVars, v.Var)
+				df.ChanDeps = append(df.ChanDeps, d)
+			}
+			df.Reads[v] = ReadInfo{Kind: ReadChan, Ch: ch}
+		case *Unary:
+			return walk(si, v.X)
+		case *Binary:
+			if err := walk(si, v.L); err != nil {
+				return err
+			}
+			return walk(si, v.R)
+		}
+		return nil
+	}
+	for si, st := range prog.Stmts {
+		if err := walk(si, st.Expr); err != nil {
+			return nil, err
+		}
+	}
+	if len(df.ChanDeps) == 0 {
+		return nil, fmt.Errorf("parser: program %s has no loop-carried dependences", prog.Nest.Name)
+	}
+	return df, nil
+}
+
+// Channels reports the program's flow-dependence channels — the variable
+// and dependence vector carried by each — for diagnostics and codegen.
+func (prog *Program) Channels() ([]string, []vec.Int, error) {
+	df, err := prog.Analyze()
+	if err != nil {
+		return nil, nil, err
+	}
+	return append([]string{}, df.ChanVars...),
+		append([]vec.Int{}, df.ChanDeps...), nil
+}
+
+// InputValue is the deterministic external-input function: the value of
+// element elem of never-written (or boundary-fed) variable v. Its
+// behaviour is part of the public contract so the interpreter, the
+// concurrent executor, and generated standalone programs all agree on
+// inputs; internal/codegen embeds a verbatim copy.
+func InputValue(seed uint64, v string, elem vec.Int) float64 {
+	h := seed*0x9e3779b97f4a7c15 + 0xabcd
+	for _, c := range v {
+		h ^= uint64(c) * 0x100000001b3
+	}
+	for _, c := range elem {
+		h ^= uint64(c+4096) * 0x100000001b3
+		h = (h << 17) | (h >> 47)
+	}
+	return float64(h%8192)/4096 - 1
+}
+
+// ScalarValue is the deterministic value of a free scalar.
+func ScalarValue(seed uint64, dims int, name string) float64 {
+	return InputValue(seed, "$"+name, make(vec.Int, dims))
+}
+
+// BuildKernel turns a parsed Program into an executable kernel whose
+// semantics interpret the parsed statements — real arithmetic over the
+// single-assignment dataflow. Each distinct (variable, dependence) flow
+// pair becomes one communication channel; reads of never-written
+// variables and out-of-space boundary reads draw deterministic values
+// from the seed. pi is the time transformation to attach (callers
+// typically search for the optimum first).
+func (prog *Program) BuildKernel(pi vec.Int, seed uint64) (*kernels.Kernel, error) {
+	df, err := prog.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	dims := prog.Nest.Dims
+
+	var eval func(e Expr, x vec.Int, env map[string]float64, in []float64) float64
+	eval = func(e Expr, x vec.Int, env map[string]float64, in []float64) float64 {
+		switch v := e.(type) {
+		case *NumLit:
+			return float64(v.Val)
+		case *ScalarRef:
+			return ScalarValue(seed, dims, v.Name)
+		case *AccessRef:
+			info := df.Reads[v]
+			switch info.Kind {
+			case ReadLocal:
+				return env[v.Var]
+			case ReadChan:
+				return in[info.Ch]
+			default:
+				// Pure input: evaluate the (possibly non-uniform) affine
+				// subscripts at this iteration.
+				elem := make(vec.Int, len(v.Subs))
+				for k, a := range v.Subs {
+					elem[k] = a.Eval(x)
+				}
+				return InputValue(seed, v.Var, elem)
+			}
+		case *Unary:
+			return -eval(v.X, x, env, in)
+		case *Binary:
+			l := eval(v.L, x, env, in)
+			r := eval(v.R, x, env, in)
+			switch v.Op {
+			case '+':
+				return l + r
+			case '-':
+				return l - r
+			case '*':
+				return l * r
+			default:
+				if r == 0 {
+					return 0 // total semantics; generated code matches
+				}
+				return l / r
+			}
+		}
+		return 0
+	}
+
+	sem := &kernels.Semantics{
+		Boundary: func(x vec.Int, dep int) float64 {
+			// The channel value produced at iteration x − d is the element
+			// x − d + w of chanVars[dep]; boundary iterations take it from
+			// the input function.
+			v := df.ChanVars[dep]
+			src := x.Sub(df.ChanDeps[dep]).Add(df.WriterOf[v])
+			return InputValue(seed, v, src)
+		},
+		Compute: func(x vec.Int, in []float64) []float64 {
+			env := make(map[string]float64, len(prog.Stmts))
+			for _, st := range prog.Stmts {
+				env[st.Write.Var] = eval(st.Expr, x, env, in)
+			}
+			out := make([]float64, len(df.ChanDeps))
+			for ch := range df.ChanDeps {
+				out[ch] = env[df.ChanVars[ch]]
+			}
+			return out
+		},
+	}
+	return &kernels.Kernel{
+		Name: prog.Nest.Name,
+		Nest: prog.Nest,
+		Deps: df.ChanDeps,
+		Pi:   pi.Clone(),
+		Sem:  sem,
+	}, nil
+}

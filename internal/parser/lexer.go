@@ -1,0 +1,221 @@
+// Package parser implements a small front end for the paper's loop model:
+// it parses textual nested loops of the form
+//
+//	# loop L1 from Example 1
+//	for i = 0 to 3
+//	for j = 0 to 3
+//	{
+//	  A[i+1, j+1] = A[i+1, j] + B[i, j]
+//	  B[i+1, j]   = A[i, j] * 2 + C
+//	}
+//
+// into a loop.Nest with uniform array accesses, from which the dependence
+// analyzer derives the constant dependence vectors. Loop bounds may be
+// affine expressions in outer loop indices (`for j = 0 to i`), matching
+// the paper's model where l_j and u_j may involve I_1 … I_{j-1}.
+//
+// The uniform-dependence model requires each subscript k of an accessed
+// array to be `I_k + c` for the k-th loop index; other subscripts are
+// rejected with an error pointing at the pipelined single-assignment
+// rewriting the paper applies (cf. loops L4 → L5).
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFor
+	tokTo
+	tokAssign // =
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokLBracket
+	tokRBracket
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokComma
+	tokSemicolon
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokFor:
+		return "'for'"
+	case tokTo:
+		return "'to'"
+	case tokAssign:
+		return "'='"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokSemicolon:
+		return "';'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// lexer tokenizes DSL source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(line, col int, format string, args ...interface{}) error {
+	return fmt.Errorf("parser: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return token{kind: tokEOF, line: l.line, col: l.col}, nil
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#': // comment to end of line
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		default:
+			goto lex
+		}
+	}
+lex:
+	line, col := l.line, l.col
+	c := l.advance()
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		var b strings.Builder
+		b.WriteByte(c)
+		for {
+			c, ok := l.peekByte()
+			if !ok || !(unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_') {
+				break
+			}
+			b.WriteByte(l.advance())
+		}
+		text := b.String()
+		kind := tokIdent
+		switch text {
+		case "for":
+			kind = tokFor
+		case "to":
+			kind = tokTo
+		}
+		return token{kind: kind, text: text, line: line, col: col}, nil
+	case unicode.IsDigit(rune(c)):
+		var b strings.Builder
+		b.WriteByte(c)
+		for {
+			c, ok := l.peekByte()
+			if !ok || !unicode.IsDigit(rune(c)) {
+				break
+			}
+			b.WriteByte(l.advance())
+		}
+		return token{kind: tokInt, text: b.String(), line: line, col: col}, nil
+	}
+	simple := map[byte]tokKind{
+		'=': tokAssign, '+': tokPlus, '-': tokMinus, '*': tokStar, '/': tokSlash,
+		'[': tokLBracket, ']': tokRBracket, '{': tokLBrace, '}': tokRBrace,
+		'(': tokLParen, ')': tokRParen, ',': tokComma, ';': tokSemicolon,
+	}
+	if k, ok := simple[c]; ok {
+		return token{kind: k, text: string(c), line: line, col: col}, nil
+	}
+	return token{}, l.errorf(line, col, "unexpected character %q", c)
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

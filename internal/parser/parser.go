@@ -1,0 +1,452 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/loop"
+	"repro/internal/vec"
+)
+
+// Parse parses DSL source into a validated loop.Nest named name.
+func Parse(name, src string) (*loop.Nest, error) {
+	prog, err := ParseProgram(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Nest, nil
+}
+
+// ParseProgram parses DSL source into a Program: the validated nest plus
+// the statement expression trees (for the interpreter and code generator).
+func ParseProgram(name, src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	nest, err := p.parseNest(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := nest.Validate(); err != nil {
+		return nil, fmt.Errorf("parser: %w", err)
+	}
+	return &Program{Nest: nest, Stmts: p.stmts}, nil
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+	// indexOf maps loop variable names to their dimension.
+	indexOf map[string]int
+	order   []string
+	nStmts  int
+	// stmts collects the parsed statement ASTs.
+	stmts []StmtNode
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) take() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(kind tokKind) (token, error) {
+	t := p.cur()
+	if t.kind != kind {
+		return t, p.errorAt(t, "expected %v, found %v %q", kind, t.kind, t.text)
+	}
+	return p.take(), nil
+}
+
+func (p *parser) errorAt(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("parser: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+// parseNest parses `for`-headers, the braced body, and EOF.
+func (p *parser) parseNest(name string) (*loop.Nest, error) {
+	p.indexOf = map[string]int{}
+
+	type bound struct{ lo, hi affine }
+	var bounds []bound
+	for p.cur().kind == tokFor {
+		p.take()
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := p.indexOf[id.text]; dup {
+			return nil, p.errorAt(id, "duplicate loop index %q", id.text)
+		}
+		p.indexOf[id.text] = len(p.order)
+		p.order = append(p.order, id.text)
+		if _, err := p.expect(tokAssign); err != nil {
+			return nil, err
+		}
+		lo, err := p.parseAffine(len(p.order) - 1)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokTo); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAffine(len(p.order) - 1)
+		if err != nil {
+			return nil, err
+		}
+		bounds = append(bounds, bound{lo: lo, hi: hi})
+	}
+	if len(bounds) == 0 {
+		return nil, p.errorAt(p.cur(), "expected at least one 'for' header")
+	}
+	dims := len(bounds)
+
+	nest := &loop.Nest{Name: name, Dims: dims}
+	for _, b := range bounds {
+		nest.Lower = append(nest.Lower, b.lo.toLoopAffine(dims))
+		nest.Upper = append(nest.Upper, b.hi.toLoopAffine(dims))
+	}
+
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	for p.cur().kind != tokRBrace {
+		stmt, err := p.parseStmt(dims)
+		if err != nil {
+			return nil, err
+		}
+		nest.Stmts = append(nest.Stmts, stmt)
+	}
+	p.take() // '}'
+	if _, err := p.expect(tokEOF); err != nil {
+		return nil, err
+	}
+	if len(nest.Stmts) == 0 {
+		return nil, fmt.Errorf("parser: loop body is empty")
+	}
+	// Post-pass: non-uniform reads are only allowed on pure-input arrays
+	// (variables never written in the nest) — dependence analysis cannot
+	// see through a non-uniform access of a computed variable.
+	written := map[string]bool{}
+	for _, st := range p.stmts {
+		written[st.Write.Var] = true
+	}
+	for _, st := range p.stmts {
+		var refs []*AccessRef
+		collectAccessRefs(st.Expr, &refs)
+		for _, r := range refs {
+			if !r.Uniform && written[r.Var] {
+				return nil, fmt.Errorf("parser: statement %s: access %s of computed variable %s is not uniform; "+
+					"rewrite the loop in pipelined single-assignment form first (cf. the paper's L4 -> L5)",
+					st.Label, r, r.Var)
+			}
+		}
+	}
+	return nest, nil
+}
+
+// affine is c + Σ coeff[var]·var over loop indices.
+type affine struct {
+	c      int64
+	coeffs map[int]int64 // dimension -> coefficient
+}
+
+func (a affine) toLoopAffine(dims int) loop.Affine {
+	out := loop.Affine{Const: a.c}
+	if len(a.coeffs) > 0 {
+		out.Coeffs = make([]int64, dims)
+		for d, c := range a.coeffs {
+			out.Coeffs[d] = c
+		}
+	}
+	return out
+}
+
+// parseAffine parses a sum of terms: INT, IDENT, INT '*' IDENT,
+// IDENT '*' INT, with leading sign. maxDim restricts which loop indices
+// may appear (bounds of dimension j may only reference dimensions < j);
+// pass dims to allow all.
+func (p *parser) parseAffine(maxDim int) (affine, error) {
+	a := affine{coeffs: map[int]int64{}}
+	sign := int64(1)
+	first := true
+	for {
+		t := p.cur()
+		switch t.kind {
+		case tokPlus:
+			p.take()
+			sign = 1
+		case tokMinus:
+			p.take()
+			sign = -1
+		default:
+			if !first {
+				return a, nil
+			}
+		}
+		t = p.cur()
+		switch t.kind {
+		case tokInt:
+			p.take()
+			v, err := strconv.ParseInt(t.text, 10, 64)
+			if err != nil {
+				return a, p.errorAt(t, "bad integer %q", t.text)
+			}
+			// Optional '* IDENT'.
+			if p.cur().kind == tokStar {
+				p.take()
+				id, err := p.expect(tokIdent)
+				if err != nil {
+					return a, err
+				}
+				d, err := p.loopIndex(id, maxDim)
+				if err != nil {
+					return a, err
+				}
+				a.coeffs[d] += sign * v
+			} else {
+				a.c += sign * v
+			}
+		case tokIdent:
+			p.take()
+			d, err := p.loopIndex(t, maxDim)
+			if err != nil {
+				return a, err
+			}
+			coeff := int64(1)
+			// Optional '* INT'.
+			if p.cur().kind == tokStar {
+				p.take()
+				n, err := p.expect(tokInt)
+				if err != nil {
+					return a, err
+				}
+				v, err := strconv.ParseInt(n.text, 10, 64)
+				if err != nil {
+					return a, p.errorAt(n, "bad integer %q", n.text)
+				}
+				coeff = v
+			}
+			a.coeffs[d] += sign * coeff
+		default:
+			return a, p.errorAt(t, "expected integer or loop index, found %v %q", t.kind, t.text)
+		}
+		first = false
+		sign = 1
+		// Continue only on +/-.
+		if k := p.cur().kind; k != tokPlus && k != tokMinus {
+			return a, nil
+		}
+	}
+}
+
+func (p *parser) loopIndex(t token, maxDim int) (int, error) {
+	d, ok := p.indexOf[t.text]
+	if !ok {
+		return 0, p.errorAt(t, "unknown loop index %q (known: %v)", t.text, p.order)
+	}
+	if d >= maxDim {
+		return 0, p.errorAt(t, "loop index %q may not appear here (only outer indices are allowed)", t.text)
+	}
+	return d, nil
+}
+
+// parseStmt parses `access = expr` (optionally ';'-terminated), records
+// the statement AST, and derives the uniform write/read accesses plus an
+// operation count for the structural loop.Stmt.
+func (p *parser) parseStmt(dims int) (loop.Stmt, error) {
+	var stmt loop.Stmt
+	wref, wtok, err := p.parseAccessRef(dims)
+	if err != nil {
+		return stmt, err
+	}
+	if !wref.Uniform {
+		return stmt, p.uniformityError(wtok, wref)
+	}
+	w := loop.Access{Var: wref.Var, Offset: wref.Offset}
+	p.nStmts++
+	stmt.Label = fmt.Sprintf("S%d", p.nStmts)
+	stmt.Writes = []loop.Access{w}
+	if _, err := p.expect(tokAssign); err != nil {
+		return stmt, err
+	}
+	expr, err := p.parseExpr(dims)
+	if err != nil {
+		return stmt, err
+	}
+	var reads []loop.Access
+	collectReads(expr, &reads)
+	stmt.Reads = reads
+	stmt.Ops = countOps(expr)
+	if stmt.Ops == 0 {
+		stmt.Ops = 1
+	}
+	if p.cur().kind == tokSemicolon {
+		p.take()
+	}
+	p.stmts = append(p.stmts, StmtNode{Label: stmt.Label, Write: w, Expr: expr})
+	return stmt, nil
+}
+
+// parseAccessRef parses IDENT '[' affine {',' affine} ']' of any rank and
+// classifies it: the access is *uniform* when its rank equals the nest
+// depth and subscript k has the form I_k + c. Only uniform accesses may
+// touch computed (written) variables; the caller enforces that.
+func (p *parser) parseAccessRef(dims int) (*AccessRef, token, error) {
+	id, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, id, err
+	}
+	if _, err := p.expect(tokLBracket); err != nil {
+		return nil, id, err
+	}
+	var subs []affine
+	for {
+		a, err := p.parseAffine(dims)
+		if err != nil {
+			return nil, id, err
+		}
+		subs = append(subs, a)
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.take()
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return nil, id, err
+	}
+	acc := &AccessRef{Var: id.text, Subs: make([]loop.Affine, len(subs))}
+	for k, a := range subs {
+		acc.Subs[k] = a.toLoopAffine(dims)
+	}
+	// Uniformity check.
+	if len(subs) == dims {
+		uniform := true
+		offset := make(vec.Int, dims)
+		for k, a := range subs {
+			ok := true
+			for d, c := range a.coeffs {
+				if c == 0 {
+					continue
+				}
+				if d != k || c != 1 {
+					ok = false
+				}
+			}
+			if a.coeffs[k] != 1 {
+				ok = false
+			}
+			if !ok {
+				uniform = false
+				break
+			}
+			offset[k] = a.c
+		}
+		if uniform {
+			acc.Uniform = true
+			acc.Offset = offset
+		}
+	}
+	return acc, id, nil
+}
+
+// uniformityError explains the single-assignment requirement.
+func (p *parser) uniformityError(id token, acc *AccessRef) error {
+	return p.errorAt(id,
+		"access %s of computed variable %s is not uniform: each subscript k must be `loop index k + constant`; "+
+			"rewrite the loop in pipelined single-assignment form first (cf. the paper's L4 -> L5)",
+		acc, acc.Var)
+}
+
+// parseExpr parses the right-hand side into an expression tree with the
+// usual precedence: * and / bind tighter than + and -.
+func (p *parser) parseExpr(dims int) (Expr, error) {
+	left, err := p.parseTerm(dims)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPlus && t.kind != tokMinus {
+			return left, nil
+		}
+		p.take()
+		right, err := p.parseTerm(dims)
+		if err != nil {
+			return nil, err
+		}
+		op := byte('+')
+		if t.kind == tokMinus {
+			op = '-'
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+}
+
+// parseTerm parses a product/quotient chain.
+func (p *parser) parseTerm(dims int) (Expr, error) {
+	left, err := p.parseFactor(dims)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokStar && t.kind != tokSlash {
+			return left, nil
+		}
+		p.take()
+		right, err := p.parseFactor(dims)
+		if err != nil {
+			return nil, err
+		}
+		op := byte('*')
+		if t.kind == tokSlash {
+			op = '/'
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+}
+
+// parseFactor parses a primary: literal, scalar, array access,
+// parenthesized expression, or unary minus.
+func (p *parser) parseFactor(dims int) (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokMinus:
+		p.take()
+		x, err := p.parseFactor(dims)
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{X: x}, nil
+	case tokInt:
+		p.take()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorAt(t, "bad integer %q", t.text)
+		}
+		return &NumLit{Val: v}, nil
+	case tokLParen:
+		p.take()
+		e, err := p.parseExpr(dims)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		p.take()
+		if p.cur().kind == tokLBracket {
+			p.pos-- // rewind: parseAccessRef expects the identifier
+			acc, _, err := p.parseAccessRef(dims)
+			if err != nil {
+				return nil, err
+			}
+			return acc, nil
+		}
+		return &ScalarRef{Name: t.text}, nil
+	default:
+		return nil, p.errorAt(t, "expected operand, found %v %q", t.kind, t.text)
+	}
+}

@@ -1,0 +1,282 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+const l1Src = `
+# loop L1 from Example 1 of the paper
+for i = 0 to 3
+for j = 0 to 3
+{
+  A[i+1, j+1] = A[i+1, j] + B[i, j]
+  B[i+1, j]   = A[i, j] * 2 + C
+}
+`
+
+func TestParseL1(t *testing.T) {
+	nest, err := Parse("L1", l1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nest.Dims != 2 || nest.Size() != 16 {
+		t.Fatalf("dims=%d size=%d", nest.Dims, nest.Size())
+	}
+	deps := nest.Dependences()
+	want := []vec.Int{vec.NewInt(0, 1), vec.NewInt(1, 0), vec.NewInt(1, 1)}
+	if len(deps) != 3 {
+		t.Fatalf("deps = %v", deps)
+	}
+	for i := range want {
+		if !deps[i].Equal(want[i]) {
+			t.Errorf("dep[%d] = %v, want %v", i, deps[i], want[i])
+		}
+	}
+	if len(nest.Stmts) != 2 {
+		t.Fatalf("stmts = %d", len(nest.Stmts))
+	}
+	if nest.Stmts[0].Label != "S1" || nest.Stmts[1].Label != "S2" {
+		t.Fatalf("labels = %q %q", nest.Stmts[0].Label, nest.Stmts[1].Label)
+	}
+	// S1 has one '+' (1 op); S2 has '*' and '+' (2 ops).
+	if nest.Stmts[0].Ops != 1 || nest.Stmts[1].Ops != 2 {
+		t.Fatalf("ops = %d %d", nest.Stmts[0].Ops, nest.Stmts[1].Ops)
+	}
+}
+
+func TestParseMatVecL5(t *testing.T) {
+	src := `
+for i = 1 to 64
+for j = 1 to 64
+{
+  x[i, j] = x[i-1, j]
+  y[i, j] = y[i, j-1] + A[i, j] * x[i, j];
+}
+`
+	nest, err := Parse("L5", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := nest.Dependences()
+	if len(deps) != 2 || !deps[0].Equal(vec.NewInt(0, 1)) || !deps[1].Equal(vec.NewInt(1, 0)) {
+		t.Fatalf("deps = %v", deps)
+	}
+	if nest.Size() != 64*64 {
+		t.Fatalf("size = %d", nest.Size())
+	}
+}
+
+func TestParseTriangularBounds(t *testing.T) {
+	src := `
+for i = 0 to 5
+for j = 0 to i
+{
+  A[i, j+1] = A[i, j]
+}
+`
+	nest, err := Parse("tri", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nest.Size() != 21 { // 1+2+...+6
+		t.Fatalf("size = %d", nest.Size())
+	}
+	deps := nest.Dependences()
+	if len(deps) != 1 || !deps[0].Equal(vec.NewInt(0, 1)) {
+		t.Fatalf("deps = %v", deps)
+	}
+}
+
+func TestParseAffineBoundsWithCoefficients(t *testing.T) {
+	src := `
+for i = 0 to 4
+for j = 2*i to 2*i+3
+{
+  A[i+1, j] = A[i, j]
+}
+`
+	nest, err := Parse("aff", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nest.Size() != 20 { // 5 rows of 4
+		t.Fatalf("size = %d", nest.Size())
+	}
+	if !nest.Contains(vec.NewInt(2, 4)) || nest.Contains(vec.NewInt(2, 3)) {
+		t.Fatal("affine bounds evaluated wrong")
+	}
+}
+
+func TestParse3D(t *testing.T) {
+	src := `
+for i = 0 to 3
+for j = 0 to 3
+for k = 0 to 3
+{
+  A[i, j, k] = A[i, j-1, k]
+  B[i, j, k] = B[i-1, j, k]
+  C[i, j, k] = C[i, j, k-1] + A[i, j, k] * B[i, j, k]
+}
+`
+	nest, err := Parse("matmul", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := nest.Dependences()
+	if len(deps) != 3 {
+		t.Fatalf("deps = %v", deps)
+	}
+	want := []vec.Int{vec.NewInt(0, 0, 1), vec.NewInt(0, 1, 0), vec.NewInt(1, 0, 0)}
+	for i := range want {
+		if !deps[i].Equal(want[i]) {
+			t.Errorf("dep[%d] = %v, want %v", i, deps[i], want[i])
+		}
+	}
+}
+
+func TestParseRejectsNonUniformSubscript(t *testing.T) {
+	cases := []string{
+		// wrong index in position.
+		"for i = 1 to 4\nfor j = 1 to 4\n{\n A[j, i] = A[i, j]\n}",
+		// scaled index.
+		"for i = 1 to 4\nfor j = 1 to 4\n{\n A[2*i, j] = A[i, j]\n}",
+		// constant subscript.
+		"for i = 1 to 4\nfor j = 1 to 4\n{\n A[1, j] = A[i, j]\n}",
+	}
+	for _, src := range cases {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("non-uniform access accepted:\n%s", src)
+		} else if !strings.Contains(err.Error(), "uniform") {
+			t.Errorf("error does not explain uniformity: %v", err)
+		}
+	}
+}
+
+func TestFlexibleInputAccessesAccepted(t *testing.T) {
+	// Reads of never-written arrays may use any affine subscripts and any
+	// rank: convolution in its natural source form.
+	src := `
+for i = 0 to 7
+for j = 0 to 3
+{
+  y[i, j+1] = y[i, j] + w[j] * x[i-j]
+}
+`
+	nest, err := Parse("conv", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := nest.Dependences()
+	if len(deps) != 1 || !deps[0].Equal(vec.NewInt(0, 1)) {
+		t.Fatalf("deps = %v", deps)
+	}
+	// A non-uniform read of a *written* variable is still rejected.
+	bad := `
+for i = 1 to 4
+for j = 1 to 4
+{
+  y[i, j] = x[j, j]
+  x[i, j] = y[i, j-1]
+}
+`
+	if _, err := Parse("bad", bad); err == nil {
+		t.Fatal("non-uniform read of computed variable accepted")
+	} else if !strings.Contains(err.Error(), "uniform") {
+		t.Fatalf("error does not explain uniformity: %v", err)
+	}
+}
+
+func TestParseRejectsInnerIndexInBound(t *testing.T) {
+	src := "for i = 0 to j\nfor j = 0 to 3\n{\n A[i, j+1] = A[i, j]\n}"
+	if _, err := Parse("bad", src); err == nil {
+		t.Fatal("bound referencing inner index accepted")
+	}
+}
+
+func TestParseSyntaxErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"no-body", "for i = 0 to 3"},
+		{"no-for", "{ A[i] = 1 }"},
+		{"empty-body", "for i = 0 to 3\n{\n}"},
+		{"bad-char", "for i = 0 to 3 @ {}"},
+		{"missing-to", "for i = 0 3\n{ A[i] = A[i-1] }"},
+		{"unbalanced-paren", "for i = 0 to 3\n{ A[i] = (A[i-1] }"},
+		{"duplicate-index", "for i = 0 to 3\nfor i = 0 to 3\n{ A[i, i] = 1 }"},
+		{"unknown-index", "for i = 0 to 3\n{ A[i] = A[i-1] + q[k] }"},
+		{"trailing-garbage", "for i = 0 to 3\n{ A[i] = A[i-1] } extra"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.name, c.src); err == nil {
+			t.Errorf("%s: accepted:\n%s", c.name, c.src)
+		}
+	}
+}
+
+func TestParsePositionInErrors(t *testing.T) {
+	_, err := Parse("bad", "for i = 0 to 3\n{\n A[i = A[i-1]\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "3:") {
+		t.Errorf("error lacks line info: %v", err)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+# header comment
+for i = 0 to 3  # trailing comment
+{
+  # comment inside body
+  A[i+1] = A[i] # and here
+}
+`
+	nest, err := Parse("c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nest.Size() != 4 {
+		t.Fatalf("size = %d", nest.Size())
+	}
+}
+
+func TestParseUnaryMinusAndScalars(t *testing.T) {
+	src := `
+for i = 0 to 3
+{
+  A[i+1] = -A[i] * alpha + 3 / beta - (A[i] + 1)
+}
+`
+	nest, err := Parse("u", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := nest.Dependences()
+	if len(deps) != 1 || !deps[0].Equal(vec.NewInt(1)) {
+		t.Fatalf("deps = %v", deps)
+	}
+	if nest.Stmts[0].Ops < 4 {
+		t.Fatalf("ops = %d", nest.Stmts[0].Ops)
+	}
+}
+
+func TestParseNegativeLowerBound(t *testing.T) {
+	src := "for i = -2 to 2\n{\n A[i+1] = A[i]\n}"
+	nest, err := Parse("neg", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nest.Size() != 5 {
+		t.Fatalf("size = %d", nest.Size())
+	}
+	if !nest.Contains(vec.NewInt(-2)) {
+		t.Fatal("negative bound lost")
+	}
+}

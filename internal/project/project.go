@@ -1,0 +1,220 @@
+// Package project implements the projection phase of Algorithm 1 (§III).
+//
+// Given a computational structure Q = (V, D) and a time function Π, every
+// index point x is projected onto the zero-hyperplane Π·x = 0:
+//
+//	x^p = x − (x·Π / Π·Π) Π          (Definition 3)
+//
+// The coordinates of x^p are rationals with denominators dividing
+// s = Π·Π, so the package stores points and projected dependence vectors
+// *scaled by s* as exact integer vectors: scaled(x) = s·x − (x·Π)·Π.
+// Two index points lie on the same projection line (and may therefore share
+// a processor, Lemma 1) iff their scaled projections are equal.
+//
+// For each projected dependence vector d^p the factor r_i — the smallest
+// positive integer with r_i·d^p ∈ Z^n — is computed as
+// lcm_k( s / gcd(s, scaled_k) ); the paper's group size r is the maximum
+// r_i over D^p (Step 1 of Algorithm 1).
+package project
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hyperplane"
+	"repro/internal/ints"
+	"repro/internal/loop"
+	"repro/internal/rat"
+	"repro/internal/vec"
+)
+
+// Dep is a projected dependence vector.
+type Dep struct {
+	// Index is the position of the originating vector in the structure's D.
+	Index int
+	// Orig is the original dependence vector d.
+	Orig vec.Int
+	// Scaled is s·d^p, an exact integer vector.
+	Scaled vec.Int
+	// R is the smallest positive integer with R·d^p ∈ Z^n. R == 1 for
+	// dependences parallel to Π (whose projection is the zero vector).
+	R int64
+}
+
+// IsZero reports whether the dependence projects to the zero vector
+// (i.e. d is parallel to Π).
+func (d Dep) IsZero() bool { return d.Scaled.IsZero() }
+
+// Rat returns the unscaled rational projected vector d^p.
+func (d Dep) Rat(s int64) vec.Rat {
+	out := make(vec.Rat, len(d.Scaled))
+	for i, x := range d.Scaled {
+		out[i] = rat.New(x, s)
+	}
+	return out
+}
+
+// Structure is the projected structure Q^p = (V^p, D^p) of Definition 5,
+// in scaled-integer representation.
+type Structure struct {
+	// Orig is the projected computational structure.
+	Orig *loop.Structure
+	// Pi is the projection vector (time function).
+	Pi vec.Int
+	// S is the scale factor Π·Π.
+	S int64
+	// Points holds the distinct scaled projected points, in lexicographic
+	// order.
+	Points []vec.Int
+	// Fibers[p] lists, for projected point p, the indices into Orig.V of
+	// the index points lying on its projection line, sorted by execution
+	// time Π·x.
+	Fibers [][]int
+	// Deps holds one entry per original dependence vector.
+	Deps []Dep
+
+	index map[string]int
+}
+
+// Project computes the projected structure of st under pi. pi must be a
+// valid time function for st's dependence set (Π·d > 0), since the
+// partitioning phase relies on the hyperplane schedule.
+func Project(st *loop.Structure, pi vec.Int) (*Structure, error) {
+	if len(pi) != st.Dim() {
+		return nil, fmt.Errorf("project: Π arity %d, structure dim %d", len(pi), st.Dim())
+	}
+	if err := hyperplane.Check(pi, st.D); err != nil {
+		return nil, err
+	}
+	s := pi.Dot(pi)
+	ps := &Structure{Orig: st, Pi: pi.Clone(), S: s, index: map[string]int{}}
+
+	// Project every vertex; collect fibers keyed by scaled projection.
+	type fiberEntry struct {
+		vi   int
+		time int64
+	}
+	fibers := map[string][]fiberEntry{}
+	var keys []string
+	keyPoint := map[string]vec.Int{}
+	for vi, x := range st.V {
+		sp := ScalePoint(x, pi, s)
+		k := sp.Key()
+		if _, ok := fibers[k]; !ok {
+			keys = append(keys, k)
+			keyPoint[k] = sp
+		}
+		fibers[k] = append(fibers[k], fiberEntry{vi: vi, time: pi.Dot(x)})
+	}
+	// Deterministic ordering: sort points lexicographically.
+	pts := make([]vec.Int, 0, len(keys))
+	for _, k := range keys {
+		pts = append(pts, keyPoint[k])
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Cmp(pts[j]) < 0 })
+	for i, p := range pts {
+		ps.index[p.Key()] = i
+		ps.Points = append(ps.Points, p)
+		entries := fibers[p.Key()]
+		sort.Slice(entries, func(a, b int) bool { return entries[a].time < entries[b].time })
+		fib := make([]int, len(entries))
+		for j, e := range entries {
+			fib[j] = e.vi
+		}
+		ps.Fibers = append(ps.Fibers, fib)
+	}
+
+	// Project the dependence vectors and compute r factors.
+	for di, d := range st.D {
+		sd := ScalePoint(d, pi, s)
+		ps.Deps = append(ps.Deps, Dep{Index: di, Orig: d.Clone(), Scaled: sd, R: rFactor(sd, s)})
+	}
+	return ps, nil
+}
+
+// ScalePoint returns s·x − (x·Π)·Π, the projection of x scaled by s = Π·Π.
+func ScalePoint(x, pi vec.Int, s int64) vec.Int {
+	t := x.Dot(pi)
+	return x.Scale(s).Sub(pi.Scale(t))
+}
+
+// rFactor computes the smallest positive r with r·(scaled/s) ∈ Z^n.
+func rFactor(scaled vec.Int, s int64) int64 {
+	r := int64(1)
+	for _, c := range scaled {
+		g := ints.GCD(s, c)
+		r = ints.LCM(r, s/g)
+	}
+	return r
+}
+
+// IndexOf returns the position of a scaled projected point, or -1.
+func (ps *Structure) IndexOf(scaled vec.Int) int {
+	i, ok := ps.index[scaled.Key()]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// HasPoint reports whether the scaled point belongs to V^p.
+func (ps *Structure) HasPoint(scaled vec.Int) bool {
+	return ps.IndexOf(scaled) >= 0
+}
+
+// ProjectionOf returns the scaled projected point of an index point.
+func (ps *Structure) ProjectionOf(x vec.Int) vec.Int {
+	return ScalePoint(x, ps.Pi, ps.S)
+}
+
+// RatPoint returns the unscaled rational coordinates of projected point i
+// (for display and for cross-checks against the paper's figures).
+func (ps *Structure) RatPoint(i int) vec.Rat {
+	out := make(vec.Rat, len(ps.Points[i]))
+	for k, x := range ps.Points[i] {
+		out[k] = rat.New(x, ps.S)
+	}
+	return out
+}
+
+// GroupSizeR returns the paper's group size r = max_i r_i over the
+// projected dependence vectors (1 when there are no dependences).
+func (ps *Structure) GroupSizeR() int64 {
+	r := int64(1)
+	for _, d := range ps.Deps {
+		if d.R > r {
+			r = d.R
+		}
+	}
+	return r
+}
+
+// NonzeroDeps returns the projected dependences with nonzero projection,
+// deduplicated by scaled vector (two original dependences may project to
+// the same d^p).
+func (ps *Structure) NonzeroDeps() []Dep {
+	seen := map[string]bool{}
+	var out []Dep
+	for _, d := range ps.Deps {
+		if d.IsZero() {
+			continue
+		}
+		k := d.Scaled.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, d)
+	}
+	return out
+}
+
+// FiberPoints returns the index points on the projection line of projected
+// point i, in execution-time order.
+func (ps *Structure) FiberPoints(i int) []vec.Int {
+	out := make([]vec.Int, len(ps.Fibers[i]))
+	for j, vi := range ps.Fibers[i] {
+		out[j] = ps.Orig.V[vi]
+	}
+	return out
+}

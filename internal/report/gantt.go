@@ -1,0 +1,62 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GanttSpan is one activity interval for the Gantt renderer (mirrors
+// sim.Span without importing it, keeping report dependency-free).
+type GanttSpan struct {
+	Proc       int
+	Start, End float64
+	// Glyph is the character drawn for the span ('#' compute, '~' send).
+	Glyph byte
+}
+
+// Gantt renders per-processor activity timelines as ASCII rows of width
+// columns: '#' for compute, '~' for communication (by convention of the
+// caller's glyphs), '.' for idle. When multiple activities fall into one
+// column the later glyph in the span list wins, so callers should append
+// communication after computation if they want sends visible.
+func Gantt(spans []GanttSpan, numProcs int, width int) string {
+	if width < 10 {
+		width = 60
+	}
+	var makespan float64
+	for _, s := range spans {
+		if s.End > makespan {
+			makespan = s.End
+		}
+	}
+	if makespan <= 0 || numProcs <= 0 {
+		return "(empty timeline)\n"
+	}
+	rows := make([][]byte, numProcs)
+	for p := range rows {
+		rows[p] = []byte(strings.Repeat(".", width))
+	}
+	scale := float64(width) / makespan
+	for _, s := range spans {
+		if s.Proc < 0 || s.Proc >= numProcs {
+			continue
+		}
+		a := int(s.Start * scale)
+		b := int(s.End * scale)
+		if b >= width {
+			b = width - 1
+		}
+		if b < a {
+			b = a
+		}
+		for c := a; c <= b; c++ {
+			rows[s.Proc][c] = s.Glyph
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "time 0%s%.4g\n", strings.Repeat(" ", width-len(fmt.Sprintf("%.4g", makespan))), makespan)
+	for p, row := range rows {
+		fmt.Fprintf(&sb, "P%-3d %s\n", p, row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,65 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGanttBasic(t *testing.T) {
+	spans := []GanttSpan{
+		{Proc: 0, Start: 0, End: 5, Glyph: '#'},
+		{Proc: 0, Start: 5, End: 10, Glyph: '~'},
+		{Proc: 1, Start: 5, End: 10, Glyph: '#'},
+	}
+	out := Gantt(spans, 2, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "P0") || !strings.HasPrefix(lines[2], "P1") {
+		t.Fatalf("row labels wrong:\n%s", out)
+	}
+	// P0: first half '#', second half '~'. P1: first half idle '.'.
+	if !strings.Contains(lines[1], "#") || !strings.Contains(lines[1], "~") {
+		t.Fatalf("P0 glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(lines[2], ".") {
+		t.Fatalf("P1 idle missing:\n%s", out)
+	}
+	// Header carries the makespan.
+	if !strings.Contains(lines[0], "10") {
+		t.Fatalf("makespan missing from header:\n%s", out)
+	}
+}
+
+func TestGanttProportions(t *testing.T) {
+	spans := []GanttSpan{{Proc: 0, Start: 0, End: 2.5, Glyph: '#'}}
+	// Width 40, makespan 10: hash should cover about the first quarter.
+	spans = append(spans, GanttSpan{Proc: 1, Start: 0, End: 10, Glyph: '#'})
+	out := Gantt(spans, 2, 40)
+	row0 := strings.Split(out, "\n")[1]
+	hashes := strings.Count(row0, "#")
+	if hashes < 8 || hashes > 13 {
+		t.Fatalf("quarter-length span drew %d cells of 40:\n%s", hashes, out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	if Gantt(nil, 2, 40) != "(empty timeline)\n" {
+		t.Fatal("empty timeline rendering wrong")
+	}
+	if Gantt([]GanttSpan{{Proc: 0, Start: 0, End: 0}}, 0, 40) != "(empty timeline)\n" {
+		t.Fatal("zero procs rendering wrong")
+	}
+}
+
+func TestGanttIgnoresOutOfRangeProc(t *testing.T) {
+	spans := []GanttSpan{
+		{Proc: 5, Start: 0, End: 10, Glyph: '#'},
+		{Proc: 0, Start: 0, End: 10, Glyph: '#'},
+	}
+	out := Gantt(spans, 1, 20)
+	if strings.Count(out, "\n") != 2 {
+		t.Fatalf("unexpected rows:\n%s", out)
+	}
+}

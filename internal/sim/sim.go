@@ -1,0 +1,401 @@
+// Package sim provides a deterministic event-driven simulation of
+// executing a partitioned, mapped nested loop on a message-passing
+// multiprocessor with the paper's cost model (§IV): one floating-point
+// operation costs t_calc, transmitting k words costs t_start + k·t_comm,
+// and sending occupies the sending processor (communication is serialized
+// with computation, which is how the paper accounts
+// T_exec = 2W·t_calc + (2M−2)(t_start + t_comm) for the critical
+// processor).
+//
+// The simulator executes index points in hyperplane-schedule order subject
+// to data arrival: a point may start once every predecessor's value has
+// arrived, interprocessor values being delayed by the message time over the
+// mapped route. It reports the makespan plus per-processor busy, send, and
+// traffic accounting, so the experiments can check both the paper's
+// closed-form coefficients and its qualitative claims (communication
+// invariant in machine size; comm/comp ratio falling with grain size).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hyperplane"
+	"repro/internal/loop"
+	"repro/internal/machine"
+	"repro/internal/mapping"
+)
+
+// Assignment places every vertex of a computational structure on a
+// processor.
+type Assignment struct {
+	// ProcOf[vi] is the processor of vertex vi (indices into Structure.V).
+	ProcOf []int
+	// NumProcs is the processor count.
+	NumProcs int
+	// Hops returns the route length between two distinct processors; nil
+	// means one hop for any remote pair.
+	Hops func(a, b int) int
+	// Route returns the node sequence (inclusive of endpoints) a message
+	// follows; required for Options.LinkContention. nil models an
+	// uncontended network.
+	Route func(a, b int) []int
+}
+
+// FromMapping combines a partitioning and a hypercube mapping into a
+// vertex-level assignment with e-cube hop counts.
+func FromMapping(p *core.Partitioning, m *mapping.Result) Assignment {
+	procOf := make([]int, len(p.BlockOf))
+	for vi, b := range p.BlockOf {
+		procOf[vi] = m.NodeOf[b]
+	}
+	cube := m.Cube
+	return Assignment{
+		ProcOf:   procOf,
+		NumProcs: cube.N,
+		Hops:     func(a, b int) int { return cube.Distance(a, b) },
+		Route:    cube.Route,
+	}
+}
+
+// FromMeshMapping combines a partitioning and a mesh mapping into a
+// vertex-level assignment with Manhattan hop counts.
+func FromMeshMapping(p *core.Partitioning, m *mapping.MeshResult) Assignment {
+	procOf := make([]int, len(p.BlockOf))
+	for vi, b := range p.BlockOf {
+		procOf[vi] = m.NodeOf[b]
+	}
+	msh := m.Mesh
+	return Assignment{
+		ProcOf:   procOf,
+		NumProcs: msh.N(),
+		Hops:     msh.Distance,
+		Route:    msh.Route,
+	}
+}
+
+// BlocksAsProcs assigns each partitioned block its own processor — the
+// pre-mapping ideal the partitioning phase reasons about.
+func BlocksAsProcs(p *core.Partitioning) Assignment {
+	procOf := make([]int, len(p.BlockOf))
+	copy(procOf, p.BlockOf)
+	return Assignment{ProcOf: procOf, NumProcs: p.NumBlocks()}
+}
+
+// Sequential places everything on one processor.
+func Sequential(st *loop.Structure) Assignment {
+	return Assignment{ProcOf: make([]int, len(st.V)), NumProcs: 1}
+}
+
+// Options tunes the simulation.
+type Options struct {
+	// Aggregate merges all values a vertex sends to one destination
+	// processor into a single message (one t_start, k words). The default
+	// false charges every word its own message, the paper's accounting.
+	Aggregate bool
+	// Timeline records per-processor compute/send spans in Stats.Spans
+	// (for Gantt rendering). Costs memory proportional to events.
+	Timeline bool
+	// LinkContention models store-and-forward links that carry one
+	// message at a time: a message occupies every link of its route
+	// (Assignment.Route) for k·t_comm + t_hop each, queueing behind
+	// earlier traffic. Requires Assignment.Route; without it the option
+	// is ignored (uncontended network).
+	LinkContention bool
+}
+
+// SpanKind distinguishes timeline activities.
+type SpanKind int
+
+const (
+	// SpanCompute is time spent executing index points.
+	SpanCompute SpanKind = iota
+	// SpanSend is time the processor spends injecting messages.
+	SpanSend
+)
+
+// Span is one contiguous activity of a processor.
+type Span struct {
+	Proc       int
+	Kind       SpanKind
+	Start, End float64
+}
+
+// Stats is the outcome of a simulation.
+type Stats struct {
+	// Makespan is the completion time of the last index point.
+	Makespan float64
+	// Busy[p] is processor p's total computation time.
+	Busy []float64
+	// SendTime[p] is processor p's total time spent sending messages.
+	SendTime []float64
+	// SendWords and RecvWords count interprocessor words per processor.
+	SendWords, RecvWords []int64
+	// Messages is the total interprocessor message count.
+	Messages int64
+	// Words is the total interprocessor word count.
+	Words int64
+	// ProcOps[p] is processor p's abstract operation count.
+	ProcOps []int64
+	// MaxProcOps is the largest per-processor operation count (the paper's
+	// 2W for matvec).
+	MaxProcOps int64
+	// Spans is the per-processor activity timeline (only recorded when
+	// Options.Timeline is set), in chronological order per processor.
+	Spans []Span
+}
+
+// MaxSendWords returns the largest per-processor outgoing word count.
+func (s *Stats) MaxSendWords() int64 {
+	var m int64
+	for _, w := range s.SendWords {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// CriticalProc returns the processor with the most computation (the
+// paper's critical processor — for matvec, the holder of the main-diagonal
+// block).
+func (s *Stats) CriticalProc() int {
+	best := 0
+	for p := range s.ProcOps {
+		if s.ProcOps[p] > s.ProcOps[best] {
+			best = p
+		}
+	}
+	return best
+}
+
+// CriticalCommWords returns the outgoing word count of the critical
+// processor.
+func (s *Stats) CriticalCommWords() int64 {
+	if len(s.SendWords) == 0 {
+		return 0
+	}
+	return s.SendWords[s.CriticalProc()]
+}
+
+// CriticalInOutWords returns the critical processor's total incident
+// (sent + received) word count. The paper charges the critical matvec
+// processor 2(M−1) words — the traffic incident to the main-diagonal
+// block's boundary; the detailed simulation adds the processor's opposite
+// cut, so this value lies in [2(M−1), 4(M−1)) for every machine size.
+func (s *Stats) CriticalInOutWords() int64 {
+	if len(s.SendWords) == 0 {
+		return 0
+	}
+	p := s.CriticalProc()
+	return s.SendWords[p] + s.RecvWords[p]
+}
+
+// Simulate runs the event-driven execution.
+func Simulate(st *loop.Structure, sch hyperplane.Schedule, a Assignment, p machine.Params, opt Options) (*Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(a.ProcOf) != len(st.V) {
+		return nil, fmt.Errorf("sim: assignment covers %d vertices, structure has %d", len(a.ProcOf), len(st.V))
+	}
+	if a.NumProcs <= 0 {
+		return nil, errors.New("sim: no processors")
+	}
+	for vi, pr := range a.ProcOf {
+		if pr < 0 || pr >= a.NumProcs {
+			return nil, fmt.Errorf("sim: vertex %d on invalid processor %d", vi, pr)
+		}
+	}
+	hops := a.Hops
+	if hops == nil {
+		hops = func(x, y int) int {
+			if x == y {
+				return 0
+			}
+			return 1
+		}
+	}
+
+	nV, nD := len(st.V), len(st.D)
+	opsPerPoint := float64(st.Nest.OpsPerIteration())
+
+	// Precompute predecessor and successor vertex indices per dependence
+	// (-1 when outside the index set) so the hot loop does no map lookups.
+	pred := make([]int, nV*nD)
+	succ := make([]int, nV*nD)
+	for vi, x := range st.V {
+		for di, d := range st.D {
+			pred[vi*nD+di] = st.VertexIndex(x.Sub(d))
+			succ[vi*nD+di] = st.VertexIndex(x.Add(d))
+		}
+	}
+
+	// Execution order: by schedule step, then vertex index (topological
+	// because Π·d > 0 strictly).
+	order := make([]int, nV)
+	steps := make([]int64, nV)
+	for i := range order {
+		order[i] = i
+		steps[i] = sch.Step(st.V[i])
+	}
+	sort.Slice(order, func(i, j int) bool {
+		si, sj := steps[order[i]], steps[order[j]]
+		if si != sj {
+			return si < sj
+		}
+		return order[i] < order[j]
+	})
+
+	stats := &Stats{
+		Busy:      make([]float64, a.NumProcs),
+		SendTime:  make([]float64, a.NumProcs),
+		SendWords: make([]int64, a.NumProcs),
+		RecvWords: make([]int64, a.NumProcs),
+	}
+
+	// networkArrival computes when k words injected at t0 reach dst.
+	// Under link contention each link of the route carries one message at
+	// a time (reservation follows the deterministic simulation order).
+	contend := opt.LinkContention && a.Route != nil
+	var linkFree map[[2]int]float64
+	if contend {
+		linkFree = map[[2]int]float64{}
+	}
+	networkArrival := func(t0 float64, src, dst int, k int64) float64 {
+		if !contend {
+			return t0 + p.MessageTime(k, hops(src, dst))
+		}
+		path := a.Route(src, dst)
+		t := t0 + p.TStart
+		per := float64(k)*p.TComm + p.THop
+		for i := 1; i < len(path); i++ {
+			lk := [2]int{path[i-1], path[i]}
+			if linkFree[lk] > t {
+				t = linkFree[lk]
+			}
+			t += per
+			linkFree[lk] = t
+		}
+		return t
+	}
+	clock := make([]float64, a.NumProcs)
+	finish := make([]float64, nV)
+	// arrival[vi*nD+di] is when the value along dependence di reaches
+	// vertex vi; zero when the predecessor is local or outside.
+	arrival := make([]float64, nV*nD)
+	stats.ProcOps = make([]int64, a.NumProcs)
+	procOps := stats.ProcOps
+
+	for _, vi := range order {
+		pr := a.ProcOf[vi]
+		// Ready once all remote inputs have arrived.
+		ready := 0.0
+		for di := 0; di < nD; di++ {
+			if t := arrival[vi*nD+di]; t > ready {
+				ready = t
+			}
+			if pi := pred[vi*nD+di]; pi >= 0 && a.ProcOf[pi] == pr {
+				if finish[pi] > ready {
+					ready = finish[pi]
+				}
+			}
+		}
+		start := clock[pr]
+		if ready > start {
+			start = ready
+		}
+		end := start + opsPerPoint*p.TCalc
+		stats.Busy[pr] += opsPerPoint * p.TCalc
+		procOps[pr] += int64(opsPerPoint)
+		finish[vi] = end
+		clock[pr] = end
+		if opt.Timeline {
+			stats.Spans = append(stats.Spans, Span{Proc: pr, Kind: SpanCompute, Start: start, End: end})
+		}
+
+		// Deliver outputs; remote sends occupy the sender.
+		type sendItem struct {
+			target int // vertex
+			dep    int
+			proc   int
+		}
+		var remote []sendItem
+		for di := 0; di < nD; di++ {
+			si := succ[vi*nD+di]
+			if si < 0 {
+				continue
+			}
+			if a.ProcOf[si] != pr {
+				remote = append(remote, sendItem{target: si, dep: di, proc: a.ProcOf[si]})
+			}
+		}
+		if len(remote) == 0 {
+			continue
+		}
+		if opt.Aggregate {
+			// One message per destination processor.
+			byProc := map[int][]sendItem{}
+			var procsOrder []int
+			for _, s := range remote {
+				if _, ok := byProc[s.proc]; !ok {
+					procsOrder = append(procsOrder, s.proc)
+				}
+				byProc[s.proc] = append(byProc[s.proc], s)
+			}
+			sort.Ints(procsOrder)
+			for _, dst := range procsOrder {
+				items := byProc[dst]
+				k := int64(len(items))
+				sendDone := clock[pr] + p.TStart + float64(k)*p.TComm
+				arrivalTime := networkArrival(clock[pr], pr, dst, k)
+				if opt.Timeline {
+					stats.Spans = append(stats.Spans, Span{Proc: pr, Kind: SpanSend, Start: clock[pr], End: sendDone})
+				}
+				clock[pr] = sendDone
+				stats.SendTime[pr] += p.TStart + float64(k)*p.TComm
+				stats.Messages++
+				stats.Words += k
+				stats.SendWords[pr] += k
+				stats.RecvWords[dst] += k
+				for _, s := range items {
+					if arrivalTime > arrival[s.target*nD+s.dep] {
+						arrival[s.target*nD+s.dep] = arrivalTime
+					}
+				}
+			}
+		} else {
+			// The paper's model: every word is its own message.
+			for _, s := range remote {
+				sendDone := clock[pr] + p.TStart + p.TComm
+				arrivalTime := networkArrival(clock[pr], pr, s.proc, 1)
+				if opt.Timeline {
+					stats.Spans = append(stats.Spans, Span{Proc: pr, Kind: SpanSend, Start: clock[pr], End: sendDone})
+				}
+				clock[pr] = sendDone
+				stats.SendTime[pr] += p.TStart + p.TComm
+				stats.Messages++
+				stats.Words++
+				stats.SendWords[pr]++
+				stats.RecvWords[s.proc]++
+				if arrivalTime > arrival[s.target*nD+s.dep] {
+					arrival[s.target*nD+s.dep] = arrivalTime
+				}
+			}
+		}
+	}
+
+	for _, c := range clock {
+		if c > stats.Makespan {
+			stats.Makespan = c
+		}
+	}
+	for _, o := range procOps {
+		if o > stats.MaxProcOps {
+			stats.MaxProcOps = o
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,60 @@
+// Package trace exports simulator timelines in the Chrome trace-event
+// format (the JSON array consumed by chrome://tracing and Perfetto), so a
+// simulated parallel execution can be inspected with standard tooling —
+// one track per processor, compute and send phases as complete events.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// event is one Chrome trace "complete" event.
+type event struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Cat  string  `json:"cat"`
+}
+
+// metadata names a thread track.
+type metadata struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// Chrome writes the spans of a simulation as a Chrome trace JSON array.
+// Simulated time units map one-to-one onto trace microseconds.
+func Chrome(w io.Writer, stats *sim.Stats) error {
+	if stats == nil {
+		return fmt.Errorf("trace: nil stats")
+	}
+	var items []any
+	for p := range stats.Busy {
+		items = append(items, metadata{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: p,
+			Args: map[string]any{"name": fmt.Sprintf("processor %d", p)},
+		})
+	}
+	for _, s := range stats.Spans {
+		name, cat := "compute", "compute"
+		if s.Kind == sim.SpanSend {
+			name, cat = "send", "comm"
+		}
+		items = append(items, event{
+			Name: name, Ph: "X", Ts: s.Start, Dur: s.End - s.Start,
+			Pid: 0, Tid: s.Proc, Cat: cat,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(items)
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestChromeWellFormed(t *testing.T) {
+	stats := &sim.Stats{
+		Busy: []float64{1, 1},
+		Spans: []sim.Span{
+			{Proc: 0, Kind: sim.SpanCompute, Start: 0, End: 5},
+			{Proc: 0, Kind: sim.SpanSend, Start: 5, End: 7},
+			{Proc: 1, Kind: sim.SpanCompute, Start: 2, End: 9},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Chrome(&buf, stats); err != nil {
+		t.Fatal(err)
+	}
+	var items []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &items); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 2 thread-name metadata + 3 spans.
+	if len(items) != 5 {
+		t.Fatalf("items = %d", len(items))
+	}
+	var computes, sends, metas int
+	for _, it := range items {
+		switch it["ph"] {
+		case "M":
+			metas++
+		case "X":
+			switch it["name"] {
+			case "compute":
+				computes++
+			case "send":
+				sends++
+			}
+			if it["dur"].(float64) < 0 {
+				t.Fatalf("negative duration in %v", it)
+			}
+		}
+	}
+	if metas != 2 || computes != 2 || sends != 1 {
+		t.Fatalf("metas=%d computes=%d sends=%d", metas, computes, sends)
+	}
+}
+
+func TestChromeNilStats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Chrome(&buf, nil); err == nil {
+		t.Fatal("nil stats accepted")
+	}
+}
+
+func TestChromeEmptySpans(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Chrome(&buf, &sim.Stats{Busy: []float64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	var items []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &items); err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 { // just the thread-name metadata
+		t.Fatalf("items = %d", len(items))
+	}
+}

@@ -1,0 +1,262 @@
+package vec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rat"
+)
+
+// Mat is a dense rational matrix stored row-major.
+type Mat struct {
+	Rows, Cols int
+	a          []rat.Rat
+}
+
+// NewMat returns a zero Rows×Cols matrix.
+func NewMat(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic("vec: negative matrix dimension")
+	}
+	return &Mat{Rows: rows, Cols: cols, a: make([]rat.Rat, rows*cols)}
+}
+
+// MatFromColumns builds a matrix whose columns are the given rational
+// vectors (the paper's mat(D^p) is the matrix of projected dependence
+// vectors as columns).
+func MatFromColumns(cols ...Rat) *Mat {
+	if len(cols) == 0 {
+		return NewMat(0, 0)
+	}
+	n := len(cols[0])
+	m := NewMat(n, len(cols))
+	for j, c := range cols {
+		if len(c) != n {
+			panic("vec: ragged columns")
+		}
+		for i := range c {
+			m.Set(i, j, c[i])
+		}
+	}
+	return m
+}
+
+// MatFromIntColumns builds a rational matrix from integer column vectors.
+func MatFromIntColumns(cols ...Int) *Mat {
+	rs := make([]Rat, len(cols))
+	for i, c := range cols {
+		rs[i] = c.ToRat()
+	}
+	return MatFromColumns(rs...)
+}
+
+// MatFromRows builds a matrix from row vectors.
+func MatFromRows(rows ...Rat) *Mat {
+	if len(rows) == 0 {
+		return NewMat(0, 0)
+	}
+	n := len(rows[0])
+	m := NewMat(len(rows), n)
+	for i, r := range rows {
+		if len(r) != n {
+			panic("vec: ragged rows")
+		}
+		for j := range r {
+			m.Set(i, j, r[j])
+		}
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) rat.Rat {
+	m.check(i, j)
+	return m.a[i*m.Cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v rat.Rat) {
+	m.check(i, j)
+	m.a[i*m.Cols+j] = v
+}
+
+func (m *Mat) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("vec: index (%d,%d) out of %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Clone deep-copies the matrix.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.Rows, m.Cols)
+	copy(out.a, m.a)
+	return out
+}
+
+// Row returns a copy of row i.
+func (m *Mat) Row(i int) Rat {
+	out := make(Rat, m.Cols)
+	for j := 0; j < m.Cols; j++ {
+		out[j] = m.At(i, j)
+	}
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Mat) Col(j int) Rat {
+	out := make(Rat, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// MulVec returns m·x.
+func (m *Mat) MulVec(x Rat) Rat {
+	if len(x) != m.Cols {
+		panic("vec: MulVec dimension mismatch")
+	}
+	out := make(Rat, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := rat.Zero
+		for j := 0; j < m.Cols; j++ {
+			s = s.Add(m.At(i, j).Mul(x[j]))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// String renders the matrix in aligned rows for debugging.
+func (m *Mat) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		b.WriteString("[")
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			b.WriteString(m.At(i, j).String())
+		}
+		b.WriteString("]")
+		if i < m.Rows-1 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// rref reduces a copy of the matrix to row echelon form and returns the
+// reduced copy together with the pivot column of each pivot row.
+func (m *Mat) rref() (*Mat, []int) {
+	r := m.Clone()
+	var pivots []int
+	row := 0
+	for col := 0; col < r.Cols && row < r.Rows; col++ {
+		// Find a pivot in this column at or below `row`.
+		p := -1
+		for i := row; i < r.Rows; i++ {
+			if !r.At(i, col).IsZero() {
+				p = i
+				break
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		// Swap pivot row into place.
+		if p != row {
+			for j := 0; j < r.Cols; j++ {
+				a, b := r.At(row, j), r.At(p, j)
+				r.Set(row, j, b)
+				r.Set(p, j, a)
+			}
+		}
+		// Normalize pivot to 1.
+		inv := r.At(row, col).Inv()
+		for j := col; j < r.Cols; j++ {
+			r.Set(row, j, r.At(row, j).Mul(inv))
+		}
+		// Eliminate the column everywhere else.
+		for i := 0; i < r.Rows; i++ {
+			if i == row {
+				continue
+			}
+			f := r.At(i, col)
+			if f.IsZero() {
+				continue
+			}
+			for j := col; j < r.Cols; j++ {
+				r.Set(i, j, r.At(i, j).Sub(f.Mul(r.At(row, j))))
+			}
+		}
+		pivots = append(pivots, col)
+		row++
+	}
+	return r, pivots
+}
+
+// Rank returns the rank of the matrix using exact Gaussian elimination.
+func (m *Mat) Rank() int {
+	_, pivots := m.rref()
+	return len(pivots)
+}
+
+// Solve finds x with m·x = b, if one exists. When the system is
+// underdetermined it returns one particular solution (free variables zero).
+// ok is false when the system is inconsistent.
+func (m *Mat) Solve(b Rat) (x Rat, ok bool) {
+	if len(b) != m.Rows {
+		panic("vec: Solve dimension mismatch")
+	}
+	// Build the augmented matrix [m | b].
+	aug := NewMat(m.Rows, m.Cols+1)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			aug.Set(i, j, m.At(i, j))
+		}
+		aug.Set(i, m.Cols, b[i])
+	}
+	r, pivots := aug.rref()
+	// Inconsistent if a pivot landed in the augmented column.
+	for _, p := range pivots {
+		if p == m.Cols {
+			return nil, false
+		}
+	}
+	x = make(Rat, m.Cols)
+	for i := range x {
+		x[i] = rat.Zero
+	}
+	for row, col := range pivots {
+		x[col] = r.At(row, m.Cols)
+	}
+	return x, true
+}
+
+// LinearlyIndependent reports whether the given rational vectors are
+// linearly independent.
+func LinearlyIndependent(vs ...Rat) bool {
+	if len(vs) == 0 {
+		return true
+	}
+	return MatFromColumns(vs...).Rank() == len(vs)
+}
+
+// RankOfIntColumns returns the rank of the matrix whose columns are the
+// given integer vectors.
+func RankOfIntColumns(cols ...Int) int {
+	if len(cols) == 0 {
+		return 0
+	}
+	return MatFromIntColumns(cols...).Rank()
+}
+
+// Identity returns the n×n rational identity matrix.
+func Identity(n int) *Mat {
+	m := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, rat.One)
+	}
+	return m
+}

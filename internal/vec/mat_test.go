@@ -1,0 +1,173 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rat"
+)
+
+func TestRankBasics(t *testing.T) {
+	cases := []struct {
+		name string
+		cols []Int
+		want int
+	}{
+		{"identity3", []Int{NewInt(1, 0, 0), NewInt(0, 1, 0), NewInt(0, 0, 1)}, 3},
+		{"dup", []Int{NewInt(1, 2), NewInt(2, 4)}, 1},
+		{"zero", []Int{NewInt(0, 0, 0)}, 0},
+		{"two-of-three", []Int{NewInt(1, 0, 1), NewInt(0, 1, 1), NewInt(1, 1, 2)}, 2},
+		{"empty", nil, 0},
+	}
+	for _, c := range cases {
+		if got := RankOfIntColumns(c.cols...); got != c.want {
+			t.Errorf("%s: rank = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRankPaperProjectedMatMul(t *testing.T) {
+	// The paper computes rank(mat(D^p)) = 2 for matmul projected with
+	// Π=(1,1,1) (§III Example 2). Projected vectors scaled by 3:
+	cols := []Int{
+		NewInt(-1, 2, -1), // 3*d_A^p
+		NewInt(2, -1, -1), // 3*d_B^p
+		NewInt(-1, -1, 2), // 3*d_C^p
+	}
+	if got := RankOfIntColumns(cols...); got != 2 {
+		t.Fatalf("rank(mat(D^p)) = %d, want 2", got)
+	}
+}
+
+func TestLinearlyIndependent(t *testing.T) {
+	a := NewRat(1, 1, 0, 1)
+	b := NewRat(0, 1, 1, 1)
+	c := NewRat(1, 1, 1, 1) // a + b
+	if !LinearlyIndependent(a, b) {
+		t.Error("a,b should be independent")
+	}
+	if LinearlyIndependent(a, b, c) {
+		t.Error("a,b,a+b should be dependent")
+	}
+	if !LinearlyIndependent() {
+		t.Error("empty set is independent")
+	}
+}
+
+func TestSolveExact(t *testing.T) {
+	// 2x + y = 5, x - y = 1  =>  x = 2, y = 1
+	m := MatFromRows(NewRat(2, 1, 1, 1), NewRat(1, 1, -1, 1))
+	x, ok := m.Solve(NewRat(5, 1, 1, 1))
+	if !ok {
+		t.Fatal("Solve reported inconsistent")
+	}
+	if !x.Equal(NewRat(2, 1, 1, 1)) {
+		t.Fatalf("Solve = %v", x)
+	}
+}
+
+func TestSolveInconsistent(t *testing.T) {
+	// x + y = 1, x + y = 2 has no solution.
+	m := MatFromRows(NewRat(1, 1, 1, 1), NewRat(1, 1, 1, 1))
+	if _, ok := m.Solve(NewRat(1, 1, 2, 1)); ok {
+		t.Fatal("inconsistent system reported solvable")
+	}
+}
+
+func TestSolveUnderdetermined(t *testing.T) {
+	// x + y + z = 3 with one row: any particular solution must satisfy it.
+	m := MatFromRows(NewRat(1, 1, 1, 1, 1, 1))
+	x, ok := m.Solve(NewRat(3, 1))
+	if !ok {
+		t.Fatal("underdetermined system reported inconsistent")
+	}
+	if got := m.MulVec(x); !got.Equal(NewRat(3, 1)) {
+		t.Fatalf("residual check failed: %v", got)
+	}
+}
+
+func TestSolveRandomConsistentSystems(t *testing.T) {
+	// Generate random A and x, then verify Solve(A, A·x) satisfies A·y = A·x.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		rows := rng.Intn(4) + 1
+		cols := rng.Intn(4) + 1
+		m := NewMat(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.Set(i, j, rat.New(rng.Int63n(11)-5, rng.Int63n(3)+1))
+			}
+		}
+		x := make(Rat, cols)
+		for j := range x {
+			x[j] = rat.New(rng.Int63n(11)-5, rng.Int63n(3)+1)
+		}
+		b := m.MulVec(x)
+		y, ok := m.Solve(b)
+		if !ok {
+			t.Fatalf("trial %d: consistent system reported inconsistent", trial)
+		}
+		if !m.MulVec(y).Equal(b) {
+			t.Fatalf("trial %d: solution does not satisfy system", trial)
+		}
+	}
+}
+
+func TestRankInvariantUnderColumnOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(3) + 2
+		k := rng.Intn(3) + 1
+		cols := make([]Int, k)
+		for i := range cols {
+			c := make(Int, n)
+			for j := range c {
+				c[j] = rng.Int63n(9) - 4
+			}
+			cols[i] = c
+		}
+		r := RankOfIntColumns(cols...)
+		// Adding a linear combination of existing columns keeps rank equal.
+		comb := make(Int, n)
+		for _, c := range cols {
+			comb = comb.AddScaled(rng.Int63n(5)-2, c)
+		}
+		if got := RankOfIntColumns(append(append([]Int{}, cols...), comb)...); got != r {
+			t.Fatalf("trial %d: rank changed %d -> %d after adding combination", trial, r, got)
+		}
+	}
+}
+
+func TestMatAccessorsAndString(t *testing.T) {
+	m := Identity(2)
+	if !m.At(0, 0).Equal(rat.One) || !m.At(0, 1).IsZero() {
+		t.Fatal("Identity wrong")
+	}
+	m.Set(0, 1, rat.New(1, 2))
+	if m.String() != "[1 1/2]\n[0 1]" {
+		t.Fatalf("String = %q", m.String())
+	}
+	if got := m.Row(0); !got.Equal(NewRat(1, 1, 1, 2)) {
+		t.Fatalf("Row = %v", got)
+	}
+	if got := m.Col(1); !got.Equal(NewRat(1, 2, 1, 1)) {
+		t.Fatalf("Col = %v", got)
+	}
+}
+
+func TestMatOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMat(2, 2).At(2, 0)
+}
+
+func TestMulVec(t *testing.T) {
+	m := MatFromRows(NewRat(1, 1, 2, 1), NewRat(3, 1, 4, 1))
+	got := m.MulVec(NewRat(1, 2, 1, 2))
+	if !got.Equal(NewRat(3, 2, 7, 2)) {
+		t.Fatalf("MulVec = %v", got)
+	}
+}

@@ -1,0 +1,310 @@
+// Package vec provides exact integer and rational vectors and matrices with
+// the linear algebra the partitioning/mapping pipeline needs: dot products,
+// projection, exact Gaussian elimination (rank, linear independence), and
+// exact linear solving (used to express group base vertices in the
+// grouping-vector lattice basis for Algorithm 2).
+package vec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ints"
+	"repro/internal/rat"
+)
+
+// Int is an integer vector (a loop index point, a dependence vector, or a
+// projected point scaled by s = Π·Π).
+type Int []int64
+
+// NewInt copies vals into a fresh Int vector.
+func NewInt(vals ...int64) Int {
+	v := make(Int, len(vals))
+	copy(v, vals)
+	return v
+}
+
+// Clone returns a copy of v.
+func (v Int) Clone() Int {
+	w := make(Int, len(v))
+	copy(w, v)
+	return w
+}
+
+// Add returns v + w. Panics on dimension mismatch.
+func (v Int) Add(w Int) Int {
+	mustSameLen(len(v), len(w))
+	out := make(Int, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Sub returns v - w.
+func (v Int) Sub(w Int) Int {
+	mustSameLen(len(v), len(w))
+	out := make(Int, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Scale returns k*v.
+func (v Int) Scale(k int64) Int {
+	out := make(Int, len(v))
+	for i := range v {
+		out[i] = k * v[i]
+	}
+	return out
+}
+
+// AddScaled returns v + k*w without allocating intermediates.
+func (v Int) AddScaled(k int64, w Int) Int {
+	mustSameLen(len(v), len(w))
+	out := make(Int, len(v))
+	for i := range v {
+		out[i] = v[i] + k*w[i]
+	}
+	return out
+}
+
+// Dot returns the inner product v·w.
+func (v Int) Dot(w Int) int64 {
+	mustSameLen(len(v), len(w))
+	var s int64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// IsZero reports whether every component is zero.
+func (v Int) IsZero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports component-wise equality.
+func (v Int) Equal(w Int) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Cmp compares v and w lexicographically: -1, 0, or +1.
+func (v Int) Cmp(w Int) int {
+	mustSameLen(len(v), len(w))
+	for i := range v {
+		if v[i] < w[i] {
+			return -1
+		}
+		if v[i] > w[i] {
+			return 1
+		}
+	}
+	return 0
+}
+
+// LexPositive reports whether the first nonzero component of v is positive.
+func (v Int) LexPositive() bool {
+	for _, x := range v {
+		if x != 0 {
+			return x > 0
+		}
+	}
+	return false
+}
+
+// Key returns a compact canonical string usable as a map key. This is on
+// the hot path of structure indexing (called once per vertex lookup for
+// non-rectangular nests), so it formats with strconv into a stack buffer.
+func (v Int) Key() string {
+	buf := make([]byte, 0, 16*len(v))
+	for i, x := range v {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, x, 10)
+	}
+	return string(buf)
+}
+
+// String renders v as "(a, b, ...)".
+func (v Int) String() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// ToRat converts v to a rational vector.
+func (v Int) ToRat() Rat {
+	out := make(Rat, len(v))
+	for i, x := range v {
+		out[i] = rat.FromInt(x)
+	}
+	return out
+}
+
+// ContentGCD returns the gcd of all components (0 for the zero vector).
+func (v Int) ContentGCD() int64 {
+	return ints.GCDAll(v...)
+}
+
+// Rat is a rational vector.
+type Rat []rat.Rat
+
+// NewRat builds a rational vector from numerator/denominator pairs given as
+// alternating values: NewRat(1,2, -1,3) = (1/2, -1/3).
+func NewRat(pairs ...int64) Rat {
+	if len(pairs)%2 != 0 {
+		panic("vec: NewRat needs num,den pairs")
+	}
+	out := make(Rat, len(pairs)/2)
+	for i := range out {
+		out[i] = rat.New(pairs[2*i], pairs[2*i+1])
+	}
+	return out
+}
+
+// Clone returns a copy of v.
+func (v Rat) Clone() Rat {
+	w := make(Rat, len(v))
+	copy(w, v)
+	return w
+}
+
+// Add returns v + w.
+func (v Rat) Add(w Rat) Rat {
+	mustSameLen(len(v), len(w))
+	out := make(Rat, len(v))
+	for i := range v {
+		out[i] = v[i].Add(w[i])
+	}
+	return out
+}
+
+// Sub returns v - w.
+func (v Rat) Sub(w Rat) Rat {
+	mustSameLen(len(v), len(w))
+	out := make(Rat, len(v))
+	for i := range v {
+		out[i] = v[i].Sub(w[i])
+	}
+	return out
+}
+
+// Scale returns k*v for rational k.
+func (v Rat) Scale(k rat.Rat) Rat {
+	out := make(Rat, len(v))
+	for i := range v {
+		out[i] = v[i].Mul(k)
+	}
+	return out
+}
+
+// Dot returns the rational inner product.
+func (v Rat) Dot(w Rat) rat.Rat {
+	mustSameLen(len(v), len(w))
+	s := rat.Zero
+	for i := range v {
+		s = s.Add(v[i].Mul(w[i]))
+	}
+	return s
+}
+
+// IsZero reports whether all components are zero.
+func (v Rat) IsZero() bool {
+	for _, x := range v {
+		if !x.IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports component-wise equality.
+func (v Rat) Equal(w Rat) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if !v[i].Equal(w[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical map key for v.
+func (v Rat) Key() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = x.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// String renders v as "(a, b, ...)".
+func (v Rat) String() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = x.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// IsIntegral reports whether every component is an integer.
+func (v Rat) IsIntegral() bool {
+	for _, x := range v {
+		if !x.IsInt() {
+			return false
+		}
+	}
+	return true
+}
+
+// ToInt converts v to an integer vector; ok is false if any component is
+// fractional.
+func (v Rat) ToInt() (Int, bool) {
+	out := make(Int, len(v))
+	for i, x := range v {
+		n, ok := x.Int()
+		if !ok {
+			return nil, false
+		}
+		out[i] = n
+	}
+	return out, true
+}
+
+// Project returns the projection of v onto the hyperplane orthogonal to p:
+// v - (v·p / p·p) p (Definition 3 of the paper).
+func (v Rat) Project(p Rat) Rat {
+	pp := p.Dot(p)
+	if pp.IsZero() {
+		panic("vec: projection onto zero vector")
+	}
+	c := v.Dot(p).Div(pp)
+	return v.Sub(p.Scale(c))
+}
+
+func mustSameLen(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("vec: dimension mismatch %d vs %d", a, b))
+	}
+}

@@ -1,0 +1,258 @@
+package vec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rat"
+)
+
+func TestIntBasics(t *testing.T) {
+	v := NewInt(1, 2, 3)
+	w := NewInt(4, -5, 6)
+	if got := v.Add(w); !got.Equal(NewInt(5, -3, 9)) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); !got.Equal(NewInt(-3, 7, -3)) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(-2); !got.Equal(NewInt(-2, -4, -6)) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.AddScaled(3, w); !got.Equal(NewInt(13, -13, 21)) {
+		t.Errorf("AddScaled = %v", got)
+	}
+	if got := v.Dot(w); got != 4-10+18 {
+		t.Errorf("Dot = %d", got)
+	}
+	if !NewInt(0, 0).IsZero() || NewInt(0, 1).IsZero() {
+		t.Error("IsZero wrong")
+	}
+}
+
+func TestIntCmpAndLex(t *testing.T) {
+	if NewInt(1, 2).Cmp(NewInt(1, 3)) != -1 {
+		t.Error("Cmp (1,2)<(1,3) failed")
+	}
+	if NewInt(2, 0).Cmp(NewInt(1, 9)) != 1 {
+		t.Error("Cmp (2,0)>(1,9) failed")
+	}
+	if NewInt(1, 1).Cmp(NewInt(1, 1)) != 0 {
+		t.Error("Cmp equal failed")
+	}
+	if !NewInt(0, 1, -5).LexPositive() {
+		t.Error("(0,1,-5) should be lex positive")
+	}
+	if NewInt(0, -1, 5).LexPositive() || NewInt(0, 0).LexPositive() {
+		t.Error("LexPositive false cases failed")
+	}
+}
+
+func TestIntKeyUniqueness(t *testing.T) {
+	// Keys must not collide for distinct vectors (comma separation matters:
+	// (1,23) vs (12,3)).
+	a, b := NewInt(1, 23), NewInt(12, 3)
+	if a.Key() == b.Key() {
+		t.Fatalf("key collision: %q", a.Key())
+	}
+	if a.Key() != "1,23" {
+		t.Errorf("Key = %q", a.Key())
+	}
+}
+
+func TestIntCloneIndependence(t *testing.T) {
+	v := NewInt(1, 2)
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestIntDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewInt(1).Add(NewInt(1, 2))
+}
+
+func TestContentGCD(t *testing.T) {
+	if NewInt(6, -9, 12).ContentGCD() != 3 {
+		t.Error("ContentGCD(6,-9,12) != 3")
+	}
+	if NewInt(0, 0).ContentGCD() != 0 {
+		t.Error("ContentGCD(0,0) != 0")
+	}
+}
+
+func TestRatVectorOps(t *testing.T) {
+	v := NewRat(1, 2, -1, 3) // (1/2, -1/3)
+	w := NewRat(1, 6, 1, 3)  // (1/6, 1/3)
+	if got := v.Add(w); !got.Equal(NewRat(2, 3, 0, 1)) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Dot(w); !got.Equal(rat.New(-1, 36)) {
+		// 1/2*1/6 + (-1/3)*1/3 = 1/12 - 1/9 = -1/36
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Scale(rat.New(6, 1)); !got.Equal(NewRat(3, 1, -2, 1)) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestProjectPaperExample1(t *testing.T) {
+	// Loop L1 with Π=(1,1): dependence (0,1) projects to (-1/2, 1/2),
+	// (1,1) projects to (0,0), (1,0) projects to (1/2,-1/2). (§II, Fig. 3.)
+	pi := NewInt(1, 1).ToRat()
+	cases := []struct {
+		d    Int
+		want Rat
+	}{
+		{NewInt(0, 1), NewRat(-1, 2, 1, 2)},
+		{NewInt(1, 1), NewRat(0, 1, 0, 1)},
+		{NewInt(1, 0), NewRat(1, 2, -1, 2)},
+	}
+	for _, c := range cases {
+		got := c.d.ToRat().Project(pi)
+		if !got.Equal(c.want) {
+			t.Errorf("project %v = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestProjectPaperExample2(t *testing.T) {
+	// Matmul with Π=(1,1,1): d_A=(0,1,0) ↦ (-1/3,2/3,-1/3),
+	// d_B=(1,0,0) ↦ (2/3,-1/3,-1/3), d_C=(0,0,1) ↦ (-1/3,-1/3,2/3). (Fig. 5.)
+	pi := NewInt(1, 1, 1).ToRat()
+	cases := []struct {
+		d    Int
+		want Rat
+	}{
+		{NewInt(0, 1, 0), NewRat(-1, 3, 2, 3, -1, 3)},
+		{NewInt(1, 0, 0), NewRat(2, 3, -1, 3, -1, 3)},
+		{NewInt(0, 0, 1), NewRat(-1, 3, -1, 3, 2, 3)},
+	}
+	for _, c := range cases {
+		got := c.d.ToRat().Project(pi)
+		if !got.Equal(c.want) {
+			t.Errorf("project %v = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestProjectionProperties(t *testing.T) {
+	// Projection is idempotent and the image is orthogonal to p.
+	gen := func(args []reflect.Value, r *rand.Rand) {
+		mk := func() Rat {
+			v := make(Rat, 3)
+			for i := range v {
+				v[i] = rat.New(r.Int63n(21)-10, r.Int63n(5)+1)
+			}
+			return v
+		}
+		args[0], args[1] = reflect.ValueOf(mk()), reflect.ValueOf(mk())
+	}
+	cfg := &quick.Config{Values: gen, MaxCount: 200}
+	f := func(v, p Rat) bool {
+		if p.IsZero() {
+			return true
+		}
+		proj := v.Project(p)
+		return proj.Dot(p).IsZero() && proj.Project(p).Equal(proj)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringersAndKeys(t *testing.T) {
+	if got := NewInt(1, -2).String(); got != "(1, -2)" {
+		t.Errorf("Int.String = %q", got)
+	}
+	if got := NewRat(1, 2, -1, 3).String(); got != "(1/2, -1/3)" {
+		t.Errorf("Rat.String = %q", got)
+	}
+	if got := NewRat(1, 2, 3, 1).Key(); got != "1/2,3" {
+		t.Errorf("Rat.Key = %q", got)
+	}
+	if NewInt(-10, 5).Key() != "-10,5" {
+		t.Errorf("Int.Key = %q", NewInt(-10, 5).Key())
+	}
+}
+
+func TestRatCloneAndZero(t *testing.T) {
+	v := NewRat(1, 2, 0, 1)
+	w := v.Clone()
+	w[0] = rat.FromInt(9)
+	if !v[0].Equal(rat.New(1, 2)) {
+		t.Fatal("Rat.Clone aliases original")
+	}
+	if v.IsZero() {
+		t.Fatal("(1/2, 0) is not zero")
+	}
+	if !NewRat(0, 1, 0, 5).IsZero() {
+		t.Fatal("(0, 0) should be zero")
+	}
+	if v.Equal(NewRat(1, 2)) {
+		t.Fatal("length mismatch should not be equal")
+	}
+	if NewInt(1).Equal(NewInt(1, 2)) {
+		t.Fatal("Int length mismatch should not be equal")
+	}
+}
+
+func TestProjectZeroVectorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("projection onto zero vector did not panic")
+		}
+	}()
+	NewRat(1, 1).Project(NewRat(0, 1))
+}
+
+func TestNewRatOddPairsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd pair count did not panic")
+		}
+	}()
+	NewRat(1, 2, 3)
+}
+
+func TestMatConstructorEdges(t *testing.T) {
+	if m := MatFromColumns(); m.Rows != 0 || m.Cols != 0 {
+		t.Fatal("empty MatFromColumns wrong")
+	}
+	if m := MatFromRows(); m.Rows != 0 || m.Cols != 0 {
+		t.Fatal("empty MatFromRows wrong")
+	}
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative dims", func() { NewMat(-1, 2) })
+	mustPanic("ragged cols", func() { MatFromColumns(NewRat(1, 1), NewRat(1, 1, 2, 1)) })
+	mustPanic("ragged rows", func() { MatFromRows(NewRat(1, 1), NewRat(1, 1, 2, 1)) })
+	mustPanic("mulvec mismatch", func() { Identity(2).MulVec(NewRat(1, 1)) })
+	mustPanic("solve mismatch", func() { Identity(2).Solve(NewRat(1, 1)) })
+}
+
+func TestRatToInt(t *testing.T) {
+	if got, ok := NewRat(4, 2, -6, 3).ToInt(); !ok || !got.Equal(NewInt(2, -2)) {
+		t.Errorf("ToInt = %v, %v", got, ok)
+	}
+	if _, ok := NewRat(1, 2).ToInt(); ok {
+		t.Error("fractional ToInt should fail")
+	}
+	if !NewRat(4, 2).IsIntegral() || NewRat(1, 3).IsIntegral() {
+		t.Error("IsIntegral wrong")
+	}
+}

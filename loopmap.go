@@ -1,0 +1,348 @@
+// Package loopmap (module "repro") is a reproduction of Sheu & Tai,
+// "Partitioning and Mapping Nested Loops on Multiprocessor Systems" (1991).
+//
+// It exposes the paper's full pipeline behind one type, Plan:
+//
+//	nested loop ──hyperplane Π──▶ schedule
+//	            ──projection──▶ projected structure Q^p
+//	            ──Algorithm 1──▶ partitioned blocks + TIG
+//	            ──Algorithm 2──▶ hypercube placement
+//	            ──simulate / execute──▶ timings and verified results
+//
+// A minimal use:
+//
+//	k := loopmap.NewKernel("matmul", 8)
+//	plan, err := loopmap.NewPlan(k, loopmap.PlanOptions{CubeDim: 3})
+//	...
+//	stats, err := plan.Simulate(loopmap.Era1991(), loopmap.SimOptions{})
+//
+// The heavy lifting lives in the internal packages (see DESIGN.md for the
+// system inventory); this package re-exports the pieces a downstream user
+// needs and wires them together.
+package loopmap
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/hyperplane"
+	"repro/internal/kernels"
+	"repro/internal/loop"
+	"repro/internal/machine"
+	"repro/internal/mapping"
+	"repro/internal/parser"
+	"repro/internal/project"
+	"repro/internal/sim"
+	"repro/internal/vec"
+)
+
+// Re-exported types, so typical callers only import this package.
+type (
+	// Kernel is a loop nest with dependence structure and executable
+	// systolic semantics.
+	Kernel = kernels.Kernel
+	// Nest is the underlying n-nested loop model.
+	Nest = loop.Nest
+	// Structure is the computational structure Q = (V, D).
+	Structure = loop.Structure
+	// Schedule is a hyperplane-method time transformation over a structure.
+	Schedule = hyperplane.Schedule
+	// Projected is the projected structure Q^p.
+	Projected = project.Structure
+	// Partitioning is Algorithm 1's output.
+	Partitioning = core.Partitioning
+	// PartitionOptions tunes Algorithm 1.
+	PartitionOptions = core.Options
+	// TIG is the task interaction graph over partitioned blocks.
+	TIG = core.TIG
+	// Mapping is Algorithm 2's output.
+	Mapping = mapping.Result
+	// MapOptions tunes Algorithm 2.
+	MapOptions = mapping.Options
+	// Params are the machine cost parameters (t_calc, t_start, t_comm).
+	Params = machine.Params
+	// SimStats is the simulator's accounting.
+	SimStats = sim.Stats
+	// SimOptions tunes the simulator.
+	SimOptions = sim.Options
+	// ExecStats is the concurrent executor's accounting.
+	ExecStats = exec.Stats
+	// ExecResult is a kernel's dataflow trace.
+	ExecResult = kernels.Result
+	// IntVec is an exact integer vector (index point, dependence, Π).
+	IntVec = vec.Int
+)
+
+// Era1991 returns machine parameters with the paper-era cost ratios
+// (t_start ≫ t_comm ≫ t_calc).
+func Era1991() Params { return machine.Era1991() }
+
+// UnitParams returns t_calc = t_start = t_comm = 1.
+func UnitParams() Params { return machine.Unit() }
+
+// Vec builds an integer vector.
+func Vec(vals ...int64) IntVec { return vec.NewInt(vals...) }
+
+// KernelNames lists the built-in kernels.
+func KernelNames() []string { return kernels.Names() }
+
+// NewKernel instantiates a built-in kernel by name; it panics on unknown
+// names (use KernelNames to enumerate).
+func NewKernel(name string, size int64) *Kernel {
+	ctor, ok := kernels.Registry[name]
+	if !ok {
+		panic(fmt.Sprintf("loopmap: unknown kernel %q (have %s)", name, strings.Join(kernels.Names(), ", ")))
+	}
+	return ctor(size)
+}
+
+// ParseKernel parses loop-DSL source (see internal/parser) into an
+// executable kernel: flow dependences are derived from the array
+// accesses, the optimal time function is found by exhaustive search
+// (coefficient bound 3), and the kernel's semantics *interpret the parsed
+// statements* — the loop computes its real arithmetic when executed and
+// verified, with deterministic seeded inputs for external arrays,
+// scalars, and boundaries.
+func ParseKernel(name, src string, seed uint64) (*Kernel, error) {
+	prog, err := parser.ParseProgram(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return buildParsedKernel(prog, seed)
+}
+
+// GenerateSPMD compiles loop-DSL source all the way to a standalone
+// parallel Go program: parse → derive flow dependences → search the
+// optimal Π → Algorithm 1 partitioning → Algorithm 2 mapping onto a
+// cubeDim-cube → emit SPMD code (one goroutine per processor, channels as
+// links) that verifies itself against sequential execution and prints
+// "OK <checksum>".
+func GenerateSPMD(name, src string, cubeDim int, seed uint64) (string, error) {
+	prog, err := parser.ParseProgram(name, src)
+	if err != nil {
+		return "", err
+	}
+	k, err := buildParsedKernel(prog, seed)
+	if err != nil {
+		return "", err
+	}
+	plan, err := NewPlan(k, PlanOptions{CubeDim: cubeDim})
+	if err != nil {
+		return "", err
+	}
+	pl := plan.placement()
+	return codegen.Generate(prog, plan.Schedule.Pi, pl.ProcOf, pl.NumProcs, seed)
+}
+
+// buildParsedKernel derives channels, searches Π, and builds the
+// interpreted kernel for a parsed program.
+func buildParsedKernel(prog *parser.Program, seed uint64) (*Kernel, error) {
+	_, deps, err := prog.Channels()
+	if err != nil {
+		return nil, err
+	}
+	st, err := loop.NewStructure(prog.Nest, deps...)
+	if err != nil {
+		return nil, err
+	}
+	sch, err := hyperplane.FindOptimal(st, 3)
+	if err != nil {
+		return nil, fmt.Errorf("loopmap: %s: %w", prog.Nest.Name, err)
+	}
+	return prog.BuildKernel(sch.Pi, seed)
+}
+
+// PlanOptions configures NewPlan.
+type PlanOptions struct {
+	// Pi overrides the time function; nil uses the kernel's recommended Π
+	// (or an exhaustive search when SearchPi is set).
+	Pi IntVec
+	// SearchPi finds the optimal Π by exhaustive search with coefficient
+	// bound SearchBound (default 2) instead of using the kernel default.
+	SearchPi    bool
+	SearchBound int64
+	// CubeDim is the hypercube dimension for the mapping phase. Negative
+	// skips mapping: the plan then treats each block as its own processor.
+	CubeDim int
+	// Partition tunes Algorithm 1.
+	Partition PartitionOptions
+	// Mapping tunes Algorithm 2.
+	Mapping MapOptions
+}
+
+// Plan holds the artifacts of the full pipeline for one kernel.
+type Plan struct {
+	Kernel       *Kernel
+	Structure    *Structure
+	Schedule     Schedule
+	Projected    *Projected
+	Partitioning *Partitioning
+	TIG          *TIG
+	// Mapping is nil when PlanOptions.CubeDim < 0.
+	Mapping *Mapping
+}
+
+// NewPlan runs schedule → projection → partitioning (→ mapping) on the
+// kernel.
+func NewPlan(k *Kernel, opt PlanOptions) (*Plan, error) {
+	if k == nil {
+		return nil, errors.New("loopmap: nil kernel")
+	}
+	st, err := k.Structure()
+	if err != nil {
+		return nil, err
+	}
+	var sch Schedule
+	switch {
+	case opt.Pi != nil:
+		sch, err = hyperplane.NewSchedule(st, opt.Pi)
+	case opt.SearchPi:
+		bound := opt.SearchBound
+		if bound <= 0 {
+			bound = 2
+		}
+		sch, err = hyperplane.FindOptimal(st, bound)
+	default:
+		sch, err = hyperplane.NewSchedule(st, k.Pi)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ps, err := project.Project(st, sch.Pi)
+	if err != nil {
+		return nil, err
+	}
+	part, err := core.Partition(ps, opt.Partition)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.CheckInvariants(part); err != nil {
+		return nil, fmt.Errorf("loopmap: partitioning invariants violated: %w", err)
+	}
+	plan := &Plan{
+		Kernel:       k,
+		Structure:    st,
+		Schedule:     sch,
+		Projected:    ps,
+		Partitioning: part,
+		TIG:          core.BuildTIG(part),
+	}
+	if opt.CubeDim >= 0 {
+		m, err := mapping.MapPartitioning(part, opt.CubeDim, opt.Mapping)
+		if err != nil {
+			return nil, err
+		}
+		plan.Mapping = m
+	}
+	return plan, nil
+}
+
+// placement returns the vertex→processor placement of the plan.
+func (p *Plan) placement() exec.Placement {
+	if p.Mapping != nil {
+		return exec.FromMapping(p.Partitioning, p.Mapping)
+	}
+	return exec.BlocksAsProcs(p.Partitioning)
+}
+
+// assignment returns the simulator assignment of the plan.
+func (p *Plan) assignment() sim.Assignment {
+	if p.Mapping != nil {
+		return sim.FromMapping(p.Partitioning, p.Mapping)
+	}
+	return sim.BlocksAsProcs(p.Partitioning)
+}
+
+// Procs returns the number of processors the plan targets.
+func (p *Plan) Procs() int { return p.placement().NumProcs }
+
+// Simulate runs the event-driven cost simulation of the planned execution.
+func (p *Plan) Simulate(params Params, opt SimOptions) (*SimStats, error) {
+	return sim.Simulate(p.Structure, p.Schedule, p.assignment(), params, opt)
+}
+
+// SimulateSequential runs the single-processor simulation for speedup
+// comparisons.
+func (p *Plan) SimulateSequential(params Params) (*SimStats, error) {
+	return sim.Simulate(p.Structure, p.Schedule, sim.Sequential(p.Structure), params, SimOptions{})
+}
+
+// Execute runs the kernel for real — one goroutine per processor, channels
+// as links — and returns the dataflow trace.
+func (p *Plan) Execute() (*ExecResult, *ExecStats, error) {
+	return exec.Run(p.Kernel, p.Structure, p.placement())
+}
+
+// Verify executes the plan concurrently and checks the result against the
+// sequential reference, returning an error on any divergence.
+func (p *Plan) Verify() error {
+	want, err := kernels.RunSequential(p.Kernel)
+	if err != nil {
+		return err
+	}
+	got, _, err := p.Execute()
+	if err != nil {
+		return err
+	}
+	if !got.Equal(want) {
+		return fmt.Errorf("loopmap: concurrent execution of %s diverged from sequential reference", p.Kernel.Name)
+	}
+	return nil
+}
+
+// Summary renders a human-readable description of the plan.
+func (p *Plan) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s: %d iterations, %d dependences, Π = %v, %d steps\n",
+		p.Kernel.Name, len(p.Structure.V), len(p.Structure.D), p.Schedule.Pi, p.Schedule.Steps())
+	fmt.Fprintf(&b, "projection: %d projected points (s = %d), group size r = %d, β = %d\n",
+		len(p.Projected.Points), p.Projected.S, p.Partitioning.R, p.Partitioning.Beta)
+	es := p.Partitioning.EdgeStats()
+	fmt.Fprintf(&b, "partitioning: %d blocks, max block %d points, %d/%d dependences interblock\n",
+		p.Partitioning.NumBlocks(), p.Partitioning.MaxBlockSize(), es.InterBlock, es.Total)
+	fmt.Fprintf(&b, "TIG: %d edges, traffic %d, max out-degree %d (Theorem 2 bound %d)\n",
+		len(p.TIG.Edges), p.TIG.TotalTraffic(), p.TIG.MaxOutDegree(), core.Theorem2Bound(p.Partitioning))
+	if p.Mapping != nil {
+		ms := mapping.Evaluate(p.TIG, p.Mapping)
+		fmt.Fprintf(&b, "mapping: %s, hop-weight %d, max dilation %d, load [%d, %d]\n",
+			p.Mapping.Cube, ms.HopWeight, ms.MaxDilation, ms.MinLoad, ms.MaxLoad)
+	}
+	return b.String()
+}
+
+// EvaluateMapping computes mapping-quality statistics of the plan's TIG
+// under its mapping.
+func (p *Plan) EvaluateMapping() (mapping.Stats, error) {
+	if p.Mapping == nil {
+		return mapping.Stats{}, errors.New("loopmap: plan has no mapping phase")
+	}
+	return mapping.Evaluate(p.TIG, p.Mapping), nil
+}
+
+// MeshMapping is Algorithm 2 extended to a 2-D mesh target.
+type MeshMapping = mapping.MeshResult
+
+// MapOntoMesh maps the plan's blocks onto a rows×cols mesh — the
+// extension target the paper's conclusion points at — and returns the
+// mapping together with its quality statistics.
+func (p *Plan) MapOntoMesh(rows, cols int) (*MeshMapping, mapping.Stats, error) {
+	m, err := mapping.MapPartitioningMesh(p.Partitioning, rows, cols, mapping.Options{})
+	if err != nil {
+		return nil, mapping.Stats{}, err
+	}
+	return m, mapping.EvaluateMesh(p.TIG, m), nil
+}
+
+// SimulateMesh simulates the planned execution on a rows×cols mesh with
+// Manhattan-distance hop costs.
+func (p *Plan) SimulateMesh(rows, cols int, params Params, opt SimOptions) (*SimStats, error) {
+	m, err := mapping.MapPartitioningMesh(p.Partitioning, rows, cols, mapping.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return sim.Simulate(p.Structure, p.Schedule, sim.FromMeshMapping(p.Partitioning, m), params, opt)
+}
