@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short bench fuzz experiments cover clean
+.PHONY: all build vet test race short bench bench-json fuzz experiments cover clean
 
 all: build vet test
 
@@ -24,6 +24,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark results (ns/op, allocs, and the custom paper
+# metrics) for regression tracking.
+bench-json:
+	$(GO) run ./cmd/benchjson -benchtime 1x -o BENCH_1.json
 
 # Ten seconds of parser fuzzing beyond the checked-in seeds.
 fuzz:

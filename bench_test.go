@@ -486,3 +486,104 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(plan.Structure.V)), "vertices")
 }
+
+// BenchmarkVertexIndex compares the stride-based dense vertex index against
+// the string-keyed map it replaced, resolving every vertex and one neighbor
+// probe per vertex (the partitioner's and simulator's access pattern).
+func BenchmarkVertexIndex(b *testing.B) {
+	k := NewKernel("matmul", 24) // 13824 vertices, rectangular
+	st, err := k.Structure()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := st.D[0]
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sum := 0
+			for vi, p := range st.V {
+				sum += st.VertexIndex(p) + st.NeighborIndex(vi, d)
+			}
+			if sum == 0 {
+				b.Fatal("index lookups degenerated")
+			}
+		}
+		b.ReportMetric(float64(2*len(st.V)), "lookups/op")
+	})
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		m := make(map[string]int, len(st.V))
+		for i, p := range st.V {
+			m[p.Key()] = i
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sum := 0
+			for _, p := range st.V {
+				vi := m[p.Key()]
+				ni, ok := m[p.Add(d).Key()]
+				if !ok {
+					ni = -1
+				}
+				sum += vi + ni
+			}
+			if sum == 0 {
+				b.Fatal("index lookups degenerated")
+			}
+		}
+		b.ReportMetric(float64(2*len(st.V)), "lookups/op")
+	})
+}
+
+// BenchmarkSimulateBlockLevel compares the two simulation engines on the
+// Table I workload shape — matvec on a 32-processor cube — where they are
+// proven bit-identical (see internal/sim engine tests).
+func BenchmarkSimulateBlockLevel(b *testing.B) {
+	plan := mustPlan(b, "matvec", 512, 5)
+	params := machine.Era1991()
+	for _, eng := range []struct {
+		name   string
+		engine SimEngine
+	}{{"point", EnginePoint}, {"block", EngineBlock}} {
+		b.Run(eng.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var makespan float64
+			for i := 0; i < b.N; i++ {
+				s, err := plan.Simulate(params, SimOptions{Engine: eng.engine})
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = s.Makespan
+			}
+			b.ReportMetric(makespan, "makespan")
+			b.ReportMetric(float64(len(plan.Structure.V)), "vertices")
+		})
+	}
+}
+
+// BenchmarkSweepFanOut measures the Remap-based sweep unit — clone the
+// mapping phase and simulate — against rebuilding the whole plan, the
+// savings cmd/sweep's parallel fan-out multiplies across its grid.
+func BenchmarkSweepFanOut(b *testing.B) {
+	base := mustPlan(b, "matvec", 128, -1)
+	params := machine.Era1991()
+	b.Run("remap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plan, err := base.Remap(3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := plan.Simulate(params, SimOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plan := mustPlan(b, "matvec", 128, 3)
+			if _, err := plan.Simulate(params, SimOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

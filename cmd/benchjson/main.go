@@ -1,0 +1,130 @@
+// Command benchjson runs the repository's benchmark suite and writes the
+// results as JSON, one object per benchmark, including Go's standard
+// measurements (ns/op, B/op, allocs/op) and the custom paper metrics the
+// benchmarks report (makespan, blocks, hop-weight, ...).
+//
+// Usage:
+//
+//	benchjson [-bench regexp] [-benchtime 1x] [-count 1] [-o BENCH_1.json]
+//
+// The output file holds a single JSON document:
+//
+//	{
+//	  "go": "go1.22.x",
+//	  "benchmarks": [
+//	    {"name": "BenchmarkVertexIndex/dense-8", "runs": 13824,
+//	     "metrics": {"ns/op": 123456, "lookups/op": 27648}},
+//	    ...
+//	  ]
+//	}
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	Go         string   `json:"go"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", ".", "benchmark regexp passed to go test")
+		benchtime = flag.String("benchtime", "1x", "benchtime passed to go test")
+		count     = flag.Int("count", 1, "count passed to go test")
+		out       = flag.String("o", "BENCH_1.json", "output file")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+	)
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *bench, "-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count), "-benchmem", *pkg)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fail(err)
+	}
+	if err := cmd.Start(); err != nil {
+		fail(err)
+	}
+
+	doc := document{Go: runtime.Version()}
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if r, ok := parseLine(line); ok {
+			doc.Benchmarks = append(doc.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		fail(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fail(fmt.Errorf("no benchmark lines matched %q", *bench))
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// parseLine parses one `go test -bench` output line, e.g.
+//
+//	BenchmarkFoo/bar-8   1000   1234 ns/op   56 B/op   7 allocs/op   9.0 widgets
+//
+// into a result; the unit of each "<value> <unit>" pair becomes a metric key.
+func parseLine(line string) (result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return result{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

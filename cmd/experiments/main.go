@@ -22,6 +22,7 @@ import (
 	"repro/internal/hyperplane"
 	"repro/internal/machine"
 	"repro/internal/mapping"
+	"repro/internal/pool"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/vec"
@@ -64,18 +65,22 @@ func main() {
 		}
 		return
 	}
-	ran := false
+	var sel []experiment
 	for _, e := range exps {
-		if *which != "all" && e.name != *which {
-			continue
+		if *which == "all" || e.name == *which {
+			sel = append(sel, e)
 		}
-		ran = true
-		fmt.Printf("=== %s: %s ===\n", e.name, e.title)
-		fmt.Println(e.run())
 	}
-	if !ran {
+	if len(sel) == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *which)
 		os.Exit(1)
+	}
+	// Experiments are independent: fan them out over the worker pool and
+	// print the collected sections in the original order.
+	outputs := pool.Map(len(sel), func(i int) string { return sel[i].run() })
+	for i, e := range sel {
+		fmt.Printf("=== %s: %s ===\n", e.name, e.title)
+		fmt.Println(outputs[i])
 	}
 }
 
@@ -264,16 +269,26 @@ func table1() string {
 	b.WriteString(indent(tb.String(), "  "))
 
 	// Cross-check the W formula against the real partitioning pipeline at a
-	// laptop-friendly size, and show the event simulation's view.
+	// laptop-friendly size, and show the event simulation's view. The
+	// enumeration and Algorithm 1 run once; the cube dims share them via
+	// Remap and simulate in parallel.
 	b.WriteString("\n  cross-check at M = 256 via partition+map+simulate (Era1991 params):\n")
 	tb2 := report.NewTable("N", "analytic 2W", "sim critical ops/3*2", "sim in+out words", "2(M-1)", "sim makespan")
 	const mm = 256
-	for _, dim := range []int{1, 2, 3, 4, 5} {
+	base, err := loopmap.NewPlan(loopmap.NewKernel("matvec", mm), loopmap.PlanOptions{CubeDim: -1})
+	check(err)
+	dims := []int{1, 2, 3, 4, 5}
+	sims, err := pool.MapErr(len(dims), func(i int) (*loopmap.SimStats, error) {
+		plan, err := base.Remap(dims[i])
+		if err != nil {
+			return nil, err
+		}
+		return plan.Simulate(machine.Era1991(), loopmap.SimOptions{})
+	})
+	check(err)
+	for i, dim := range dims {
 		n := int64(1) << uint(dim)
-		plan, err := loopmap.NewPlan(loopmap.NewKernel("matvec", mm), loopmap.PlanOptions{CubeDim: dim})
-		check(err)
-		s, err := plan.Simulate(machine.Era1991(), loopmap.SimOptions{})
-		check(err)
+		s := sims[i]
 		// Kernel ops per point is 3 (x-pipe + 2-op y-acc); the paper counts
 		// 2 flops per point, so scale 3W -> 2W for comparison.
 		tb2.AddRow(n, analysis.MatVecCalcOps(mm, n), s.MaxProcOps/3*2, s.CriticalInOutWords(), 2*(mm-1), s.Makespan)
@@ -461,18 +476,39 @@ func verifyExp() string {
 	// sequential execution.
 	var b strings.Builder
 	tb := report.NewTable("kernel", "points", "procs", "messages", "result")
+	type job struct {
+		name string
+		dim  int
+	}
+	var jobs []job
 	for _, name := range loopmap.KernelNames() {
 		for _, dim := range []int{2, 3} {
-			plan, err := loopmap.NewPlan(loopmap.NewKernel(name, 6), loopmap.PlanOptions{CubeDim: dim})
-			check(err)
-			_, stats, err := plan.Execute()
-			check(err)
-			status := "OK"
-			if err := plan.Verify(); err != nil {
-				status = err.Error()
-			}
-			tb.AddRow(name, len(plan.Structure.V), plan.Procs(), stats.Messages, status)
+			jobs = append(jobs, job{name, dim})
 		}
+	}
+	type row struct {
+		points, procs int
+		messages      int64
+		status        string
+	}
+	rows, err := pool.MapErr(len(jobs), func(i int) (row, error) {
+		plan, err := loopmap.NewPlan(loopmap.NewKernel(jobs[i].name, 6), loopmap.PlanOptions{CubeDim: jobs[i].dim})
+		if err != nil {
+			return row{}, err
+		}
+		_, stats, err := plan.Execute()
+		if err != nil {
+			return row{}, err
+		}
+		status := "OK"
+		if err := plan.Verify(); err != nil {
+			status = err.Error()
+		}
+		return row{len(plan.Structure.V), plan.Procs(), stats.Messages, status}, nil
+	})
+	check(err)
+	for i, j := range jobs {
+		tb.AddRow(j.name, rows[i].points, rows[i].procs, rows[i].messages, rows[i].status)
 	}
 	b.WriteString(indent(tb.String(), "  "))
 	return b.String()

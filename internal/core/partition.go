@@ -24,7 +24,6 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/loop"
 	"repro/internal/project"
 	"repro/internal/vec"
 )
@@ -243,6 +242,39 @@ func (p *Partitioning) singletonGroups() {
 	}
 }
 
+// vecSet is a visited-set over integer lattice positions, keyed by FNV-1a
+// hashing of the raw coordinates with bucket chaining. The region growing
+// probes it once per candidate group base; hashing the int64 words directly
+// avoids the decimal string formatting a map[string]bool key would pay.
+type vecSet struct {
+	buckets map[uint64][]vec.Int
+}
+
+func newVecSet(sizeHint int) *vecSet {
+	return &vecSet{buckets: make(map[uint64][]vec.Int, sizeHint)}
+}
+
+// add inserts v (cloned) and reports whether it was absent before.
+func (s *vecSet) add(v vec.Int) bool {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, x := range v {
+		u := uint64(x)
+		for b := 0; b < 8; b++ {
+			h ^= u & 0xff
+			h *= prime64
+			u >>= 8
+		}
+	}
+	for _, w := range s.buckets[h] {
+		if w.Equal(v) {
+			return false
+		}
+	}
+	s.buckets[h] = append(s.buckets[h], v.Clone())
+	return true
+}
+
 // growGroups implements Steps 3–5: BFS region growing from seed groups.
 // seedBase, when non-nil, pins the base vertex of the very first group.
 func (p *Partitioning) growGroups(seedBase vec.Int) {
@@ -254,13 +286,17 @@ func (p *Partitioning) growGroups(seedBase vec.Int) {
 	for i := range p.GroupOf {
 		p.GroupOf[i] = -1
 	}
-	visitedBase := map[string]bool{}
+	visited := newVecSet(len(ps.Points))
 
 	// membersAt returns the projected points present at base + k·d_l^p for
-	// k in [0, r), with their slots.
+	// k in [0, r), with their slots. The candidate position is built in a
+	// reused scratch vector, so the r-step probe allocates nothing.
+	cand := make(vec.Int, len(dl))
 	membersAt := func(base vec.Int) (mem []int, slots []int) {
 		for k := int64(0); k < r; k++ {
-			cand := base.AddScaled(k, dl)
+			for j := range cand {
+				cand[j] = base[j] + k*dl[j]
+			}
 			if idx := ps.IndexOf(cand); idx >= 0 {
 				mem = append(mem, idx)
 				slots = append(slots, int(k))
@@ -333,7 +369,7 @@ func (p *Partitioning) growGroups(seedBase vec.Int) {
 		if created, _ := tryCreate(base, comp, coords); created {
 			queue = append(queue, len(p.Groups)-1)
 		}
-		visitedBase[base.Key()] = true
+		visited.add(base)
 
 		// Step 4: BFS over forward/backward neighbours along the grouping
 		// vector (stride r·d_l^p) and each auxiliary vector (stride d_j^p).
@@ -359,11 +395,9 @@ func (p *Partitioning) growGroups(seedBase vec.Int) {
 				addStep(g.Base.Sub(a.Scaled), 1+j, -1)
 			}
 			for _, st := range steps {
-				k := st.base.Key()
-				if visitedBase[k] {
+				if !visited.add(st.base) {
 					continue
 				}
-				visitedBase[k] = true
 				if created, _ := tryCreate(st.base, comp, st.coords); created {
 					queue = append(queue, len(p.Groups)-1)
 				}
@@ -405,10 +439,9 @@ type DepEdgeStats struct {
 // them require interprocessor communication" for loop L1).
 func (p *Partitioning) EdgeStats() DepEdgeStats {
 	var s DepEdgeStats
-	st := p.PS.Orig
-	st.ForEachEdge(func(e loop.Edge) {
+	p.PS.Orig.ForEachEdgeIdx(func(ui, vi, di int) {
 		s.Total++
-		if p.BlockOf[st.VertexIndex(e.From)] != p.BlockOf[st.VertexIndex(e.To)] {
+		if p.BlockOf[ui] != p.BlockOf[vi] {
 			s.InterBlock++
 		}
 	})

@@ -3,8 +3,6 @@ package core
 import (
 	"fmt"
 	"sort"
-
-	"repro/internal/loop"
 )
 
 // TIGEdge is one directed communication requirement between two blocks.
@@ -69,10 +67,9 @@ func BuildTIG(p *Partitioning) *TIG {
 	for g := range p.Groups {
 		t.Loads[g] = int64(p.BlockSize(g))
 	}
-	st := p.PS.Orig
-	st.ForEachEdge(func(e loop.Edge) {
-		gu := p.BlockOf[st.VertexIndex(e.From)]
-		gv := p.BlockOf[st.VertexIndex(e.To)]
+	p.PS.Orig.ForEachEdgeIdx(func(ui, vi, dep int) {
+		gu := p.BlockOf[ui]
+		gv := p.BlockOf[vi]
 		if gu == gv {
 			return
 		}
@@ -92,7 +89,7 @@ func BuildTIG(p *Partitioning) *TIG {
 			mv = map[int]int64{}
 			mu[gv] = mv
 		}
-		mv[e.Dep]++
+		mv[dep]++
 	})
 	for u, m := range t.out {
 		for v, w := range m {

@@ -1,0 +1,134 @@
+package loop
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// randRect builds a random rectangular nest with up to 4 dimensions.
+func randRect(rng *rand.Rand) *Nest {
+	dims := 1 + rng.Intn(4)
+	lo := make([]int64, dims)
+	hi := make([]int64, dims)
+	for j := range lo {
+		lo[j] = int64(rng.Intn(7)) - 3
+		hi[j] = lo[j] + int64(rng.Intn(6))
+	}
+	return NewRect("randrect", lo, hi)
+}
+
+// randTriangular builds a random nest whose inner bounds reference outer
+// indices (non-rectangular, so the structure must fall back to the map
+// index).
+func randTriangular(rng *rand.Rand) *Nest {
+	dims := 2 + rng.Intn(2)
+	n := &Nest{Name: "randtri", Dims: dims}
+	n.Lower = append(n.Lower, Const(0))
+	n.Upper = append(n.Upper, Const(int64(2+rng.Intn(4))))
+	for j := 1; j < dims; j++ {
+		// I_j runs from 0 to c + I_{j-1} (or c − I_{j-1}), a triangular shape.
+		coeffs := make([]int64, dims)
+		if rng.Intn(2) == 0 {
+			coeffs[j-1] = 1
+		} else {
+			coeffs[j-1] = -1
+		}
+		n.Lower = append(n.Lower, Const(0))
+		n.Upper = append(n.Upper, Affine{Const: int64(3 + rng.Intn(3)), Coeffs: coeffs})
+	}
+	return n
+}
+
+// refIndex is the straightforward string-keyed reference the dense index
+// must agree with.
+func refIndex(st *Structure) map[string]int {
+	ref := make(map[string]int, len(st.V))
+	for i, p := range st.V {
+		ref[p.Key()] = i
+	}
+	return ref
+}
+
+// TestVertexIndexAgreesWithMap checks, on random rectangular and
+// non-rectangular nests, that VertexIndex matches a reference map for every
+// vertex and for random probe points around the index set (membership and
+// position both).
+func TestVertexIndexAgreesWithMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var n *Nest
+		if trial%2 == 0 {
+			n = randRect(rng)
+		} else {
+			n = randTriangular(rng)
+		}
+		st, err := NewStructure(n, unitDep(n.Dims))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got, want := st.Rectangular(), trial%2 == 0; got != want {
+			t.Fatalf("trial %d: Rectangular() = %v, want %v", trial, got, want)
+		}
+		ref := refIndex(st)
+		for i, p := range st.V {
+			if got := st.VertexIndex(p); got != i {
+				t.Fatalf("trial %d: VertexIndex(%v) = %d, want %d", trial, p, got, i)
+			}
+		}
+		// Random probes, including points outside the index set.
+		for probe := 0; probe < 100; probe++ {
+			q := make(vec.Int, n.Dims)
+			for j := range q {
+				q[j] = int64(rng.Intn(17)) - 8
+			}
+			want, ok := ref[q.Key()]
+			if !ok {
+				want = -1
+			}
+			if got := st.VertexIndex(q); got != want {
+				t.Fatalf("trial %d: VertexIndex(%v) = %d, want %d", trial, q, got, want)
+			}
+		}
+	}
+}
+
+// TestNeighborIndexAgreesWithVertexIndex checks the allocation-free
+// neighbour lookup against the definition V[vi]+d on random nests and
+// random step vectors.
+func TestNeighborIndexAgreesWithVertexIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		var n *Nest
+		if trial%2 == 0 {
+			n = randRect(rng)
+		} else {
+			n = randTriangular(rng)
+		}
+		st, err := NewStructure(n, unitDep(n.Dims))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for step := 0; step < 20; step++ {
+			d := make(vec.Int, n.Dims)
+			for j := range d {
+				d[j] = int64(rng.Intn(7)) - 3
+			}
+			for vi := range st.V {
+				want := st.VertexIndex(st.V[vi].Add(d))
+				if got := st.NeighborIndex(vi, d); got != want {
+					t.Fatalf("trial %d: NeighborIndex(%d, %v) = %d, want %d", trial, vi, d, got, want)
+				}
+			}
+		}
+	}
+}
+
+// unitDep returns the lexicographically positive unit dependence (1, 0, …)
+// so random nests form valid structures.
+func unitDep(dims int) vec.Int {
+	d := make(vec.Int, dims)
+	d[0] = 1
+	return d
+}

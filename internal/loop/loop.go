@@ -321,6 +321,24 @@ func (r *rectIndex) indexOf(p vec.Int) int {
 	return int(idx)
 }
 
+// neighborOf returns the index of p+d given that p is the vertex at
+// position vi, without materializing p+d: the offset is Σ d_k·stride_k and
+// each stepped coordinate is bounds-checked. O(dims), zero allocations.
+func (r *rectIndex) neighborOf(p vec.Int, vi int, d vec.Int) int {
+	var off int64
+	for j, dx := range d {
+		if dx == 0 {
+			continue
+		}
+		x := p[j] + dx
+		if x < r.lo[j] || x > r.hi[j] {
+			return -1
+		}
+		off += dx * r.strides[j]
+	}
+	return vi + int(off)
+}
+
 // NewStructure builds the computational structure of the nest, deriving D
 // from the statements. Supplying explicit deps overrides derivation (used
 // by kernels that state their dependence matrix directly).
@@ -373,6 +391,22 @@ func (s *Structure) VertexIndex(p vec.Int) int {
 	return i
 }
 
+// Rectangular reports whether the structure uses the dense stride-based
+// vertex index (all bounds constant). Non-rectangular structures fall back
+// to a string-keyed map.
+func (s *Structure) Rectangular() bool { return s.rect != nil }
+
+// NeighborIndex returns the position in V of V[vi]+d, or -1 when the
+// neighbour lies outside the index set. For rectangular nests this is pure
+// stride arithmetic with no allocation — the primitive the partitioner and
+// both simulation engines resolve dependence arcs with.
+func (s *Structure) NeighborIndex(vi int, d vec.Int) int {
+	if s.rect != nil {
+		return s.rect.neighborOf(s.V[vi], vi, d)
+	}
+	return s.VertexIndex(s.V[vi].Add(d))
+}
+
 // Edge is a dependence arc u → v (v depends on u) labelled with the
 // dependence vector index into D.
 type Edge struct {
@@ -383,11 +417,19 @@ type Edge struct {
 // ForEachEdge visits every dependence arc of the structure: for each vertex
 // u and dependence d ∈ D, the arc u → u+d when u+d is also a vertex.
 func (s *Structure) ForEachEdge(visit func(Edge)) {
-	for _, u := range s.V {
+	s.ForEachEdgeIdx(func(ui, vi, di int) {
+		visit(Edge{From: s.V[ui], To: s.V[vi], Dep: di})
+	})
+}
+
+// ForEachEdgeIdx visits every dependence arc by vertex index: ui → vi along
+// D[di]. This is the allocation-free form the TIG builder and edge
+// statistics run on; callers needing coordinates use ForEachEdge.
+func (s *Structure) ForEachEdgeIdx(visit func(ui, vi, di int)) {
+	for ui := range s.V {
 		for di, d := range s.D {
-			v := u.Add(d)
-			if s.HasVertex(v) {
-				visit(Edge{From: u, To: v, Dep: di})
+			if vi := s.NeighborIndex(ui, d); vi >= 0 {
+				visit(ui, vi, di)
 			}
 		}
 	}

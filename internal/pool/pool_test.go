@@ -1,0 +1,69 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllJobs(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		const n = 200
+		var hits [n]int32
+		Run(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	called := false
+	Run(0, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty job set")
+	}
+}
+
+// TestMapDeterministicOrder runs the same fan-out repeatedly and checks the
+// collected results are always in job-index order — the property the CSV
+// emitters rely on.
+func TestMapDeterministicOrder(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		got := Map(50, func(i int) string { return fmt.Sprintf("job-%d", i) })
+		for i, g := range got {
+			if g != fmt.Sprintf("job-%d", i) {
+				t.Fatalf("trial %d: slot %d holds %q", trial, i, g)
+			}
+		}
+	}
+}
+
+func TestMapErrReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	_, err := MapErr(10, func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, errB
+		case 7:
+			return 0, errA
+		}
+		return i, nil
+	})
+	if err != errB {
+		t.Fatalf("got %v, want first-index error %v", err, errB)
+	}
+	vals, err := MapErr(5, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != i*i {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+}

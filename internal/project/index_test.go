@@ -1,0 +1,117 @@
+package project
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/loop"
+	"repro/internal/vec"
+)
+
+// buildRandom projects a random rectangular or triangular nest under a
+// random valid Π (all-positive coefficients are valid for the unit dep).
+func buildRandom(rng *rand.Rand, rect bool) (*Structure, error) {
+	dims := 2 + rng.Intn(2)
+	var n *loop.Nest
+	if rect {
+		lo := make([]int64, dims)
+		hi := make([]int64, dims)
+		for j := range lo {
+			lo[j] = int64(rng.Intn(5)) - 2
+			hi[j] = lo[j] + int64(rng.Intn(6))
+		}
+		n = loop.NewRect("randrect", lo, hi)
+	} else {
+		n = &loop.Nest{Name: "randtri", Dims: dims}
+		n.Lower = append(n.Lower, loop.Const(0))
+		n.Upper = append(n.Upper, loop.Const(int64(2+rng.Intn(4))))
+		for j := 1; j < dims; j++ {
+			coeffs := make([]int64, dims)
+			coeffs[j-1] = 1
+			n.Lower = append(n.Lower, loop.Const(0))
+			n.Upper = append(n.Upper, loop.Affine{Const: int64(2 + rng.Intn(3)), Coeffs: coeffs})
+		}
+	}
+	d := make(vec.Int, dims)
+	d[0] = 1
+	st, err := loop.NewStructure(n, d)
+	if err != nil {
+		return nil, err
+	}
+	pi := make(vec.Int, dims)
+	pi[0] = 1 + int64(rng.Intn(2))
+	for j := 1; j < dims; j++ {
+		pi[j] = int64(rng.Intn(3)) // zero coefficients exercise drop-dim selection
+	}
+	return Project(st, pi)
+}
+
+// TestLatticeIndexAgreesWithMap probes the dense lattice index against a
+// string-keyed reference map on random structures: every point must resolve
+// to its position, and random lattice probes (on and off the point set)
+// must agree on membership.
+func TestLatticeIndexAgreesWithMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 150; trial++ {
+		ps, err := buildRandom(rng, trial%2 == 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ref := make(map[string]int, len(ps.Points))
+		for i, p := range ps.Points {
+			ref[p.Key()] = i
+		}
+		for i, p := range ps.Points {
+			if got := ps.IndexOf(p); got != i {
+				t.Fatalf("trial %d: IndexOf(%v) = %d, want %d (dense=%v)", trial, p, got, i, ps.Dense())
+			}
+		}
+		for probe := 0; probe < 200; probe++ {
+			// Probe positions on the scaled hyperplane lattice: a point plus
+			// random multiples of scaled projected dependence vectors, the
+			// positions Algorithm 1's region growing actually queries.
+			q := ps.Points[rng.Intn(len(ps.Points))].Clone()
+			for _, d := range ps.Deps {
+				q = q.AddScaled(int64(rng.Intn(7))-3, d.Scaled)
+			}
+			want, ok := ref[q.Key()]
+			if !ok {
+				want = -1
+			}
+			if got := ps.IndexOf(q); got != want {
+				t.Fatalf("trial %d: IndexOf(%v) = %d, want %d (dense=%v)", trial, q, got, want, ps.Dense())
+			}
+		}
+	}
+}
+
+// TestLatticeFallbackMatchesDense forces the map fallback (by shrinking the
+// dense cap) and checks that the two lookup paths agree everywhere.
+func TestLatticeFallbackMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	defer func(old int64) { latticeDenseCap = old }(latticeDenseCap)
+	for trial := 0; trial < 50; trial++ {
+		latticeDenseCap = 1 << 22
+		dense, err := buildRandom(rand.New(rand.NewSource(int64(trial))), trial%2 == 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		latticeDenseCap = 0
+		sparse, err := buildRandom(rand.New(rand.NewSource(int64(trial))), trial%2 == 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dense.Dense() || sparse.Dense() {
+			t.Fatalf("trial %d: cap override ineffective (dense=%v sparse=%v)", trial, dense.Dense(), sparse.Dense())
+		}
+		for probe := 0; probe < 300; probe++ {
+			q := dense.Points[rng.Intn(len(dense.Points))].Clone()
+			for _, d := range dense.Deps {
+				q = q.AddScaled(int64(rng.Intn(9))-4, d.Scaled)
+			}
+			if got, want := dense.IndexOf(q), sparse.IndexOf(q); got != want {
+				t.Fatalf("trial %d: dense IndexOf(%v) = %d, map fallback = %d", trial, q, got, want)
+			}
+		}
+	}
+}

@@ -73,7 +73,11 @@ type Structure struct {
 	// Deps holds one entry per original dependence vector.
 	Deps []Dep
 
-	index map[string]int
+	// lattice is the dense O(dims) indexer over the scaled hyperplane
+	// lattice; nil when the point set's bounding box is too large, in which
+	// case the string-keyed map below is used instead.
+	lattice *latticeIndex
+	index   map[string]int
 }
 
 // Project computes the projected structure of st under pi. pi must be a
@@ -87,42 +91,61 @@ func Project(st *loop.Structure, pi vec.Int) (*Structure, error) {
 		return nil, err
 	}
 	s := pi.Dot(pi)
-	ps := &Structure{Orig: st, Pi: pi.Clone(), S: s, index: map[string]int{}}
+	ps := &Structure{Orig: st, Pi: pi.Clone(), S: s}
 
-	// Project every vertex; collect fibers keyed by scaled projection.
-	type fiberEntry struct {
-		vi   int
-		time int64
-	}
-	fibers := map[string][]fiberEntry{}
-	var keys []string
-	keyPoint := map[string]vec.Int{}
+	// Project every vertex into one flat coordinate buffer and sort vertex
+	// ids by (scaled projection, execution time): equal projections become
+	// adjacent runs, which yields the fiber grouping without any hashing or
+	// string keys — the construction is O(V·n·log V) straight-line code.
+	n := st.Dim()
+	nV := len(st.V)
+	buf := make([]int64, nV*n)
+	times := make([]int64, nV)
+	order := make([]int, nV)
 	for vi, x := range st.V {
-		sp := ScalePoint(x, pi, s)
-		k := sp.Key()
-		if _, ok := fibers[k]; !ok {
-			keys = append(keys, k)
-			keyPoint[k] = sp
+		t := x.Dot(pi)
+		times[vi] = t
+		row := buf[vi*n : vi*n+n]
+		for j, xj := range x {
+			row[j] = s*xj - pi[j]*t
 		}
-		fibers[k] = append(fibers[k], fiberEntry{vi: vi, time: pi.Dot(x)})
+		order[vi] = vi
 	}
-	// Deterministic ordering: sort points lexicographically.
-	pts := make([]vec.Int, 0, len(keys))
-	for _, k := range keys {
-		pts = append(pts, keyPoint[k])
-	}
-	sort.Slice(pts, func(i, j int) bool { return pts[i].Cmp(pts[j]) < 0 })
-	for i, p := range pts {
-		ps.index[p.Key()] = i
-		ps.Points = append(ps.Points, p)
-		entries := fibers[p.Key()]
-		sort.Slice(entries, func(a, b int) bool { return entries[a].time < entries[b].time })
-		fib := make([]int, len(entries))
-		for j, e := range entries {
-			fib[j] = e.vi
+	sort.Slice(order, func(a, b int) bool {
+		ra := buf[order[a]*n : order[a]*n+n]
+		rb := buf[order[b]*n : order[b]*n+n]
+		for j := 0; j < n; j++ {
+			if ra[j] != rb[j] {
+				return ra[j] < rb[j]
+			}
 		}
+		return times[order[a]] < times[order[b]]
+	})
+	sameRow := func(a, b int) bool {
+		ra := buf[a*n : a*n+n]
+		rb := buf[b*n : b*n+n]
+		for j := 0; j < n; j++ {
+			if ra[j] != rb[j] {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < nV; {
+		vi := order[i]
+		// Copy the unique projection out of buf so the big per-vertex
+		// buffer is not pinned by the (much smaller) point set.
+		ps.Points = append(ps.Points, vec.Int(buf[vi*n:vi*n+n]).Clone())
+		j := i
+		for j < nV && sameRow(vi, order[j]) {
+			j++
+		}
+		fib := make([]int, j-i)
+		copy(fib, order[i:j])
 		ps.Fibers = append(ps.Fibers, fib)
+		i = j
 	}
+	ps.buildIndex()
 
 	// Project the dependence vectors and compute r factors.
 	for di, d := range st.D {
@@ -130,6 +153,121 @@ func Project(st *loop.Structure, pi vec.Int) (*Structure, error) {
 		ps.Deps = append(ps.Deps, Dep{Index: di, Orig: d.Clone(), Scaled: sd, R: rFactor(sd, s)})
 	}
 	return ps, nil
+}
+
+// latticeDenseCap bounds the dense lattice table size (entries). Projected
+// points lie on the (n−1)-dimensional hyperplane Π·y = 0, so eliminating
+// one coordinate keeps the table near |V^p| for the paper's nests; sets
+// whose reduced bounding box still exceeds the cap fall back to the map.
+var latticeDenseCap = int64(1) << 22
+
+// latticeIndex indexes scaled projected points in O(dims) arithmetic.
+// Every scaled projection satisfies Π·y = 0 (so do the scaled projected
+// dependence vectors, hence every lattice position Algorithm 1 probes), so
+// one coordinate with Π_k ≠ 0 is redundant and the table covers only the
+// bounding box of the remaining coordinates. A lookup bounds-checks the
+// retained coordinates, reads the table slot, and verifies the stored point
+// — the verification also rejects off-hyperplane queries.
+type latticeIndex struct {
+	drop    int
+	lo, hi  []int64 // per original dimension; the dropped entry is unused
+	strides []int64
+	table   []int32 // point index + 1; 0 marks an empty slot
+}
+
+// buildIndex constructs the dense lattice index, falling back to the
+// string-keyed map when the reduced bounding box exceeds latticeDenseCap.
+func (ps *Structure) buildIndex() {
+	n := len(ps.Pi)
+	if len(ps.Points) > 0 {
+		lo := make([]int64, n)
+		hi := make([]int64, n)
+		copy(lo, ps.Points[0])
+		copy(hi, ps.Points[0])
+		for _, p := range ps.Points[1:] {
+			for j, x := range p {
+				if x < lo[j] {
+					lo[j] = x
+				}
+				if x > hi[j] {
+					hi[j] = x
+				}
+			}
+		}
+		// Drop the widest dimension with Π_k ≠ 0 (Π is nonzero, so one
+		// always exists); the hyperplane equation makes it redundant.
+		drop := -1
+		for j := 0; j < n; j++ {
+			if ps.Pi[j] == 0 {
+				continue
+			}
+			if drop < 0 || hi[j]-lo[j] > hi[drop]-lo[drop] {
+				drop = j
+			}
+		}
+		volume := int64(1)
+		for j := 0; j < n && volume <= latticeDenseCap; j++ {
+			if j != drop {
+				volume *= hi[j] - lo[j] + 1
+			}
+		}
+		if drop >= 0 && volume <= latticeDenseCap {
+			li := &latticeIndex{drop: drop, lo: lo, hi: hi, strides: make([]int64, n)}
+			stride := int64(1)
+			for j := n - 1; j >= 0; j-- {
+				if j == drop {
+					continue
+				}
+				li.strides[j] = stride
+				stride *= hi[j] - lo[j] + 1
+			}
+			li.table = make([]int32, volume)
+			for i, p := range ps.Points {
+				li.table[li.offset(p)] = int32(i) + 1
+			}
+			ps.lattice = li
+			return
+		}
+	}
+	ps.index = make(map[string]int, len(ps.Points))
+	for i, p := range ps.Points {
+		ps.index[p.Key()] = i
+	}
+}
+
+// offset computes the table slot of an in-box point.
+func (li *latticeIndex) offset(p vec.Int) int64 {
+	var off int64
+	for j, x := range p {
+		if j == li.drop {
+			continue
+		}
+		off += (x - li.lo[j]) * li.strides[j]
+	}
+	return off
+}
+
+// lookup returns the index of the scaled point, or -1.
+func (li *latticeIndex) lookup(p vec.Int, points []vec.Int) int {
+	var off int64
+	for j, x := range p {
+		if j == li.drop {
+			continue
+		}
+		if x < li.lo[j] || x > li.hi[j] {
+			return -1
+		}
+		off += (x - li.lo[j]) * li.strides[j]
+	}
+	t := li.table[off]
+	if t == 0 {
+		return -1
+	}
+	i := int(t) - 1
+	if !points[i].Equal(p) {
+		return -1
+	}
+	return i
 }
 
 // ScalePoint returns s·x − (x·Π)·Π, the projection of x scaled by s = Π·Π.
@@ -150,12 +288,19 @@ func rFactor(scaled vec.Int, s int64) int64 {
 
 // IndexOf returns the position of a scaled projected point, or -1.
 func (ps *Structure) IndexOf(scaled vec.Int) int {
+	if ps.lattice != nil {
+		return ps.lattice.lookup(scaled, ps.Points)
+	}
 	i, ok := ps.index[scaled.Key()]
 	if !ok {
 		return -1
 	}
 	return i
 }
+
+// Dense reports whether lookups run on the dense lattice table rather than
+// the string-keyed fallback map.
+func (ps *Structure) Dense() bool { return ps.lattice != nil }
 
 // HasPoint reports whether the scaled point belongs to V^p.
 func (ps *Structure) HasPoint(scaled vec.Int) bool {

@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hyperplane"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/mapping"
+	"repro/internal/project"
+)
+
+// buildCase runs the full pipeline for a kernel and returns the pieces both
+// engines consume.
+func buildCase(t *testing.T, name string, size int64, cubeDim int) (*kernels.Kernel, Assignment, hyperplane.Schedule, *core.Partitioning) {
+	t.Helper()
+	ctor, ok := kernels.Registry[name]
+	if !ok {
+		t.Fatalf("unknown kernel %q", name)
+	}
+	k := ctor(size)
+	st, err := k.Structure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := hyperplane.NewSchedule(st, k.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := project.Project(st, sch.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := core.Partition(ps, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a Assignment
+	if cubeDim >= 0 {
+		m, err := mapping.MapPartitioning(part, cubeDim, mapping.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a = FromMapping(part, m)
+	} else {
+		a = BlocksAsProcs(part)
+	}
+	return k, a, sch, part
+}
+
+// assertStatsEqual requires bit-identical accounting from the two engines.
+func assertStatsEqual(t *testing.T, label string, point, block *Stats) {
+	t.Helper()
+	if point.Makespan != block.Makespan {
+		t.Errorf("%s: makespan point=%v block=%v", label, point.Makespan, block.Makespan)
+	}
+	if point.Messages != block.Messages || point.Words != block.Words {
+		t.Errorf("%s: messages/words point=%d/%d block=%d/%d",
+			label, point.Messages, point.Words, block.Messages, block.Words)
+	}
+	if point.MaxProcOps != block.MaxProcOps {
+		t.Errorf("%s: max ops point=%d block=%d", label, point.MaxProcOps, block.MaxProcOps)
+	}
+	for p := range point.SendWords {
+		if point.SendWords[p] != block.SendWords[p] {
+			t.Errorf("%s: proc %d send words point=%d block=%d", label, p, point.SendWords[p], block.SendWords[p])
+		}
+		if point.RecvWords[p] != block.RecvWords[p] {
+			t.Errorf("%s: proc %d recv words point=%d block=%d", label, p, point.RecvWords[p], block.RecvWords[p])
+		}
+		if point.Busy[p] != block.Busy[p] {
+			t.Errorf("%s: proc %d busy point=%v block=%v", label, p, point.Busy[p], block.Busy[p])
+		}
+		if point.SendTime[p] != block.SendTime[p] {
+			t.Errorf("%s: proc %d send time point=%v block=%v", label, p, point.SendTime[p], block.SendTime[p])
+		}
+		if point.ProcOps[p] != block.ProcOps[p] {
+			t.Errorf("%s: proc %d ops point=%d block=%d", label, p, point.ProcOps[p], block.ProcOps[p])
+		}
+	}
+}
+
+// TestBlockEngineMatchesPointEngineAllKernels asserts the acceptance
+// criterion: on every built-in kernel, with and without mapping, the
+// block-level engine reproduces the point-level engine's makespan and
+// per-processor send/recv word counts exactly.
+func TestBlockEngineMatchesPointEngineAllKernels(t *testing.T) {
+	params := machine.Era1991()
+	for _, name := range kernels.Names() {
+		for _, cubeDim := range []int{-1, 2, 3} {
+			label := fmt.Sprintf("%s/dim=%d", name, cubeDim)
+			k, a, sch, _ := buildCase(t, name, 6, cubeDim)
+			st, err := k.Structure()
+			if err != nil {
+				t.Fatal(err)
+			}
+			point, err := Simulate(st, sch, a, params, Options{})
+			if err != nil {
+				t.Fatalf("%s: point engine: %v", label, err)
+			}
+			block, err := SimulateBlockLevel(st, sch, a, params, Options{})
+			if err != nil {
+				t.Fatalf("%s: block engine: %v", label, err)
+			}
+			assertStatsEqual(t, label, point, block)
+		}
+	}
+}
+
+// TestBlockEngineMatchesPointEngineOptions exercises the option matrix —
+// aggregation, timeline recording, link contention, unit params — on a
+// mapped kernel where messages genuinely contend for links.
+func TestBlockEngineMatchesPointEngineOptions(t *testing.T) {
+	for _, name := range []string{"matvec", "matmul", "stencil"} {
+		k, a, sch, _ := buildCase(t, name, 8, 2)
+		st, err := k.Structure()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, params := range []machine.Params{machine.Era1991(), machine.Unit(), {TCalc: 1, TStart: 10, TComm: 5, THop: 2}} {
+			for _, opt := range []Options{
+				{},
+				{Aggregate: true},
+				{Timeline: true},
+				{LinkContention: true},
+				{Aggregate: true, LinkContention: true, Timeline: true},
+			} {
+				label := fmt.Sprintf("%s/%+v/%+v", name, params, opt)
+				point, err := Simulate(st, sch, a, params, opt)
+				if err != nil {
+					t.Fatalf("%s: point engine: %v", label, err)
+				}
+				block, err := SimulateBlockLevel(st, sch, a, params, opt)
+				if err != nil {
+					t.Fatalf("%s: block engine: %v", label, err)
+				}
+				assertStatsEqual(t, label, point, block)
+				if opt.Timeline {
+					if len(point.Spans) != len(block.Spans) {
+						t.Fatalf("%s: span count point=%d block=%d", label, len(point.Spans), len(block.Spans))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBlockEngineMergeFactor checks the engine stays exact when Theorem 1
+// is deliberately relaxed (MergeFactor > 1 puts same-step points in one
+// block) — the engine orders slots by (step, vertex), not by block, so
+// coarsened partitionings remain bit-identical too.
+func TestBlockEngineMergeFactor(t *testing.T) {
+	ctor := kernels.Registry["matvec"]
+	k := ctor(16)
+	st, err := k.Structure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := hyperplane.NewSchedule(st, k.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := project.Project(st, sch.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := core.Partition(ps, core.Options{MergeFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := BlocksAsProcs(part)
+	point, err := Simulate(st, sch, a, machine.Era1991(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, err := SimulateBlockLevel(st, sch, a, machine.Era1991(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStatsEqual(t, "matvec/merge=4", point, block)
+}
+
+// TestEngineDispatch checks that Options.Engine routes Simulate to the
+// block-level engine.
+func TestEngineDispatch(t *testing.T) {
+	k, a, sch, _ := buildCase(t, "matvec", 8, 2)
+	st, err := k.Structure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaOpt, err := Simulate(st, sch, a, machine.Era1991(), Options{Engine: EngineBlock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := SimulateBlockLevel(st, sch, a, machine.Era1991(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStatsEqual(t, "dispatch", viaOpt, direct)
+}
+
+// TestCriticalProcCached checks the cached critical processor agrees with a
+// fresh scan and that the dependent accessors use it.
+func TestCriticalProcCached(t *testing.T) {
+	k, a, sch, _ := buildCase(t, "matvec", 8, 2)
+	st, err := k.Structure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Simulate(st, sch, a, machine.Era1991(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := 0
+	for p := range s.ProcOps {
+		if s.ProcOps[p] > s.ProcOps[scan] {
+			scan = p
+		}
+	}
+	if got := s.CriticalProc(); got != scan {
+		t.Fatalf("CriticalProc() = %d, scan = %d", got, scan)
+	}
+	if got := s.CriticalProc(); got != scan {
+		t.Fatalf("cached CriticalProc() = %d, scan = %d", got, scan)
+	}
+	if want := s.SendWords[scan]; s.CriticalCommWords() != want {
+		t.Fatalf("CriticalCommWords() = %d, want %d", s.CriticalCommWords(), want)
+	}
+	if want := s.SendWords[scan] + s.RecvWords[scan]; s.CriticalInOutWords() != want {
+		t.Fatalf("CriticalInOutWords() = %d, want %d", s.CriticalInOutWords(), want)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/loop"
 	"repro/internal/machine"
 	"repro/internal/mapping"
+	"repro/internal/vec"
 )
 
 // Assignment places every vertex of a computational structure on a
@@ -89,8 +90,27 @@ func Sequential(st *loop.Structure) Assignment {
 	return Assignment{ProcOf: make([]int, len(st.V)), NumProcs: 1}
 }
 
+// Engine selects the simulation implementation.
+type Engine int
+
+const (
+	// EnginePoint is the original per-index-point event simulation with
+	// full predecessor/successor tables — the reference engine.
+	EnginePoint Engine = iota
+	// EngineBlock is the block-level coarse engine (SimulateBlockLevel):
+	// it exploits Lemma 1 — a partitioned block never executes two index
+	// points at the same hyperplane step — to schedule one slot per
+	// (block, step) from per-processor clocks and a single arrival time
+	// per vertex, with no dependency tables and no per-event allocation.
+	// It produces bit-identical results to EnginePoint.
+	EngineBlock
+)
+
 // Options tunes the simulation.
 type Options struct {
+	// Engine picks the simulation implementation; the zero value is the
+	// point-level reference engine.
+	Engine Engine
 	// Aggregate merges all values a vertex sends to one destination
 	// processor into a single message (one t_start, k words). The default
 	// false charges every word its own message, the paper's accounting.
@@ -145,6 +165,10 @@ type Stats struct {
 	// Spans is the per-processor activity timeline (only recorded when
 	// Options.Timeline is set), in chronological order per processor.
 	Spans []Span
+
+	// critical caches CriticalProc()+1; 0 means not yet computed, so the
+	// ProcOps scan runs at most once per Stats.
+	critical int
 }
 
 // MaxSendWords returns the largest per-processor outgoing word count.
@@ -160,14 +184,18 @@ func (s *Stats) MaxSendWords() int64 {
 
 // CriticalProc returns the processor with the most computation (the
 // paper's critical processor — for matvec, the holder of the main-diagonal
-// block).
+// block). The scan over ProcOps runs once; the result is cached.
 func (s *Stats) CriticalProc() int {
+	if s.critical > 0 {
+		return s.critical - 1
+	}
 	best := 0
 	for p := range s.ProcOps {
 		if s.ProcOps[p] > s.ProcOps[best] {
 			best = p
 		}
 	}
+	s.critical = best + 1
 	return best
 }
 
@@ -193,43 +221,92 @@ func (s *Stats) CriticalInOutWords() int64 {
 	return s.SendWords[p] + s.RecvWords[p]
 }
 
-// Simulate runs the event-driven execution.
-func Simulate(st *loop.Structure, sch hyperplane.Schedule, a Assignment, p machine.Params, opt Options) (*Stats, error) {
+// validate checks the simulation inputs shared by both engines.
+func validate(st *loop.Structure, a Assignment, p machine.Params) error {
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if len(a.ProcOf) != len(st.V) {
-		return nil, fmt.Errorf("sim: assignment covers %d vertices, structure has %d", len(a.ProcOf), len(st.V))
+		return fmt.Errorf("sim: assignment covers %d vertices, structure has %d", len(a.ProcOf), len(st.V))
 	}
 	if a.NumProcs <= 0 {
-		return nil, errors.New("sim: no processors")
+		return errors.New("sim: no processors")
 	}
 	for vi, pr := range a.ProcOf {
 		if pr < 0 || pr >= a.NumProcs {
-			return nil, fmt.Errorf("sim: vertex %d on invalid processor %d", vi, pr)
+			return fmt.Errorf("sim: vertex %d on invalid processor %d", vi, pr)
 		}
+	}
+	return nil
+}
+
+// defaultHops is the one-hop-for-any-remote-pair distance function used
+// when the assignment supplies none.
+func defaultHops(x, y int) int {
+	if x == y {
+		return 0
+	}
+	return 1
+}
+
+// networkArrivalFunc builds the message-arrival model: when k words
+// injected at t0 reach dst. Under link contention each link of the route
+// carries one message at a time (reservation follows the deterministic
+// simulation order), so both engines produce identical contention queues.
+func networkArrivalFunc(a Assignment, p machine.Params, hops func(int, int) int, contend bool) func(t0 float64, src, dst int, k int64) float64 {
+	if !contend {
+		return func(t0 float64, src, dst int, k int64) float64 {
+			return t0 + p.MessageTime(k, hops(src, dst))
+		}
+	}
+	linkFree := map[[2]int]float64{}
+	return func(t0 float64, src, dst int, k int64) float64 {
+		path := a.Route(src, dst)
+		t := t0 + p.TStart
+		per := float64(k)*p.TComm + p.THop
+		for i := 1; i < len(path); i++ {
+			lk := [2]int{path[i-1], path[i]}
+			if linkFree[lk] > t {
+				t = linkFree[lk]
+			}
+			t += per
+			linkFree[lk] = t
+		}
+		return t
+	}
+}
+
+// Simulate runs the event-driven execution with the engine selected in
+// Options (the point-level reference engine by default).
+func Simulate(st *loop.Structure, sch hyperplane.Schedule, a Assignment, p machine.Params, opt Options) (*Stats, error) {
+	if opt.Engine == EngineBlock {
+		return SimulateBlockLevel(st, sch, a, p, opt)
+	}
+	if err := validate(st, a, p); err != nil {
+		return nil, err
 	}
 	hops := a.Hops
 	if hops == nil {
-		hops = func(x, y int) int {
-			if x == y {
-				return 0
-			}
-			return 1
-		}
+		hops = defaultHops
 	}
 
 	nV, nD := len(st.V), len(st.D)
 	opsPerPoint := float64(st.Nest.OpsPerIteration())
 
 	// Precompute predecessor and successor vertex indices per dependence
-	// (-1 when outside the index set) so the hot loop does no map lookups.
+	// (-1 when outside the index set). NeighborIndex resolves each arc with
+	// stride arithmetic on rectangular nests, so the precompute allocates
+	// nothing per entry.
+	negD := make([]vec.Int, nD)
+	for di, d := range st.D {
+		negD[di] = d.Scale(-1)
+	}
 	pred := make([]int, nV*nD)
 	succ := make([]int, nV*nD)
-	for vi, x := range st.V {
+	for vi := range st.V {
 		for di, d := range st.D {
-			pred[vi*nD+di] = st.VertexIndex(x.Sub(d))
-			succ[vi*nD+di] = st.VertexIndex(x.Add(d))
+			pred[vi*nD+di] = st.NeighborIndex(vi, negD[di])
+			succ[vi*nD+di] = st.NeighborIndex(vi, d)
 		}
 	}
 
@@ -256,31 +333,7 @@ func Simulate(st *loop.Structure, sch hyperplane.Schedule, a Assignment, p machi
 		RecvWords: make([]int64, a.NumProcs),
 	}
 
-	// networkArrival computes when k words injected at t0 reach dst.
-	// Under link contention each link of the route carries one message at
-	// a time (reservation follows the deterministic simulation order).
-	contend := opt.LinkContention && a.Route != nil
-	var linkFree map[[2]int]float64
-	if contend {
-		linkFree = map[[2]int]float64{}
-	}
-	networkArrival := func(t0 float64, src, dst int, k int64) float64 {
-		if !contend {
-			return t0 + p.MessageTime(k, hops(src, dst))
-		}
-		path := a.Route(src, dst)
-		t := t0 + p.TStart
-		per := float64(k)*p.TComm + p.THop
-		for i := 1; i < len(path); i++ {
-			lk := [2]int{path[i-1], path[i]}
-			if linkFree[lk] > t {
-				t = linkFree[lk]
-			}
-			t += per
-			linkFree[lk] = t
-		}
-		return t
-	}
+	networkArrival := networkArrivalFunc(a, p, hops, opt.LinkContention && a.Route != nil)
 	clock := make([]float64, a.NumProcs)
 	finish := make([]float64, nV)
 	// arrival[vi*nD+di] is when the value along dependence di reaches

@@ -69,12 +69,23 @@ type (
 	SimStats = sim.Stats
 	// SimOptions tunes the simulator.
 	SimOptions = sim.Options
+	// SimEngine selects the simulation engine in SimOptions.Engine.
+	SimEngine = sim.Engine
 	// ExecStats is the concurrent executor's accounting.
 	ExecStats = exec.Stats
 	// ExecResult is a kernel's dataflow trace.
 	ExecResult = kernels.Result
 	// IntVec is an exact integer vector (index point, dependence, Π).
 	IntVec = vec.Int
+)
+
+// Simulation engines for SimOptions.Engine: the point-level reference
+// simulator and the Lemma-1 block-level coarse engine, which produces
+// identical results with far less memory and time (see DESIGN.md,
+// "Performance architecture").
+const (
+	EnginePoint = sim.EnginePoint
+	EngineBlock = sim.EngineBlock
 )
 
 // Era1991 returns machine parameters with the paper-era cost ratios
@@ -239,6 +250,25 @@ func NewPlan(k *Kernel, opt PlanOptions) (*Plan, error) {
 		plan.Mapping = m
 	}
 	return plan, nil
+}
+
+// Remap returns a plan that shares this plan's structure, schedule,
+// projection, partitioning, and TIG but targets a different hypercube
+// dimension (negative skips mapping). Enumeration and Algorithm 1 are the
+// expensive pipeline stages and depend only on the kernel and Π, so sweeps
+// over machine sizes pay them once per (kernel, size) and remap per cube
+// dimension. The shared artifacts are read-only in both plans.
+func (p *Plan) Remap(cubeDim int) (*Plan, error) {
+	clone := *p
+	clone.Mapping = nil
+	if cubeDim >= 0 {
+		m, err := mapping.MapPartitioning(p.Partitioning, cubeDim, MapOptions{})
+		if err != nil {
+			return nil, err
+		}
+		clone.Mapping = m
+	}
+	return &clone, nil
 }
 
 // placement returns the vertex→processor placement of the plan.
