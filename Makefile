@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short bench bench-json fuzz experiments cover clean
+.PHONY: all build vet test race short bench bench-json fuzz experiments cover clean serve serve-smoke
 
 all: build vet test
 
@@ -33,6 +33,14 @@ bench-json:
 # Ten seconds of parser fuzzing beyond the checked-in seeds.
 fuzz:
 	$(GO) test -fuzz FuzzParseProgram -fuzztime 10s ./internal/parser/
+
+# Run the plan-serving daemon on :8080.
+serve:
+	$(GO) run ./cmd/loopmapd -addr :8080
+
+# One-shot end-to-end check: ephemeral port, one self-issued /v1/plan.
+serve-smoke:
+	$(GO) run ./cmd/loopmapd -smoke
 
 # Regenerate every table and figure of the paper.
 experiments:

@@ -1,0 +1,142 @@
+// Command loopmapd serves the Sheu–Tai planning pipeline over HTTP/JSON.
+//
+//	loopmapd -addr :8080
+//
+// Endpoints:
+//
+//	POST /v1/plan      plan a kernel (cached, deduplicated, deadline-bounded)
+//	POST /v1/simulate  plan + simulate, optional Chrome trace
+//	POST /v1/spmd      compile loop-DSL source to a parallel Go program
+//	GET  /v1/kernels   list built-in kernels
+//	GET  /healthz      liveness
+//	GET  /readyz       readiness (503 while draining)
+//	GET  /metrics      Prometheus text exposition
+//
+// SIGTERM/SIGINT flips /readyz to draining and shuts the listener down
+// gracefully, letting in-flight requests finish up to -drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheMB := flag.Int64("cache-mb", 64, "plan cache budget in MiB")
+	inflight := flag.Int("inflight", 0, "max concurrent plan computations (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "largest per-request deadline a client may ask for")
+	maxSize := flag.Int64("max-size", 128, "largest kernel size parameter accepted")
+	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown grace period")
+	smoke := flag.Bool("smoke", false, "start on an ephemeral port, serve one self-issued /v1/plan request, and exit")
+	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := serve.New(serve.Config{
+		CacheBytes:     *cacheMB << 20,
+		MaxInflight:    *inflight,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxKernelSize:  *maxSize,
+		Logger:         logger,
+	})
+
+	if *smoke {
+		if err := runSmoke(srv, *drain); err != nil {
+			fmt.Fprintln(os.Stderr, "smoke:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	logger.Info("listening", "addr", ln.Addr().String())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serveUntil(ctx, srv, ln, *drain, logger); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// serveUntil runs the HTTP server until ctx is cancelled, then drains:
+// /readyz flips to 503 first so load balancers stop routing, and in-flight
+// requests get up to drainTimeout to finish.
+func serveUntil(ctx context.Context, srv *serve.Server, ln net.Listener, drainTimeout time.Duration, logger *slog.Logger) error {
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("draining", "grace", drainTimeout)
+	srv.SetDraining()
+	shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Info("drained")
+	return nil
+}
+
+// runSmoke exercises the full serving path in-process: bind an ephemeral
+// port, issue one real /v1/plan request over TCP, print the response, and
+// shut down cleanly. This is what `make serve` and the command test run.
+func runSmoke(srv *serve.Server, drainTimeout time.Duration) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- serveUntil(ctx, srv, ln, drainTimeout, slog.New(slog.NewTextHandler(io.Discard, nil)))
+	}()
+
+	url := "http://" + ln.Addr().String() + "/v1/plan"
+	body := `{"kernel": "l1", "size": 8, "cube_dim": 3}`
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		cancel()
+		return err
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		cancel()
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		cancel()
+		return fmt.Errorf("POST /v1/plan: %s: %s", resp.Status, out)
+	}
+	fmt.Printf("POST /v1/plan -> %s\n%s", resp.Status, out)
+	cancel()
+	return <-done
+}

@@ -145,3 +145,20 @@ func TestCmdSweepSmoke(t *testing.T) {
 		}
 	}
 }
+
+func TestCmdLoopmapdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs cmds via the go tool")
+	}
+	out := runCmd(t, "./cmd/loopmapd", "-smoke")
+	for _, want := range []string{
+		"POST /v1/plan -> 200 OK",
+		`"kernel":"l1"`,
+		`"cache":"miss"`,
+		`"procs":8`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("loopmapd smoke output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -155,6 +156,17 @@ func (p *Partitioning) MaxBlockSize() int {
 
 // Partition runs Algorithm 1 on the projected structure.
 func Partition(ps *project.Structure, opt Options) (*Partitioning, error) {
+	return PartitionCtx(context.Background(), ps, opt)
+}
+
+// PartitionCtx is Partition with cooperative cancellation: the Step 3–5
+// region-growing sweep polls ctx between BFS expansions, so a caller's
+// deadline bounds the partitioning of even huge projected structures. A nil
+// ctx means context.Background().
+func PartitionCtx(ctx context.Context, ps *project.Structure, opt Options) (*Partitioning, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(ps.Points) == 0 {
 		return nil, errors.New("core: empty projected structure")
 	}
@@ -222,7 +234,9 @@ func Partition(ps *project.Structure, opt Options) (*Partitioning, error) {
 	}
 
 	// Steps 3–5: region growing.
-	p.growGroups(opt.SeedBase)
+	if err := p.growGroups(ctx, opt.SeedBase); err != nil {
+		return nil, err
+	}
 
 	// Step 6: blocks from fibers.
 	p.computeBlocks()
@@ -275,9 +289,15 @@ func (s *vecSet) add(v vec.Int) bool {
 	return true
 }
 
+// growCheckEvery is how often (in BFS queue pops) growGroups polls the
+// context, amortizing the cancellation check over the sweep.
+const growCheckEvery = 1024
+
 // growGroups implements Steps 3–5: BFS region growing from seed groups.
 // seedBase, when non-nil, pins the base vertex of the very first group.
-func (p *Partitioning) growGroups(seedBase vec.Int) {
+// It polls ctx every growCheckEvery expansions and returns its error on
+// cancellation.
+func (p *Partitioning) growGroups(ctx context.Context, seedBase vec.Int) error {
 	ps := p.PS
 	r := p.R
 	dl := p.Grouping.Scaled
@@ -349,6 +369,7 @@ func (p *Partitioning) growGroups(seedBase vec.Int) {
 	}
 
 	comp := 0
+	pops := 0
 	for {
 		seed := nextUngrouped()
 		if seed < 0 {
@@ -376,6 +397,11 @@ func (p *Partitioning) growGroups(seedBase vec.Int) {
 		for len(queue) > 0 {
 			gid := queue[0]
 			queue = queue[1:]
+			if pops++; pops%growCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			g := p.Groups[gid]
 
 			type step struct {
@@ -405,6 +431,7 @@ func (p *Partitioning) growGroups(seedBase vec.Int) {
 		}
 		comp++
 	}
+	return nil
 }
 
 // computeBlocks fills BlockOf from GroupOf through the projection fibers.

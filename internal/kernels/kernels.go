@@ -16,9 +16,12 @@
 package kernels
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/loop"
 	"repro/internal/vec"
@@ -51,6 +54,29 @@ type Kernel struct {
 // Structure builds the computational structure of the kernel.
 func (k *Kernel) Structure() (*loop.Structure, error) {
 	return loop.NewStructure(k.Nest, k.Deps...)
+}
+
+// StructureCtx builds the computational structure with cooperative
+// cancellation of the index-set enumeration (see loop.NewStructureCtx).
+func (k *Kernel) StructureCtx(ctx context.Context) (*loop.Structure, error) {
+	return loop.NewStructureCtx(ctx, k.Nest, k.Deps...)
+}
+
+// ErrUnknown is returned by Lookup for names absent from the Registry.
+var ErrUnknown = errors.New("kernels: unknown kernel")
+
+// Lookup instantiates a built-in kernel by name. Unknown names return an
+// error wrapping ErrUnknown (matchable with errors.Is); non-positive sizes
+// are rejected before the constructor runs.
+func Lookup(name string, size int64) (*Kernel, error) {
+	ctor, ok := Registry[name]
+	if !ok {
+		return nil, fmt.Errorf("%w %q (have %s)", ErrUnknown, name, strings.Join(Names(), ", "))
+	}
+	if size < 1 {
+		return nil, fmt.Errorf("kernels: size %d must be positive", size)
+	}
+	return ctor(size), nil
 }
 
 // Result is the full dataflow trace of a kernel execution: for every index

@@ -13,6 +13,7 @@
 package loop
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -157,22 +158,36 @@ func (n *Nest) Contains(p vec.Int) bool {
 
 // ForEach visits every point of the index set in lexicographic order.
 func (n *Nest) ForEach(visit func(vec.Int)) {
+	n.ForEachUntil(func(p vec.Int) bool {
+		visit(p)
+		return true
+	})
+}
+
+// ForEachUntil visits the index set in lexicographic order until visit
+// returns false; it reports whether the walk ran to completion. It is the
+// abortable primitive behind cancellable enumeration.
+func (n *Nest) ForEachUntil(visit func(vec.Int) bool) bool {
 	idx := make(vec.Int, n.Dims)
+	stop := false
 	var rec func(j int)
 	rec = func(j int) {
 		if j == n.Dims {
-			visit(idx.Clone())
+			if !visit(idx.Clone()) {
+				stop = true
+			}
 			return
 		}
 		lo := n.Lower[j].Eval(idx)
 		hi := n.Upper[j].Eval(idx)
-		for v := lo; v <= hi; v++ {
+		for v := lo; v <= hi && !stop; v++ {
 			idx[j] = v
 			rec(j + 1)
 		}
 		idx[j] = 0
 	}
 	rec(0)
+	return !stop
 }
 
 // Points materializes the index set.
@@ -343,6 +358,21 @@ func (r *rectIndex) neighborOf(p vec.Int, vi int, d vec.Int) int {
 // from the statements. Supplying explicit deps overrides derivation (used
 // by kernels that state their dependence matrix directly).
 func NewStructure(n *Nest, explicitDeps ...vec.Int) (*Structure, error) {
+	return NewStructureCtx(context.Background(), n, explicitDeps...)
+}
+
+// enumCheckEvery is how often (in enumerated points) NewStructureCtx polls
+// the context, amortizing the cancellation check over the hot enumeration.
+const enumCheckEvery = 8192
+
+// NewStructureCtx is NewStructure with cooperative cancellation: the point
+// enumeration polls ctx every enumCheckEvery points, so a caller's deadline
+// bounds the enumeration of even huge index sets. A nil ctx means
+// context.Background().
+func NewStructureCtx(ctx context.Context, n *Nest, explicitDeps ...vec.Int) (*Structure, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
@@ -362,12 +392,23 @@ func NewStructure(n *Nest, explicitDeps ...vec.Int) (*Structure, error) {
 	if s.rect = newRectIndex(n); s.rect == nil {
 		s.index = map[string]int{}
 	}
-	n.ForEach(func(p vec.Int) {
+	var ctxErr error
+	n.ForEachUntil(func(p vec.Int) bool {
 		if s.index != nil {
 			s.index[p.Key()] = len(s.V)
 		}
 		s.V = append(s.V, p)
+		if len(s.V)%enumCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				return false
+			}
+		}
+		return true
 	})
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
 	return s, nil
 }
 

@@ -49,9 +49,24 @@ const (
 	WidestFirst
 )
 
+// ErrCubeTooSmall is returned when the target hypercube cannot satisfy the
+// requested placement — with Options.Exclusive, a cube with fewer nodes
+// than there are blocks.
+var ErrCubeTooSmall = errors.New("mapping: cube too small")
+
+// maxCubeDim bounds the hypercube dimension Algorithm 2 will materialize:
+// the result allocates per-node cluster slices, so an unchecked dimension
+// from external input could exhaust memory.
+const maxCubeDim = 30
+
 // Options tunes Algorithm 2.
 type Options struct {
 	Policy AxisPolicy
+	// Exclusive demands one block per node — the fine-grain regime where
+	// every partitioned block is an independent task. Mapping fails with
+	// ErrCubeTooSmall when the cube has fewer nodes than blocks. The
+	// default (false) follows the paper: clusters of blocks share nodes.
+	Exclusive bool
 }
 
 // Result is a completed mapping of blocks onto a hypercube.
@@ -72,6 +87,12 @@ func MapItems(items []Item, dim int, opt Options) (*Result, error) {
 	}
 	if dim < 0 {
 		return nil, fmt.Errorf("mapping: negative cube dimension %d", dim)
+	}
+	if dim > maxCubeDim {
+		return nil, fmt.Errorf("mapping: cube dimension %d exceeds the supported maximum %d", dim, maxCubeDim)
+	}
+	if opt.Exclusive && int64(len(items)) > int64(1)<<dim {
+		return nil, fmt.Errorf("%w: exclusive placement of %d blocks needs more than the 2^%d available nodes", ErrCubeTooSmall, len(items), dim)
 	}
 	maxID := 0
 	for _, it := range items {

@@ -1,0 +1,97 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	const capacity = 3
+	g := NewGate(capacity)
+	if g.Cap() != capacity {
+		t.Fatalf("cap = %d, want %d", g.Cap(), capacity)
+	}
+
+	var mu sync.Mutex
+	inflight, peak := 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			inflight++
+			if inflight > peak {
+				peak = inflight
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			inflight--
+			mu.Unlock()
+			g.Release()
+		}()
+	}
+	wg.Wait()
+	if peak > capacity {
+		t.Fatalf("peak concurrency %d exceeded the gate capacity %d", peak, capacity)
+	}
+	if g.InFlight() != 0 {
+		t.Fatalf("in-flight = %d after all releases", g.InFlight())
+	}
+}
+
+func TestGateAcquireHonorsContext(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := g.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("acquire on a full gate: err = %v, want DeadlineExceeded", err)
+	}
+	g.Release()
+	// A freed slot acquires again.
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	g.Release()
+}
+
+func TestGateTryAcquire(t *testing.T) {
+	g := NewGate(1)
+	if !g.TryAcquire() {
+		t.Fatal("empty gate refused")
+	}
+	if g.TryAcquire() {
+		t.Fatal("full gate admitted")
+	}
+	g.Release()
+	if !g.TryAcquire() {
+		t.Fatal("freed gate refused")
+	}
+	g.Release()
+}
+
+func TestGateReleaseUnmatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unmatched Release did not panic")
+		}
+	}()
+	NewGate(1).Release()
+}
+
+func TestGateDefaultCapacity(t *testing.T) {
+	if got := NewGate(0).Cap(); got != Workers() {
+		t.Fatalf("default cap = %d, want Workers() = %d", got, Workers())
+	}
+}

@@ -5,6 +5,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -76,3 +77,62 @@ func MapErr[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	return out, nil
 }
+
+// Gate is a counting semaphore bounding admission to a heavyweight
+// section — the plan-serving daemon uses one to cap concurrent planning
+// work. Acquire blocks while the gate is full, honoring the caller's
+// context so a request deadline also bounds its queueing time.
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate returns a gate admitting at most n concurrent holders
+// (Workers() when n <= 0).
+func NewGate(n int) *Gate {
+	if n <= 0 {
+		n = Workers()
+	}
+	return &Gate{slots: make(chan struct{}, n)}
+}
+
+// Acquire takes a slot, blocking until one frees or ctx is done; it
+// returns ctx.Err() in the latter case.
+func (g *Gate) Acquire(ctx context.Context) error {
+	// Fast path: grab a free slot without touching the context.
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes a slot only if one is immediately free.
+func (g *Gate) TryAcquire() bool {
+	select {
+	case g.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release frees a slot taken by Acquire or TryAcquire.
+func (g *Gate) Release() {
+	select {
+	case <-g.slots:
+	default:
+		panic("pool: Gate.Release without a matching Acquire")
+	}
+}
+
+// InFlight returns the number of currently held slots.
+func (g *Gate) InFlight() int { return len(g.slots) }
+
+// Cap returns the gate's admission bound.
+func (g *Gate) Cap() int { return cap(g.slots) }

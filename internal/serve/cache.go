@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	loopmap "repro"
+)
+
+// planCache is a content-addressed LRU over *base* plans (planned with
+// CubeDim = -1, the expensive enumerate→schedule→partition→TIG artifact).
+// One cached partitioning serves every cube dimension through Plan.Remap,
+// so the mapping phase is never a cache dimension. Capacity is accounted
+// in estimated bytes (see planBytes), not entry counts, because plan size
+// varies by orders of magnitude across kernels and sizes.
+type planCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key   string
+	plan  *loopmap.Plan
+	bytes int64
+}
+
+func newPlanCache(maxBytes int64) *planCache {
+	return &planCache{maxBytes: maxBytes, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached base plan for key, promoting it to most recent.
+func (c *planCache) get(key string) (*loopmap.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).plan, true
+}
+
+// put inserts a base plan and evicts least-recently-used entries until the
+// byte budget holds again; the newest entry itself is never evicted, so a
+// single oversized plan still caches (and evicts everything else). It
+// returns the number of evictions.
+func (c *planCache) put(key string, p *loopmap.Plan) int {
+	b := planBytes(p)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, plan: p, bytes: b})
+	c.items[key] = el
+	c.bytes += b
+	evicted := 0
+	for c.bytes > c.maxBytes && c.ll.Len() > 1 {
+		oldest := c.ll.Back()
+		e := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, e.key)
+		c.bytes -= e.bytes
+		evicted++
+	}
+	return evicted
+}
+
+// stats returns the current byte and entry footprint.
+func (c *planCache) stats() (bytes int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes, c.ll.Len()
+}
+
+// planBytes estimates the resident size of a base plan: the vertex set and
+// its projection dominate, with the partitioning's per-point tables and the
+// TIG behind them. The estimate only needs to be proportional — the cache
+// budget is a sizing knob, not an allocator.
+func planBytes(p *loopmap.Plan) int64 {
+	const vecHeader = 24 // slice header per vec.Int
+	dims := int64(p.Structure.Nest.Dims)
+	perVec := dims*8 + vecHeader
+
+	b := int64(len(p.Structure.V)) * perVec
+	b += int64(len(p.Projected.Points)) * (perVec + vecHeader)
+	for _, f := range p.Projected.Fibers {
+		b += int64(len(f)) * 8
+	}
+	b += int64(len(p.Partitioning.BlockOf)+len(p.Partitioning.GroupOf)) * 8
+	for _, g := range p.Partitioning.Groups {
+		b += perVec + int64(len(g.Members)+len(g.Slot))*8 + int64(len(g.Coords))*8
+	}
+	b += int64(len(p.TIG.Edges))*24 + int64(len(p.TIG.Loads))*8
+	return b + 512 // fixed struct overhead
+}

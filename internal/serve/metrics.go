@@ -1,0 +1,212 @@
+// Metrics for the plan-serving daemon: atomic counters and gauges, fixed-
+// bucket latency histograms, and a Prometheus-text-format renderer. The
+// implementation is dependency-free on purpose — the daemon exposes the
+// standard exposition format without pulling a client library into the
+// module.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// latencyBuckets are the per-endpoint histogram upper bounds, in seconds.
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	mu     sync.Mutex
+	counts []int64 // one per bucket, plus the +Inf overflow at the end
+	sum    float64
+	total  int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(latencyBuckets, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// HistogramSnapshot is a histogram's state at one instant.
+type HistogramSnapshot struct {
+	// Cumulative[i] counts observations ≤ latencyBuckets[i]; the final
+	// entry is the total count (the +Inf bucket).
+	Cumulative []int64
+	Sum        float64
+	Count      int64
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := make([]int64, len(h.counts))
+	var run int64
+	for i, c := range h.counts {
+		run += c
+		cum[i] = run
+	}
+	return HistogramSnapshot{Cumulative: cum, Sum: h.sum, Count: h.total}
+}
+
+// statusCounters counts responses per HTTP status code.
+type statusCounters struct {
+	mu sync.Mutex
+	m  map[int]int64
+}
+
+func (s *statusCounters) inc(code int) {
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = map[int]int64{}
+	}
+	s.m[code]++
+	s.mu.Unlock()
+}
+
+func (s *statusCounters) snapshot() map[int]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]int64, len(s.m))
+	for k, v := range s.m {
+		out[k] = v
+	}
+	return out
+}
+
+// endpointMetrics aggregates one endpoint's request accounting.
+type endpointMetrics struct {
+	status  statusCounters
+	latency *histogram
+}
+
+// metrics is the daemon's full instrument set.
+type metrics struct {
+	cacheHits          atomic.Int64
+	cacheMisses        atomic.Int64
+	cacheEvictions     atomic.Int64
+	singleflightShared atomic.Int64
+	planComputations   atomic.Int64
+	inflightPlans      atomic.Int64
+	cacheBytes         atomic.Int64
+	cacheEntries       atomic.Int64
+
+	endpoints map[string]*endpointMetrics // fixed at construction
+}
+
+func newMetrics(endpoints []string) *metrics {
+	m := &metrics{endpoints: make(map[string]*endpointMetrics, len(endpoints))}
+	for _, e := range endpoints {
+		m.endpoints[e] = &endpointMetrics{latency: newHistogram()}
+	}
+	return m
+}
+
+func (m *metrics) observe(endpoint string, code int, seconds float64) {
+	em, ok := m.endpoints[endpoint]
+	if !ok {
+		return
+	}
+	em.status.inc(code)
+	em.latency.observe(seconds)
+}
+
+// EndpointSnapshot is one endpoint's accounting at one instant.
+type EndpointSnapshot struct {
+	Status  map[int]int64
+	Latency HistogramSnapshot
+}
+
+// Snapshot is the full metrics state at one instant, used both by the
+// /metrics renderer and by tests asserting exact counter values.
+type Snapshot struct {
+	CacheHits          int64
+	CacheMisses        int64
+	CacheEvictions     int64
+	SingleflightShared int64
+	PlanComputations   int64
+	InflightPlans      int64
+	CacheBytes         int64
+	CacheEntries       int64
+	Endpoints          map[string]EndpointSnapshot
+}
+
+func (m *metrics) snapshot() Snapshot {
+	s := Snapshot{
+		CacheHits:          m.cacheHits.Load(),
+		CacheMisses:        m.cacheMisses.Load(),
+		CacheEvictions:     m.cacheEvictions.Load(),
+		SingleflightShared: m.singleflightShared.Load(),
+		PlanComputations:   m.planComputations.Load(),
+		InflightPlans:      m.inflightPlans.Load(),
+		CacheBytes:         m.cacheBytes.Load(),
+		CacheEntries:       m.cacheEntries.Load(),
+		Endpoints:          make(map[string]EndpointSnapshot, len(m.endpoints)),
+	}
+	for name, em := range m.endpoints {
+		s.Endpoints[name] = EndpointSnapshot{
+			Status:  em.status.snapshot(),
+			Latency: em.latency.snapshot(),
+		}
+	}
+	return s
+}
+
+// render writes the snapshot in the Prometheus text exposition format.
+func (s Snapshot) render(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("loopmapd_cache_hits_total", "Plan cache hits.", s.CacheHits)
+	counter("loopmapd_cache_misses_total", "Plan cache misses.", s.CacheMisses)
+	counter("loopmapd_cache_evictions_total", "Plan cache evictions.", s.CacheEvictions)
+	counter("loopmapd_singleflight_shared_total", "Requests served by joining an in-flight computation.", s.SingleflightShared)
+	counter("loopmapd_plan_computations_total", "Underlying NewPlan computations performed.", s.PlanComputations)
+	gauge("loopmapd_inflight_plans", "Plan computations currently admitted.", s.InflightPlans)
+	gauge("loopmapd_cache_bytes", "Estimated bytes held by the plan cache.", s.CacheBytes)
+	gauge("loopmapd_cache_entries", "Entries held by the plan cache.", s.CacheEntries)
+
+	names := make([]string, 0, len(s.Endpoints))
+	for n := range s.Endpoints {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "# HELP loopmapd_requests_total Requests by endpoint and status code.\n# TYPE loopmapd_requests_total counter\n")
+	for _, n := range names {
+		codes := make([]int, 0, len(s.Endpoints[n].Status))
+		for c := range s.Endpoints[n].Status {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "loopmapd_requests_total{endpoint=%q,code=\"%d\"} %d\n", n, c, s.Endpoints[n].Status[c])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP loopmapd_request_seconds Request latency by endpoint.\n# TYPE loopmapd_request_seconds histogram\n")
+	for _, n := range names {
+		h := s.Endpoints[n].Latency
+		if h.Count == 0 {
+			continue
+		}
+		for i, ub := range latencyBuckets {
+			fmt.Fprintf(w, "loopmapd_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", n, ub, h.Cumulative[i])
+		}
+		fmt.Fprintf(w, "loopmapd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(w, "loopmapd_request_seconds_sum{endpoint=%q} %g\n", n, h.Sum)
+		fmt.Fprintf(w, "loopmapd_request_seconds_count{endpoint=%q} %d\n", n, h.Count)
+	}
+}

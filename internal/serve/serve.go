@@ -1,0 +1,763 @@
+// Package serve implements loopmapd, the concurrent plan-serving daemon:
+// an HTTP/JSON front-end over the Sheu–Tai pipeline that plans, simulates,
+// and code-generates on demand.
+//
+// The pipeline is a pure function of (kernel, size, Π, partition options),
+// which makes its artifacts ideal for content-addressed caching: requests
+// are canonicalized into a cache key over exactly those inputs, base plans
+// (partitioning + TIG, no mapping) are held in a byte-budgeted LRU, and
+// each request remaps the shared base onto its own cube dimension with
+// Plan.Remap. A thundering herd of identical requests collapses to one
+// computation through singleflight deduplication, and a bounded admission
+// gate (internal/pool.Gate) caps concurrent planning work. Request
+// deadlines propagate through context into the enumeration, partitioning
+// sweep, and simulation event loop; /metrics, /healthz, and /readyz expose
+// runtime health.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	loopmap "repro"
+	"repro/internal/machine"
+	"repro/internal/mapping"
+	"repro/internal/pool"
+	"repro/internal/trace"
+)
+
+// Config tunes the daemon. The zero value gets production-ish defaults.
+type Config struct {
+	// CacheBytes is the plan cache budget (default 64 MiB).
+	CacheBytes int64
+	// MaxInflight bounds concurrent plan computations (default
+	// pool.Workers()).
+	MaxInflight int
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (default 30s); MaxTimeout clamps what a request may ask for
+	// (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxKernelSize caps the size parameter of built-in kernels (default
+	// 128); MaxCubeDim caps the hypercube dimension (default 10);
+	// MaxBodyBytes caps a request body (default 1 MiB); MaxSourceBytes
+	// caps inline DSL source (default 64 KiB).
+	MaxKernelSize int64
+	MaxCubeDim    int
+	MaxBodyBytes  int64
+	MaxSourceBytes int
+	// Logger receives structured request logs; nil discards them.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = pool.Workers()
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxKernelSize <= 0 {
+		c.MaxKernelSize = 128
+	}
+	if c.MaxCubeDim <= 0 {
+		c.MaxCubeDim = 10
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 64 << 10
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// endpoints instrumented individually in /metrics.
+var endpointNames = []string{
+	"/v1/plan", "/v1/simulate", "/v1/spmd", "/v1/kernels",
+	"/healthz", "/readyz", "/metrics",
+}
+
+// Server is the daemon's handler set and shared state.
+type Server struct {
+	cfg     Config
+	cache   *planCache
+	flight  flightGroup
+	gate    *pool.Gate
+	metrics *metrics
+	drain   chan struct{} // closed when draining
+	mux     *http.ServeMux
+}
+
+// New builds a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   newPlanCache(cfg.CacheBytes),
+		gate:    pool.NewGate(cfg.MaxInflight),
+		metrics: newMetrics(endpointNames),
+		drain:   make(chan struct{}),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/plan", s.instrument("/v1/plan", s.handlePlan))
+	s.mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
+	s.mux.HandleFunc("POST /v1/spmd", s.instrument("/v1/spmd", s.handleSPMD))
+	s.mux.HandleFunc("GET /v1/kernels", s.instrument("/v1/kernels", s.handleKernels))
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetDraining flips /readyz to 503 so load balancers stop routing new
+// traffic while in-flight requests finish.
+func (s *Server) SetDraining() {
+	select {
+	case <-s.drain:
+	default:
+		close(s.drain)
+	}
+}
+
+func (s *Server) draining() bool {
+	select {
+	case <-s.drain:
+		return true
+	default:
+		return false
+	}
+}
+
+// Metrics returns a point-in-time snapshot of every instrument (tests
+// assert on it; /metrics renders it).
+func (s *Server) Metrics() Snapshot {
+	b, n := s.cache.stats()
+	s.metrics.cacheBytes.Store(b)
+	s.metrics.cacheEntries.Store(int64(n))
+	s.metrics.inflightPlans.Store(int64(s.gate.InFlight()))
+	return s.metrics.snapshot()
+}
+
+// --- request plumbing ---
+
+// statusWriter records the response code for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with body limits, latency/status metrics, and
+// structured request logging.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		elapsed := time.Since(start)
+		s.metrics.observe(endpoint, sw.code, elapsed.Seconds())
+		s.cfg.Logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.code,
+			"dur_ms", float64(elapsed.Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	}
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+	Code  int    `json:"code"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error(), Code: code})
+}
+
+// errStatus maps a pipeline failure to an HTTP status using the typed
+// sentinels — no string matching.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	case errors.Is(err, loopmap.ErrUnknownKernel),
+		errors.Is(err, loopmap.ErrNoSchedule),
+		errors.Is(err, loopmap.ErrCubeTooSmall):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// --- the plan request and its canonical cache key ---
+
+// PlanRequest is the JSON body of /v1/plan and the planning half of
+// /v1/simulate.
+type PlanRequest struct {
+	Kernel string `json:"kernel"`
+	Size   int64  `json:"size"`
+	// CubeDim < 0 (or omitted as null) skips the mapping phase. The
+	// encoding uses a pointer so "absent" defaults to 3 (the paper's
+	// running example) rather than colliding with a meaningful 0.
+	CubeDim *int `json:"cube_dim"`
+	// Exclusive demands one block per node (fails with 400 when the cube
+	// is too small).
+	Exclusive bool `json:"exclusive,omitempty"`
+	// Pi pins the time function; SearchPi searches exhaustively with
+	// SearchBound.
+	Pi          []int64 `json:"pi,omitempty"`
+	SearchPi    bool    `json:"search_pi,omitempty"`
+	SearchBound int64   `json:"search_bound,omitempty"`
+	// Partition knobs (Algorithm 1).
+	MergeFactor    int64 `json:"merge_factor,omitempty"`
+	NoAux          bool  `json:"no_aux,omitempty"`
+	GroupingChoice int   `json:"grouping_choice,omitempty"`
+	// TimeoutMS bounds this request's total work.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// cubeDim resolves the requested cube dimension (default 3).
+func (r *PlanRequest) cubeDim() int {
+	if r.CubeDim == nil {
+		return 3
+	}
+	return *r.CubeDim
+}
+
+// validate applies the daemon's admission limits and option validation.
+func (s *Server) validatePlanRequest(r *PlanRequest) error {
+	if r.Kernel == "" {
+		return errors.New("serve: missing kernel name")
+	}
+	if r.Size < 1 || r.Size > s.cfg.MaxKernelSize {
+		return fmt.Errorf("serve: size %d out of range [1, %d]", r.Size, s.cfg.MaxKernelSize)
+	}
+	if d := r.cubeDim(); d > s.cfg.MaxCubeDim {
+		return fmt.Errorf("serve: cube_dim %d exceeds the maximum %d", d, s.cfg.MaxCubeDim)
+	}
+	return r.planOptions().Validate()
+}
+
+// planOptions converts the request's planning fields (cube dimension
+// excluded — base plans are cached unmapped).
+func (r *PlanRequest) planOptions() loopmap.PlanOptions {
+	var pi loopmap.IntVec
+	if len(r.Pi) > 0 {
+		pi = loopmap.Vec(r.Pi...)
+	}
+	return loopmap.PlanOptions{
+		Pi:          pi,
+		SearchPi:    r.SearchPi,
+		SearchBound: r.SearchBound,
+		CubeDim:     -1,
+		Partition: loopmap.PartitionOptions{
+			MergeFactor:    r.MergeFactor,
+			NoAux:          r.NoAux,
+			GroupingChoice: r.GroupingChoice,
+		},
+	}
+}
+
+// cacheKey canonicalizes the planning inputs: defaults are applied first
+// (SearchBound 0 → 2, MergeFactor 0 → 1), so every spelling of the same
+// computation shares one cache line. The cube dimension is deliberately
+// absent — one cached partitioning serves every cube through Plan.Remap.
+func (r *PlanRequest) cacheKey() string {
+	bound := r.SearchBound
+	if !r.SearchPi {
+		bound = 0
+	} else if bound <= 0 {
+		bound = 2
+	}
+	merge := r.MergeFactor
+	if merge < 1 {
+		merge = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel=%s|size=%d|pi=%v|search=%t|bound=%d|merge=%d|noaux=%t|choice=%d",
+		r.Kernel, r.Size, r.Pi, r.SearchPi, bound, merge, r.NoAux, r.GroupingChoice)
+	return b.String()
+}
+
+// requestContext derives the request's working context from its deadline
+// fields.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// CacheOutcome reports how a request's base plan was obtained.
+type CacheOutcome string
+
+const (
+	// CacheHit: served from the LRU.
+	CacheHit CacheOutcome = "hit"
+	// CacheMiss: this request computed the plan.
+	CacheMiss CacheOutcome = "miss"
+	// CacheShared: joined another request's in-flight computation.
+	CacheShared CacheOutcome = "shared"
+)
+
+// basePlan returns the base (unmapped) plan for the request: LRU lookup,
+// then singleflight-deduplicated computation under the admission gate.
+//
+// The leader computes under its own request context: followers share the
+// leader's result AND its fate — if the leader's deadline fires first, the
+// followers see its cancellation error and may retry. This is the standard
+// singleflight trade; the alternative (detached computation) would let an
+// abandoned request burn a gate slot with nobody waiting.
+func (s *Server) basePlan(ctx context.Context, req *PlanRequest) (*loopmap.Plan, CacheOutcome, error) {
+	key := req.cacheKey()
+	if p, ok := s.cache.get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		return p, CacheHit, nil
+	}
+	v, err, shared := s.flight.do(key, func() (any, error) {
+		// Double-check under the flight: a prior leader may have populated
+		// the cache between this request's lookup and its arrival here.
+		if p, ok := s.cache.get(key); ok {
+			s.metrics.cacheHits.Add(1)
+			return p, nil
+		}
+		s.metrics.cacheMisses.Add(1)
+		if err := s.gate.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.gate.Release()
+		s.metrics.inflightPlans.Add(1)
+		defer s.metrics.inflightPlans.Add(-1)
+
+		k, err := loopmap.LookupKernel(req.Kernel, req.Size)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.planComputations.Add(1)
+		p, err := loopmap.NewPlanCtx(ctx, k, req.planOptions())
+		if err != nil {
+			return nil, err
+		}
+		if ev := s.cache.put(key, p); ev > 0 {
+			s.metrics.cacheEvictions.Add(int64(ev))
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, CacheMiss, err
+	}
+	outcome := CacheMiss
+	if shared {
+		s.metrics.singleflightShared.Add(1)
+		outcome = CacheShared
+	}
+	return v.(*loopmap.Plan), outcome, nil
+}
+
+// mappedPlan remaps the base plan onto the request's cube dimension.
+func (s *Server) mappedPlan(ctx context.Context, req *PlanRequest) (*loopmap.Plan, CacheOutcome, error) {
+	base, outcome, err := s.basePlan(ctx, req)
+	if err != nil {
+		return nil, outcome, err
+	}
+	p, err := base.RemapOpts(req.cubeDim(), loopmap.MapOptions{Exclusive: req.Exclusive})
+	if err != nil {
+		return nil, outcome, err
+	}
+	return p, outcome, nil
+}
+
+// --- /v1/plan ---
+
+// PlanResponse summarizes a plan.
+type PlanResponse struct {
+	Kernel     string  `json:"kernel"`
+	Size       int64   `json:"size"`
+	Pi         []int64 `json:"pi"`
+	Steps      int64   `json:"steps"`
+	Iterations int     `json:"iterations"`
+
+	Blocks       int   `json:"blocks"`
+	MaxBlock     int   `json:"max_block"`
+	GroupSizeR   int64 `json:"group_size_r"`
+	Beta         int   `json:"beta"`
+	TIGEdges     int   `json:"tig_edges"`
+	TIGTraffic   int64 `json:"tig_traffic"`
+	MaxOutDegree int   `json:"max_out_degree"`
+
+	CubeDim     int    `json:"cube_dim"`
+	Procs       int    `json:"procs"`
+	HopWeight   int64  `json:"hop_weight,omitempty"`
+	MaxDilation int    `json:"max_dilation,omitempty"`
+	MinLoad     int64  `json:"min_load,omitempty"`
+	MaxLoad     int64  `json:"max_load,omitempty"`
+
+	Cache   CacheOutcome `json:"cache"`
+	Summary string       `json:"summary"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.validatePlanRequest(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	p, outcome, err := s.mappedPlan(ctx, &req)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	resp := PlanResponse{
+		Kernel:       req.Kernel,
+		Size:         req.Size,
+		Pi:           p.Schedule.Pi,
+		Steps:        p.Schedule.Steps(),
+		Iterations:   len(p.Structure.V),
+		Blocks:       p.Partitioning.NumBlocks(),
+		MaxBlock:     p.Partitioning.MaxBlockSize(),
+		GroupSizeR:   p.Partitioning.R,
+		Beta:         p.Partitioning.Beta,
+		TIGEdges:     len(p.TIG.Edges),
+		TIGTraffic:   p.TIG.TotalTraffic(),
+		MaxOutDegree: p.TIG.MaxOutDegree(),
+		CubeDim:      req.cubeDim(),
+		Procs:        p.Procs(),
+		Cache:        outcome,
+		Summary:      p.Summary(),
+	}
+	if p.Mapping != nil {
+		ms := mapping.Evaluate(p.TIG, p.Mapping)
+		resp.HopWeight = ms.HopWeight
+		resp.MaxDilation = ms.MaxDilation
+		resp.MinLoad = ms.MinLoad
+		resp.MaxLoad = ms.MaxLoad
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- /v1/simulate ---
+
+// SimulateRequest extends PlanRequest with machine and engine knobs.
+type SimulateRequest struct {
+	PlanRequest
+	// Era selects a parameter preset: "1991" (default), "unit",
+	// "balanced" — or set explicit params.
+	Era    string   `json:"era,omitempty"`
+	TCalc  *float64 `json:"tcalc,omitempty"`
+	TStart *float64 `json:"tstart,omitempty"`
+	TComm  *float64 `json:"tcomm,omitempty"`
+	THop   *float64 `json:"thop,omitempty"`
+	// Engine: "block" (default — the Lemma-1 coarse engine) or "point".
+	Engine     string `json:"engine,omitempty"`
+	Aggregate  bool   `json:"aggregate,omitempty"`
+	Contention bool   `json:"contention,omitempty"`
+	// Sequential adds a single-processor run and the speedup ratio.
+	Sequential bool `json:"sequential,omitempty"`
+	// Trace embeds a Chrome trace-event timeline of the run.
+	Trace bool `json:"trace,omitempty"`
+}
+
+func (r *SimulateRequest) params() (machine.Params, error) {
+	var p machine.Params
+	switch r.Era {
+	case "", "1991":
+		p = machine.Era1991()
+	case "unit":
+		p = machine.Unit()
+	case "balanced":
+		p = machine.Balanced()
+	default:
+		return p, fmt.Errorf("serve: unknown era %q (have 1991, unit, balanced)", r.Era)
+	}
+	if r.TCalc != nil {
+		p.TCalc = *r.TCalc
+	}
+	if r.TStart != nil {
+		p.TStart = *r.TStart
+	}
+	if r.TComm != nil {
+		p.TComm = *r.TComm
+	}
+	if r.THop != nil {
+		p.THop = *r.THop
+	}
+	return p, p.Validate()
+}
+
+func (r *SimulateRequest) engine() (loopmap.SimEngine, error) {
+	switch r.Engine {
+	case "", "block":
+		return loopmap.EngineBlock, nil
+	case "point":
+		return loopmap.EnginePoint, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown engine %q (have block, point)", r.Engine)
+	}
+}
+
+// SimulateResponse reports the simulation accounting.
+type SimulateResponse struct {
+	Makespan     float64 `json:"makespan"`
+	Messages     int64   `json:"messages"`
+	Words        int64   `json:"words"`
+	MaxProcOps   int64   `json:"max_proc_ops"`
+	CriticalProc int     `json:"critical_proc"`
+	Procs        int     `json:"procs"`
+
+	SequentialMakespan float64 `json:"sequential_makespan,omitempty"`
+	Speedup            float64 `json:"speedup,omitempty"`
+
+	Cache CacheOutcome    `json:"cache"`
+	Trace json.RawMessage `json:"trace,omitempty"`
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.validatePlanRequest(&req.PlanRequest); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	params, err := req.params()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	engine, err := req.engine()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	p, outcome, err := s.mappedPlan(ctx, &req.PlanRequest)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	opt := loopmap.SimOptions{
+		Engine:         engine,
+		Aggregate:      req.Aggregate,
+		LinkContention: req.Contention,
+		Timeline:       req.Trace,
+	}
+	stats, err := p.SimulateCtx(ctx, params, opt)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	resp := SimulateResponse{
+		Makespan:     stats.Makespan,
+		Messages:     stats.Messages,
+		Words:        stats.Words,
+		MaxProcOps:   stats.MaxProcOps,
+		CriticalProc: stats.CriticalProc(),
+		Procs:        p.Procs(),
+		Cache:        outcome,
+	}
+	if req.Sequential {
+		seq, err := p.SimulateSequential(params)
+		if err != nil {
+			writeError(w, errStatus(err), err)
+			return
+		}
+		resp.SequentialMakespan = seq.Makespan
+		if stats.Makespan > 0 {
+			resp.Speedup = seq.Makespan / stats.Makespan
+		}
+	}
+	if req.Trace {
+		var buf bytes.Buffer
+		if err := trace.Chrome(&buf, stats); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Trace = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- /v1/spmd ---
+
+// SPMDRequest compiles loop-DSL source to a standalone parallel Go
+// program.
+type SPMDRequest struct {
+	Name      string `json:"name,omitempty"`
+	Source    string `json:"source"`
+	CubeDim   *int   `json:"cube_dim"`
+	Seed      uint64 `json:"seed,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// SPMDResponse carries the generated program.
+type SPMDResponse struct {
+	Source string `json:"source"`
+}
+
+func (s *Server) handleSPMD(w http.ResponseWriter, r *http.Request) {
+	var req SPMDRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, errors.New("serve: missing loop-DSL source"))
+		return
+	}
+	if len(req.Source) > s.cfg.MaxSourceBytes {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: source %d bytes exceeds the maximum %d", len(req.Source), s.cfg.MaxSourceBytes))
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "loop"
+	}
+	dim := 2
+	if req.CubeDim != nil {
+		dim = *req.CubeDim
+	}
+	if dim > s.cfg.MaxCubeDim {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: cube_dim %d exceeds the maximum %d", dim, s.cfg.MaxCubeDim))
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	// SPMD generation is bounded by the admission gate like planning: the
+	// parse is cheap but the embedded plan is not.
+	if err := s.gate.Acquire(ctx); err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	defer s.gate.Release()
+	s.metrics.inflightPlans.Add(1)
+	defer s.metrics.inflightPlans.Add(-1)
+
+	src, err := loopmap.GenerateSPMDCtx(ctx, name, req.Source, dim, seed)
+	if err != nil {
+		code := errStatus(err)
+		if code == http.StatusInternalServerError {
+			// Parse and dependence-derivation failures are caller errors.
+			code = http.StatusBadRequest
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SPMDResponse{Source: src})
+}
+
+// --- /v1/kernels ---
+
+// KernelInfo describes one built-in kernel.
+type KernelInfo struct {
+	Name string  `json:"name"`
+	Dims int     `json:"dims"`
+	Deps int     `json:"deps"`
+	Pi   []int64 `json:"pi"`
+}
+
+func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
+	names := loopmap.KernelNames()
+	sort.Strings(names)
+	out := make([]KernelInfo, 0, len(names))
+	for _, n := range names {
+		k, err := loopmap.LookupKernel(n, 4)
+		if err != nil {
+			continue
+		}
+		out = append(out, KernelInfo{Name: n, Dims: k.Nest.Dims, Deps: len(k.Deps), Pi: k.Pi})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// --- health and metrics ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.Metrics().render(w)
+}
+
+// decodeJSON strictly decodes one JSON object from the request body.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: bad request body: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,399 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func planBody(t *testing.T, url, body string) PlanResponse {
+	t.Helper()
+	resp, out := postJSON(t, url, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %s: %s", url, resp.Status, out)
+	}
+	var pr PlanResponse
+	if err := json.Unmarshal(out, &pr); err != nil {
+		t.Fatalf("decode: %v: %s", err, out)
+	}
+	return pr
+}
+
+func TestPlanMissThenHit(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	body := `{"kernel": "l1", "size": 8, "cube_dim": 3}`
+
+	first := planBody(t, ts.URL+"/v1/plan", body)
+	if first.Cache != CacheMiss {
+		t.Fatalf("first request cache = %q, want %q", first.Cache, CacheMiss)
+	}
+	if first.Blocks != 9 || first.Procs != 8 {
+		t.Fatalf("l1 size 8 on 3-cube: blocks=%d procs=%d, want 9 and 8", first.Blocks, first.Procs)
+	}
+
+	second := planBody(t, ts.URL+"/v1/plan", body)
+	if second.Cache != CacheHit {
+		t.Fatalf("second request cache = %q, want %q", second.Cache, CacheHit)
+	}
+	if second.Summary != first.Summary {
+		t.Fatalf("cached plan differs:\n%s\nvs\n%s", second.Summary, first.Summary)
+	}
+
+	m := s.Metrics()
+	if m.CacheHits != 1 || m.CacheMisses != 1 || m.PlanComputations != 1 {
+		t.Fatalf("hits=%d misses=%d computations=%d, want 1/1/1", m.CacheHits, m.CacheMisses, m.PlanComputations)
+	}
+	if m.CacheEntries != 1 || m.CacheBytes <= 0 {
+		t.Fatalf("cache entries=%d bytes=%d, want 1 entry with positive bytes", m.CacheEntries, m.CacheBytes)
+	}
+}
+
+// One cached base plan serves every cube dimension: requests differing only
+// in cube_dim share a cache line through Plan.Remap.
+func TestPlanCubeDimSharesBasePlan(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	for i, dim := range []int{3, 1, 5, 0} {
+		pr := planBody(t, ts.URL+"/v1/plan", fmt.Sprintf(`{"kernel": "l1", "size": 8, "cube_dim": %d}`, dim))
+		want := CacheHit
+		if i == 0 {
+			want = CacheMiss
+		}
+		if pr.Cache != want {
+			t.Fatalf("dim %d: cache = %q, want %q", dim, pr.Cache, want)
+		}
+		if pr.CubeDim != dim {
+			t.Fatalf("dim %d echoed as %d", dim, pr.CubeDim)
+		}
+	}
+	if m := s.Metrics(); m.PlanComputations != 1 {
+		t.Fatalf("computations = %d, want 1 across all cube dims", m.PlanComputations)
+	}
+}
+
+// The acceptance bar: a thundering herd of identical requests performs
+// exactly one NewPlan computation. Run with -race.
+func TestConcurrentIdenticalRequestsComputeOnce(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	const clients = 32
+	body := `{"kernel": "matmul", "size": 16, "cube_dim": 3}`
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, out := postJSON(t, ts.URL+"/v1/plan", body)
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %s: %s", resp.Status, out)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	m := s.Metrics()
+	if m.PlanComputations != 1 {
+		t.Fatalf("computations = %d, want exactly 1 for %d identical concurrent requests", m.PlanComputations, clients)
+	}
+	if m.CacheMisses != 1 {
+		t.Fatalf("misses = %d, want 1", m.CacheMisses)
+	}
+	if got := m.CacheHits + m.SingleflightShared + m.CacheMisses; got != clients {
+		t.Fatalf("hits(%d) + shared(%d) + misses(%d) = %d, want %d",
+			m.CacheHits, m.SingleflightShared, m.CacheMisses, got, clients)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	// A one-byte budget keeps only the newest plan: the second distinct
+	// request evicts the first, and repeating the first misses again.
+	s, ts := newTestServer(t, Config{CacheBytes: 1})
+	a := `{"kernel": "l1", "size": 6, "cube_dim": 2}`
+	b := `{"kernel": "l1", "size": 7, "cube_dim": 2}`
+
+	if pr := planBody(t, ts.URL+"/v1/plan", a); pr.Cache != CacheMiss {
+		t.Fatalf("first a: %q", pr.Cache)
+	}
+	if pr := planBody(t, ts.URL+"/v1/plan", b); pr.Cache != CacheMiss {
+		t.Fatalf("first b: %q", pr.Cache)
+	}
+	if pr := planBody(t, ts.URL+"/v1/plan", a); pr.Cache != CacheMiss {
+		t.Fatalf("second a after eviction: %q, want %q", pr.Cache, CacheMiss)
+	}
+	m := s.Metrics()
+	if m.CacheEvictions < 2 {
+		t.Fatalf("evictions = %d, want >= 2", m.CacheEvictions)
+	}
+	if m.CacheEntries != 1 {
+		t.Fatalf("entries = %d, want 1 under a one-byte budget", m.CacheEntries)
+	}
+}
+
+func TestDeadlineExceededReturns504(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// A 1 ms budget cannot plan a 262144-point kernel; the cooperative
+	// checks in enumeration/partitioning surface context.DeadlineExceeded.
+	resp, out := postJSON(t, ts.URL+"/v1/plan", `{"kernel": "matmul", "size": 64, "timeout_ms": 1}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %s, want 504; body %s", resp.Status, out)
+	}
+	var ae apiError
+	if err := json.Unmarshal(out, &ae); err != nil || ae.Code != http.StatusGatewayTimeout {
+		t.Fatalf("error envelope: %s", out)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, path, body string
+	}{
+		{"malformed json", "/v1/plan", `{"kernel": `},
+		{"unknown field", "/v1/plan", `{"kernel": "l1", "size": 8, "bogus": 1}`},
+		{"missing kernel", "/v1/plan", `{"size": 8}`},
+		{"unknown kernel", "/v1/plan", `{"kernel": "nope", "size": 8}`},
+		{"size zero", "/v1/plan", `{"kernel": "l1", "size": 0}`},
+		{"size too large", "/v1/plan", `{"kernel": "l1", "size": 100000}`},
+		{"cube dim too large", "/v1/plan", `{"kernel": "l1", "size": 8, "cube_dim": 99}`},
+		{"negative search bound", "/v1/plan", `{"kernel": "l1", "size": 8, "search_bound": -1}`},
+		{"pi conflicts with search", "/v1/plan", `{"kernel": "l1", "size": 8, "pi": [1, 1], "search_pi": true}`},
+		{"unknown era", "/v1/simulate", `{"kernel": "l1", "size": 8, "era": "victorian"}`},
+		{"unknown engine", "/v1/simulate", `{"kernel": "l1", "size": 8, "engine": "warp"}`},
+		{"spmd missing source", "/v1/spmd", `{"name": "x"}`},
+		{"spmd syntax error", "/v1/spmd", `{"source": "for i = 0 to"}`},
+	}
+	for _, c := range cases {
+		resp, out := postJSON(t, ts.URL+c.path, c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %s, want 400; body %s", c.name, resp.Status, out)
+		}
+	}
+}
+
+func TestExclusiveMappingCubeTooSmall(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// l1 size 8 partitions into 9 blocks; a 3-cube has 8 nodes.
+	resp, out := postJSON(t, ts.URL+"/v1/plan", `{"kernel": "l1", "size": 8, "cube_dim": 3, "exclusive": true}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("exclusive on a too-small cube: status = %s, want 400; body %s", resp.Status, out)
+	}
+	// The same placement on a 4-cube (16 nodes) succeeds, and every node
+	// carries at most one block.
+	pr := planBody(t, ts.URL+"/v1/plan", `{"kernel": "l1", "size": 8, "cube_dim": 4, "exclusive": true}`)
+	if pr.MaxLoad != int64(pr.MaxBlock) {
+		t.Fatalf("exclusive placement: max load %d, want one block per node (max block %d)", pr.MaxLoad, pr.MaxBlock)
+	}
+}
+
+func TestSimulateEnginesAgree(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var got [2]SimulateResponse
+	for i, engine := range []string{"point", "block"} {
+		resp, out := postJSON(t, ts.URL+"/v1/simulate",
+			fmt.Sprintf(`{"kernel": "l1", "size": 8, "cube_dim": 3, "era": "unit", "engine": %q, "sequential": true}`, engine))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %s: %s", engine, resp.Status, out)
+		}
+		if err := json.Unmarshal(out, &got[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got[0].Makespan != got[1].Makespan {
+		t.Fatalf("point makespan %v != block makespan %v", got[0].Makespan, got[1].Makespan)
+	}
+	if got[0].Speedup <= 1 {
+		t.Fatalf("speedup = %v, want > 1", got[0].Speedup)
+	}
+}
+
+func TestSimulateTrace(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, out := postJSON(t, ts.URL+"/v1/simulate",
+		`{"kernel": "l1", "size": 8, "cube_dim": 3, "engine": "point", "trace": true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: %s", resp.Status, out)
+	}
+	var sr SimulateResponse
+	if err := json.Unmarshal(out, &sr); err != nil {
+		t.Fatal(err)
+	}
+	// trace.Chrome emits the JSON-array form of the trace-event format.
+	var events []json.RawMessage
+	if err := json.Unmarshal(sr.Trace, &events); err != nil {
+		t.Fatalf("embedded trace is not valid JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace has no events")
+	}
+}
+
+func TestSPMDEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req, _ := json.Marshal(SPMDRequest{
+		Name:   "l1",
+		Source: "for i = 0 to 7\nfor j = 0 to 7\n{\n  A[i+1, j+1] = A[i+1, j] + B[i, j]\n  B[i+1, j] = A[i, j] * 2 + C\n}\n",
+	})
+	resp, out := postJSON(t, ts.URL+"/v1/spmd", string(req))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: %s", resp.Status, out)
+	}
+	var sr SPMDResponse
+	if err := json.Unmarshal(out, &sr); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"package main", "func runParallel", "func runSequential"} {
+		if !strings.Contains(sr.Source, want) {
+			t.Errorf("generated program missing %q", want)
+		}
+	}
+}
+
+func TestKernelsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/kernels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: %s", resp.Status, out)
+	}
+	var ks []KernelInfo
+	if err := json.Unmarshal(out, &ks); err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, k := range ks {
+		found[k.Name] = true
+		if k.Dims < 2 || len(k.Pi) != k.Dims {
+			t.Errorf("kernel %s: dims=%d pi=%v", k.Name, k.Dims, k.Pi)
+		}
+	}
+	for _, want := range []string{"l1", "matmul", "matvec"} {
+		if !found[want] {
+			t.Errorf("kernel %q missing from listing", want)
+		}
+	}
+}
+
+func TestHealthAndDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+	s.SetDraining()
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !bytes.Contains(body, []byte("draining")) {
+		t.Fatalf("/readyz while draining: %d %q, want 503 draining", resp.StatusCode, body)
+	}
+	// Liveness is unaffected by draining.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz while draining: %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"kernel": "l1", "size": 8, "cube_dim": 3}`
+	planBody(t, ts.URL+"/v1/plan", body)
+	planBody(t, ts.URL+"/v1/plan", body)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %s", resp.Status)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"loopmapd_cache_hits_total 1",
+		"loopmapd_cache_misses_total 1",
+		"loopmapd_plan_computations_total 1",
+		"loopmapd_inflight_plans 0",
+		"loopmapd_cache_entries 1",
+		`loopmapd_requests_total{endpoint="/v1/plan",code="200"} 2`,
+		`loopmapd_request_seconds_bucket{endpoint="/v1/plan",le="+Inf"} 2`,
+		`loopmapd_request_seconds_count{endpoint="/v1/plan"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestRequestBodyLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 64})
+	huge := `{"kernel": "l1", "size": 8, "pi": [` + strings.Repeat("1,", 200) + `1]}`
+	resp, _ := postJSON(t, ts.URL+"/v1/plan", huge)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestDefaultTimeoutClamped(t *testing.T) {
+	// A request asking for an absurd deadline is clamped to MaxTimeout —
+	// observable as a fast 504 when MaxTimeout is tiny.
+	_, ts := newTestServer(t, Config{MaxTimeout: time.Millisecond})
+	start := time.Now()
+	resp, _ := postJSON(t, ts.URL+"/v1/plan", `{"kernel": "matmul", "size": 64, "timeout_ms": 3600000}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("clamped request took %v", elapsed)
+	}
+}

@@ -1,0 +1,44 @@
+package serve
+
+import "sync"
+
+// flightGroup deduplicates concurrent function calls by key: the first
+// caller (the leader) runs fn, every concurrent caller with the same key
+// blocks and shares the leader's result. This is what turns a thundering
+// herd of identical plan requests into exactly one NewPlan computation.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// do invokes fn once per concurrent set of callers sharing key. The
+// returned bool reports whether this caller shared another caller's result
+// (true) or ran fn itself (false).
+func (g *flightGroup) do(key string, fn func() (any, error)) (any, error, bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flightCall{}
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

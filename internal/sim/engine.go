@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/hyperplane"
@@ -34,6 +35,15 @@ import (
 // message counts — are bit-identical, which the equivalence tests assert on
 // every built-in kernel.
 func SimulateBlockLevel(st *loop.Structure, sch hyperplane.Schedule, a Assignment, p machine.Params, opt Options) (*Stats, error) {
+	return simulateBlockLevel(context.Background(), st, sch, a, p, opt)
+}
+
+// simulateBlockLevel is the engine body; it polls ctx every simCheckEvery
+// executed slots (see SimulateCtx).
+func simulateBlockLevel(ctx context.Context, st *loop.Structure, sch hyperplane.Schedule, a Assignment, p machine.Params, opt Options) (*Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := validate(st, a, p); err != nil {
 		return nil, err
 	}
@@ -95,8 +105,14 @@ func SimulateBlockLevel(st *loop.Structure, sch hyperplane.Schedule, a Assignmen
 	remoteSucc := make([]int32, 0, nD)
 	remoteProc := make([]int32, 0, nD)
 
+	executed := 0
 	for s := 0; s < nSteps; s++ {
 		for _, v := range bucket[counts[s]:counts[s+1]] {
+			if executed++; executed%simCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			vi := int(v)
 			pr := a.ProcOf[vi]
 			// Execute the (block, step) slot: start at the processor clock

@@ -17,6 +17,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -124,6 +125,19 @@ type Options struct {
 	// earlier traffic. Requires Assignment.Route; without it the option
 	// is ignored (uncontended network).
 	LinkContention bool
+}
+
+// Validate rejects option values no engine understands, with actionable
+// messages. Simulate calls it on entry; callers building Options from
+// external input can call it early to classify the failure as a caller
+// error.
+func (o Options) Validate() error {
+	switch o.Engine {
+	case EnginePoint, EngineBlock:
+	default:
+		return fmt.Errorf("sim: unknown Engine %d (have EnginePoint=%d, EngineBlock=%d)", o.Engine, EnginePoint, EngineBlock)
+	}
+	return nil
 }
 
 // SpanKind distinguishes timeline activities.
@@ -279,8 +293,28 @@ func networkArrivalFunc(a Assignment, p machine.Params, hops func(int, int) int,
 // Simulate runs the event-driven execution with the engine selected in
 // Options (the point-level reference engine by default).
 func Simulate(st *loop.Structure, sch hyperplane.Schedule, a Assignment, p machine.Params, opt Options) (*Stats, error) {
+	return SimulateCtx(context.Background(), st, sch, a, p, opt)
+}
+
+// simCheckEvery is how often (in executed index points) the engines poll
+// the context, amortizing the cancellation check over the event loop.
+const simCheckEvery = 4096
+
+// SimulateCtx is Simulate with cooperative cancellation: the event loop
+// polls ctx every simCheckEvery executed points, so a caller's deadline
+// bounds even huge simulations. A nil ctx means context.Background().
+func SimulateCtx(ctx context.Context, st *loop.Structure, sch hyperplane.Schedule, a Assignment, p machine.Params, opt Options) (*Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opt.Engine == EngineBlock {
-		return SimulateBlockLevel(st, sch, a, p, opt)
+		return simulateBlockLevel(ctx, st, sch, a, p, opt)
 	}
 	if err := validate(st, a, p); err != nil {
 		return nil, err
@@ -342,7 +376,12 @@ func Simulate(st *loop.Structure, sch hyperplane.Schedule, a Assignment, p machi
 	stats.ProcOps = make([]int64, a.NumProcs)
 	procOps := stats.ProcOps
 
-	for _, vi := range order {
+	for oi, vi := range order {
+		if oi%simCheckEvery == simCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		pr := a.ProcOf[vi]
 		// Ready once all remote inputs have arrived.
 		ready := 0.0

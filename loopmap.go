@@ -22,6 +22,7 @@
 package loopmap
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -101,14 +102,39 @@ func Vec(vals ...int64) IntVec { return vec.NewInt(vals...) }
 // KernelNames lists the built-in kernels.
 func KernelNames() []string { return kernels.Names() }
 
+// Sentinel errors classifying plan failures, matchable with errors.Is. A
+// service front-end maps them to caller errors (4xx) and treats everything
+// else as internal (5xx), without string matching.
+var (
+	// ErrUnknownKernel is returned by LookupKernel for names absent from
+	// the registry.
+	ErrUnknownKernel = kernels.ErrUnknown
+	// ErrNoSchedule is returned by NewPlan when no valid hyperplane time
+	// function exists for the request (an invalid explicit Π, or an
+	// exhausted search range).
+	ErrNoSchedule = errors.New("loopmap: no valid schedule")
+	// ErrCubeTooSmall is returned when the target hypercube cannot hold
+	// the partitioning under the requested placement (see
+	// MapOptions.Exclusive).
+	ErrCubeTooSmall = mapping.ErrCubeTooSmall
+)
+
+// LookupKernel instantiates a built-in kernel by name. Unknown names
+// return an error wrapping ErrUnknownKernel; non-positive sizes are
+// rejected. Use KernelNames to enumerate valid names.
+func LookupKernel(name string, size int64) (*Kernel, error) {
+	return kernels.Lookup(name, size)
+}
+
 // NewKernel instantiates a built-in kernel by name; it panics on unknown
-// names (use KernelNames to enumerate).
+// names or invalid sizes. Prefer LookupKernel when the name comes from
+// external input.
 func NewKernel(name string, size int64) *Kernel {
-	ctor, ok := kernels.Registry[name]
-	if !ok {
-		panic(fmt.Sprintf("loopmap: unknown kernel %q (have %s)", name, strings.Join(kernels.Names(), ", ")))
+	k, err := LookupKernel(name, size)
+	if err != nil {
+		panic(fmt.Sprintf("loopmap: %v", err))
 	}
-	return ctor(size)
+	return k
 }
 
 // ParseKernel parses loop-DSL source (see internal/parser) into an
@@ -133,6 +159,12 @@ func ParseKernel(name, src string, seed uint64) (*Kernel, error) {
 // links) that verifies itself against sequential execution and prints
 // "OK <checksum>".
 func GenerateSPMD(name, src string, cubeDim int, seed uint64) (string, error) {
+	return GenerateSPMDCtx(context.Background(), name, src, cubeDim, seed)
+}
+
+// GenerateSPMDCtx is GenerateSPMD with cooperative cancellation of the
+// planning stages (see NewPlanCtx).
+func GenerateSPMDCtx(ctx context.Context, name, src string, cubeDim int, seed uint64) (string, error) {
 	prog, err := parser.ParseProgram(name, src)
 	if err != nil {
 		return "", err
@@ -141,7 +173,7 @@ func GenerateSPMD(name, src string, cubeDim int, seed uint64) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	plan, err := NewPlan(k, PlanOptions{CubeDim: cubeDim})
+	plan, err := NewPlanCtx(ctx, k, PlanOptions{CubeDim: cubeDim})
 	if err != nil {
 		return "", err
 	}
@@ -185,6 +217,35 @@ type PlanOptions struct {
 	Mapping MapOptions
 }
 
+// Validate rejects option combinations NewPlan cannot honor, with
+// actionable messages. NewPlan calls it on entry; callers building options
+// from external input can call it early to classify the failure as a
+// caller error.
+func (o PlanOptions) Validate() error {
+	if o.SearchBound < 0 {
+		return fmt.Errorf("loopmap: negative SearchBound %d (0 means the default bound 2)", o.SearchBound)
+	}
+	if o.SearchBound > 0 && !o.SearchPi {
+		return fmt.Errorf("loopmap: SearchBound %d without SearchPi (set SearchPi, or drop the bound)", o.SearchBound)
+	}
+	if o.Pi != nil && o.SearchPi {
+		return errors.New("loopmap: Pi and SearchPi are mutually exclusive (an explicit Pi pins the time function)")
+	}
+	if o.Partition.MergeFactor < 0 {
+		return fmt.Errorf("loopmap: negative MergeFactor %d (0 or 1 means the paper's exact grouping)", o.Partition.MergeFactor)
+	}
+	if o.Partition.GroupingChoice < 0 {
+		return fmt.Errorf("loopmap: negative GroupingChoice %d (0 means the paper's max-r rule)", o.Partition.GroupingChoice)
+	}
+	switch o.Mapping.Policy {
+	case mapping.RoundRobin, mapping.WidestFirst:
+	default:
+		return fmt.Errorf("loopmap: unknown mapping policy %d (have RoundRobin=%d, WidestFirst=%d)",
+			o.Mapping.Policy, mapping.RoundRobin, mapping.WidestFirst)
+	}
+	return nil
+}
+
 // Plan holds the artifacts of the full pipeline for one kernel.
 type Plan struct {
 	Kernel       *Kernel
@@ -200,10 +261,24 @@ type Plan struct {
 // NewPlan runs schedule → projection → partitioning (→ mapping) on the
 // kernel.
 func NewPlan(k *Kernel, opt PlanOptions) (*Plan, error) {
+	return NewPlanCtx(context.Background(), k, opt)
+}
+
+// NewPlanCtx is NewPlan with cooperative cancellation: the expensive
+// stages — index-set enumeration and the region-growing sweep — poll ctx
+// internally, and every stage boundary checks it, so a caller's deadline
+// bounds the whole pipeline. A nil ctx means context.Background().
+func NewPlanCtx(ctx context.Context, k *Kernel, opt PlanOptions) (*Plan, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if k == nil {
 		return nil, errors.New("loopmap: nil kernel")
 	}
-	st, err := k.Structure()
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := k.StructureCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -221,18 +296,24 @@ func NewPlan(k *Kernel, opt PlanOptions) (*Plan, error) {
 		sch, err = hyperplane.NewSchedule(st, k.Pi)
 	}
 	if err != nil {
+		return nil, fmt.Errorf("%w for %s: %w", ErrNoSchedule, k.Name, err)
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	ps, err := project.Project(st, sch.Pi)
 	if err != nil {
 		return nil, err
 	}
-	part, err := core.Partition(ps, opt.Partition)
+	part, err := core.PartitionCtx(ctx, ps, opt.Partition)
 	if err != nil {
 		return nil, err
 	}
 	if err := core.CheckInvariants(part); err != nil {
 		return nil, fmt.Errorf("loopmap: partitioning invariants violated: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	plan := &Plan{
 		Kernel:       k,
@@ -259,10 +340,16 @@ func NewPlan(k *Kernel, opt PlanOptions) (*Plan, error) {
 // over machine sizes pay them once per (kernel, size) and remap per cube
 // dimension. The shared artifacts are read-only in both plans.
 func (p *Plan) Remap(cubeDim int) (*Plan, error) {
+	return p.RemapOpts(cubeDim, MapOptions{})
+}
+
+// RemapOpts is Remap with explicit Algorithm 2 options (e.g. Exclusive
+// placement, which fails with ErrCubeTooSmall on an undersized cube).
+func (p *Plan) RemapOpts(cubeDim int, opt MapOptions) (*Plan, error) {
 	clone := *p
 	clone.Mapping = nil
 	if cubeDim >= 0 {
-		m, err := mapping.MapPartitioning(p.Partitioning, cubeDim, MapOptions{})
+		m, err := mapping.MapPartitioning(p.Partitioning, cubeDim, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -295,6 +382,12 @@ func (p *Plan) Simulate(params Params, opt SimOptions) (*SimStats, error) {
 	return sim.Simulate(p.Structure, p.Schedule, p.assignment(), params, opt)
 }
 
+// SimulateCtx is Simulate with cooperative cancellation: the simulation
+// event loop polls ctx, so a caller's deadline bounds even huge runs.
+func (p *Plan) SimulateCtx(ctx context.Context, params Params, opt SimOptions) (*SimStats, error) {
+	return sim.SimulateCtx(ctx, p.Structure, p.Schedule, p.assignment(), params, opt)
+}
+
 // SimulateSequential runs the single-processor simulation for speedup
 // comparisons.
 func (p *Plan) SimulateSequential(params Params) (*SimStats, error) {
@@ -310,12 +403,31 @@ func (p *Plan) Execute() (*ExecResult, *ExecStats, error) {
 // Verify executes the plan concurrently and checks the result against the
 // sequential reference, returning an error on any divergence.
 func (p *Plan) Verify() error {
+	return p.VerifyCtx(context.Background())
+}
+
+// VerifyCtx is Verify with cancellation checks at the stage boundaries
+// (before the sequential reference run, before the concurrent execution,
+// and before the comparison). A nil ctx means context.Background().
+func (p *Plan) VerifyCtx(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	want, err := kernels.RunSequential(p.Kernel)
 	if err != nil {
 		return err
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	got, _, err := p.Execute()
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	if !got.Equal(want) {
