@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short bench bench-json fuzz experiments cover clean serve serve-smoke
+.PHONY: all build vet test race short bench bench-json fuzz experiments cover clean serve serve-smoke chaos
 
 all: build vet test
 
@@ -45,6 +45,12 @@ serve-smoke:
 # Regenerate every table and figure of the paper.
 experiments:
 	$(GO) run ./cmd/experiments -e all
+
+# Fault-tolerance suite under the race detector: fault injection, degraded
+# remapping, panic/overload middleware, plus the experiments smoke sweep.
+chaos:
+	$(GO) test -race -run 'Fault|Degraded|Panic|Overload' ./...
+	$(GO) run ./cmd/experiments -faults
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

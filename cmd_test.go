@@ -120,6 +120,7 @@ func TestCmdExperimentsAllMatchPaper(t *testing.T) {
 		"=== fig1:", "=== fig3:", "=== fig5:", "=== fig7:", "=== fig8:",
 		"=== fig9:", "=== table1:", "=== ablate:", "=== mapablate:",
 		"=== grain:", "=== mesh:", "=== granularity:", "=== verify:",
+		"=== faults:",
 	} {
 		if !strings.Contains(out, header) {
 			t.Errorf("experiment missing from -e all: %s", header)

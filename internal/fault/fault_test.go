@@ -1,0 +1,124 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestEmpty(t *testing.T) {
+	var nilSch *Schedule
+	if !nilSch.Empty() {
+		t.Error("nil schedule not Empty")
+	}
+	if !(&Schedule{}).Empty() {
+		t.Error("zero schedule not Empty")
+	}
+	if !(&Schedule{Seed: 7, Retry: RetryPolicy{MaxAttempts: 5}}).Empty() {
+		t.Error("seed/retry alone should still be Empty (they gate nothing)")
+	}
+	for _, s := range []*Schedule{
+		{Crashes: []NodeCrash{{Node: 1, T: 10}}},
+		{LinkFailures: []LinkFailure{{A: 0, B: 1, T: 5}}},
+		{LossProb: 0.1},
+		{Checkpoint: Checkpoint{EverySteps: 4}},
+	} {
+		if s.Empty() {
+			t.Errorf("%+v reported Empty", s)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Schedule{
+		{LossProb: -0.5},
+		{LossProb: 1.5},
+		{Retry: RetryPolicy{MaxAttempts: -1}},
+		{Retry: RetryPolicy{Backoff: -2}},
+		{Checkpoint: Checkpoint{EverySteps: -3}},
+		{Checkpoint: Checkpoint{EverySteps: 2, Cost: -1}},
+		{Checkpoint: Checkpoint{Cost: 5}}, // costs without steps or crashes
+		{Crashes: []NodeCrash{{Node: -1, T: 0}}},
+		{Crashes: []NodeCrash{{Node: 0, T: -1}}},
+		{Crashes: []NodeCrash{{Node: 2, T: 1}, {Node: 2, T: 5}}},
+		{LinkFailures: []LinkFailure{{A: 3, B: 3, T: 0}}},
+		{LinkFailures: []LinkFailure{{A: -1, B: 2, T: 0}}},
+		{LinkFailures: []LinkFailure{{A: 0, B: 1, T: -4}}},
+	}
+	for _, s := range bad {
+		err := s.Validate(0)
+		if err == nil {
+			t.Errorf("Validate(%+v) accepted", s)
+			continue
+		}
+		if !errors.Is(err, ErrInvalid) {
+			t.Errorf("Validate(%+v) error %v does not wrap ErrInvalid", s, err)
+		}
+	}
+	good := []*Schedule{
+		nil,
+		{},
+		{LossProb: 1},
+		{Crashes: []NodeCrash{{Node: 3, T: 100}}, Checkpoint: Checkpoint{RestartCost: 10}},
+		{Checkpoint: Checkpoint{EverySteps: 8, Cost: 3}},
+	}
+	for _, s := range good {
+		if err := s.Validate(0); err != nil {
+			t.Errorf("Validate(%+v) = %v", s, err)
+		}
+	}
+}
+
+func TestValidateAgainstMachine(t *testing.T) {
+	s := &Schedule{Crashes: []NodeCrash{{Node: 8, T: 1}}}
+	if err := s.Validate(0); err != nil {
+		t.Fatalf("size-free validation rejected: %v", err)
+	}
+	if err := s.Validate(8); err == nil || !errors.Is(err, ErrInvalid) {
+		t.Fatalf("crash of node 8 on 8 procs: err = %v", err)
+	}
+	all := &Schedule{Crashes: []NodeCrash{{Node: 0, T: 1}, {Node: 1, T: 2}}}
+	if err := all.Validate(2); err == nil {
+		t.Fatal("crash of every node accepted")
+	}
+	link := &Schedule{LinkFailures: []LinkFailure{{A: 0, B: 9, T: 1}}}
+	if err := link.Validate(4); err == nil {
+		t.Fatal("out-of-range link endpoint accepted")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	s := &Schedule{}
+	if s.MaxAttempts() != 3 || s.BackoffStarts() != 1 {
+		t.Fatalf("defaults: attempts=%d backoff=%v", s.MaxAttempts(), s.BackoffStarts())
+	}
+	s.Retry = RetryPolicy{MaxAttempts: 7, Backoff: 0.5}
+	if s.MaxAttempts() != 7 || s.BackoffStarts() != 0.5 {
+		t.Fatalf("explicit: attempts=%d backoff=%v", s.MaxAttempts(), s.BackoffStarts())
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the same stream")
+	}
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}

@@ -99,6 +99,7 @@ type metrics struct {
 	inflightPlans      atomic.Int64
 	cacheBytes         atomic.Int64
 	cacheEntries       atomic.Int64
+	panics             atomic.Int64
 
 	endpoints map[string]*endpointMetrics // fixed at construction
 }
@@ -137,6 +138,7 @@ type Snapshot struct {
 	InflightPlans      int64
 	CacheBytes         int64
 	CacheEntries       int64
+	Panics             int64
 	Endpoints          map[string]EndpointSnapshot
 }
 
@@ -150,6 +152,7 @@ func (m *metrics) snapshot() Snapshot {
 		InflightPlans:      m.inflightPlans.Load(),
 		CacheBytes:         m.cacheBytes.Load(),
 		CacheEntries:       m.cacheEntries.Load(),
+		Panics:             m.panics.Load(),
 		Endpoints:          make(map[string]EndpointSnapshot, len(m.endpoints)),
 	}
 	for name, em := range m.endpoints {
@@ -174,6 +177,7 @@ func (s Snapshot) render(w io.Writer) {
 	counter("loopmapd_cache_evictions_total", "Plan cache evictions.", s.CacheEvictions)
 	counter("loopmapd_singleflight_shared_total", "Requests served by joining an in-flight computation.", s.SingleflightShared)
 	counter("loopmapd_plan_computations_total", "Underlying NewPlan computations performed.", s.PlanComputations)
+	counter("loopmapd_panics_total", "Handler panics recovered by the middleware.", s.Panics)
 	gauge("loopmapd_inflight_plans", "Plan computations currently admitted.", s.InflightPlans)
 	gauge("loopmapd_cache_bytes", "Estimated bytes held by the plan cache.", s.CacheBytes)
 	gauge("loopmapd_cache_entries", "Entries held by the plan cache.", s.CacheEntries)

@@ -47,6 +47,11 @@ type Config struct {
 	// (default 2m).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// AcquireTimeout bounds how long a request queues for an admission
+	// slot before the daemon sheds it with 503 + Retry-After (default
+	// 1s). Shedding beats queueing when the gate is saturated: the
+	// client learns to back off while its deadline still has budget.
+	AcquireTimeout time.Duration
 	// MaxKernelSize caps the size parameter of built-in kernels (default
 	// 128); MaxCubeDim caps the hypercube dimension (default 10);
 	// MaxBodyBytes caps a request body (default 1 MiB); MaxSourceBytes
@@ -71,6 +76,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.AcquireTimeout <= 0 {
+		c.AcquireTimeout = time.Second
 	}
 	if c.MaxKernelSize <= 0 {
 		c.MaxKernelSize = 128
@@ -162,19 +170,30 @@ func (s *Server) Metrics() Snapshot {
 
 // --- request plumbing ---
 
-// statusWriter records the response code for logging and metrics.
+// statusWriter records the response code for logging and metrics, and
+// whether anything was written — the panic middleware can only substitute
+// a 500 while the response is still untouched.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with body limits, latency/status metrics, and
-// structured request logging.
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with body limits, panic recovery,
+// latency/status metrics, and structured request logging. A panicking
+// handler yields a 500 (when the response is still unwritten), bumps
+// loopmapd_panics_total, and leaves the server serving.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -182,7 +201,22 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r)
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					s.metrics.panics.Add(1)
+					s.cfg.Logger.Error("panic recovered",
+						"path", r.URL.Path, "panic", fmt.Sprint(rec))
+					if !sw.wrote {
+						writeError(sw, http.StatusInternalServerError,
+							fmt.Errorf("serve: internal error"))
+					} else {
+						sw.code = http.StatusInternalServerError
+					}
+				}
+			}()
+			h(sw, r)
+		}()
 		elapsed := time.Since(start)
 		s.metrics.observe(endpoint, sw.code, elapsed.Seconds())
 		s.cfg.Logger.Info("request",
@@ -209,7 +243,17 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// ErrOverloaded marks admission-gate saturation: the caller should back
+// off and retry after the Retry-After hint.
+var ErrOverloaded = errors.New("serve: overloaded, try again later")
+
+// retryAfterSeconds is the backoff hint attached to every 503.
+const retryAfterSeconds = 1
+
 func writeError(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+	}
 	writeJSON(w, code, apiError{Error: err.Error(), Code: code})
 }
 
@@ -217,13 +261,18 @@ func writeError(w http.ResponseWriter, code int, err error) {
 // sentinels — no string matching.
 func errStatus(err error) int {
 	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return 499 // client closed request (nginx convention)
 	case errors.Is(err, loopmap.ErrUnknownKernel),
 		errors.Is(err, loopmap.ErrNoSchedule),
-		errors.Is(err, loopmap.ErrCubeTooSmall):
+		errors.Is(err, loopmap.ErrCubeTooSmall),
+		errors.Is(err, loopmap.ErrBadSimOptions),
+		errors.Is(err, loopmap.ErrBadFaultSchedule),
+		errors.Is(err, loopmap.ErrDegraded):
 		return http.StatusBadRequest
 	default:
 		return http.StatusInternalServerError
@@ -345,6 +394,25 @@ const (
 	CacheShared CacheOutcome = "shared"
 )
 
+// acquire admits the request through the gate, but queues for at most
+// AcquireTimeout: a saturated gate sheds load with ErrOverloaded (503 +
+// Retry-After) instead of holding the connection until its deadline.
+func (s *Server) acquire(ctx context.Context) error {
+	if s.gate.TryAcquire() {
+		return nil
+	}
+	actx, cancel := context.WithTimeout(ctx, s.cfg.AcquireTimeout)
+	defer cancel()
+	if err := s.gate.Acquire(actx); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr // the request itself died while queued
+		}
+		return fmt.Errorf("%w: %d/%d admission slots busy",
+			ErrOverloaded, s.gate.InFlight(), s.gate.Cap())
+	}
+	return nil
+}
+
 // basePlan returns the base (unmapped) plan for the request: LRU lookup,
 // then singleflight-deduplicated computation under the admission gate.
 //
@@ -367,7 +435,7 @@ func (s *Server) basePlan(ctx context.Context, req *PlanRequest) (*loopmap.Plan,
 			return p, nil
 		}
 		s.metrics.cacheMisses.Add(1)
-		if err := s.gate.Acquire(ctx); err != nil {
+		if err := s.acquire(ctx); err != nil {
 			return nil, err
 		}
 		defer s.gate.Release()
@@ -507,6 +575,75 @@ type SimulateRequest struct {
 	Sequential bool `json:"sequential,omitempty"`
 	// Trace embeds a Chrome trace-event timeline of the run.
 	Trace bool `json:"trace,omitempty"`
+	// Faults injects a deterministic fault schedule into the run
+	// (crashes, link failures, message loss with retransmission,
+	// checkpointing). Identical requests replay identically.
+	Faults *FaultSpec `json:"faults,omitempty"`
+	// FailedNodes simulates on a degraded cube: the named nodes are dead
+	// before the run starts, their blocks migrate to the nearest healthy
+	// survivors, and traffic reroutes over the surviving subcube.
+	// Requires a mapped plan (cube_dim ≥ 0).
+	FailedNodes []int `json:"failed_nodes,omitempty"`
+}
+
+// FaultSpec is the JSON encoding of a fault schedule.
+type FaultSpec struct {
+	// Seed fixes the loss RNG; equal seeds replay bit-identically.
+	Seed uint64 `json:"seed,omitempty"`
+	// LossProb is the per-message-attempt loss probability in [0, 1].
+	LossProb float64 `json:"loss_prob,omitempty"`
+	// Crashes kills nodes at simulated times.
+	Crashes []NodeCrashSpec `json:"crashes,omitempty"`
+	// LinkFailures degrades links at simulated times (requires a mapped
+	// plan, whose routes the failures intersect).
+	LinkFailures []LinkFailureSpec `json:"link_failures,omitempty"`
+	// MaxAttempts and Backoff tune retransmission (defaults 3 and 1
+	// t_start between the first retry pair, doubling per attempt).
+	MaxAttempts int     `json:"max_attempts,omitempty"`
+	Backoff     float64 `json:"backoff,omitempty"`
+	// CheckpointSteps checkpoints every N hyperplane steps at
+	// CheckpointCost per dirty processor; RestartCost is the takeover
+	// surcharge on a crash.
+	CheckpointSteps int     `json:"checkpoint_steps,omitempty"`
+	CheckpointCost  float64 `json:"checkpoint_cost,omitempty"`
+	RestartCost     float64 `json:"restart_cost,omitempty"`
+}
+
+// NodeCrashSpec is one node failure at a simulated time.
+type NodeCrashSpec struct {
+	Node int     `json:"node"`
+	T    float64 `json:"t"`
+}
+
+// LinkFailureSpec is one link failure at a simulated time.
+type LinkFailureSpec struct {
+	A int     `json:"a"`
+	B int     `json:"b"`
+	T float64 `json:"t"`
+}
+
+// schedule converts the JSON spec to the library's fault schedule.
+func (f *FaultSpec) schedule() *loopmap.FaultSchedule {
+	if f == nil {
+		return nil
+	}
+	sch := &loopmap.FaultSchedule{
+		Seed:     f.Seed,
+		LossProb: f.LossProb,
+		Retry:    loopmap.RetryPolicy{MaxAttempts: f.MaxAttempts, Backoff: f.Backoff},
+		Checkpoint: loopmap.CheckpointPolicy{
+			EverySteps:  f.CheckpointSteps,
+			Cost:        f.CheckpointCost,
+			RestartCost: f.RestartCost,
+		},
+	}
+	for _, c := range f.Crashes {
+		sch.Crashes = append(sch.Crashes, loopmap.NodeCrash{Node: c.Node, T: c.T})
+	}
+	for _, l := range f.LinkFailures {
+		sch.LinkFailures = append(sch.LinkFailures, loopmap.LinkFailure{A: l.A, B: l.B, T: l.T})
+	}
+	return sch
 }
 
 func (r *SimulateRequest) params() (machine.Params, error) {
@@ -559,8 +696,29 @@ type SimulateResponse struct {
 	SequentialMakespan float64 `json:"sequential_makespan,omitempty"`
 	Speedup            float64 `json:"speedup,omitempty"`
 
+	// Fault accounting, present only when a fault schedule ran.
+	Crashes        int     `json:"crashes,omitempty"`
+	Retransmits    int64   `json:"retransmits,omitempty"`
+	CheckpointTime float64 `json:"checkpoint_time,omitempty"`
+	ReplayTime     float64 `json:"replay_time,omitempty"`
+	// Degraded reports the pre-run remap a failed_nodes request forced.
+	Degraded *DegradedInfo `json:"degraded,omitempty"`
+
 	Cache CacheOutcome    `json:"cache"`
 	Trace json.RawMessage `json:"trace,omitempty"`
+}
+
+// DegradedInfo summarizes a degraded-cube remap.
+type DegradedInfo struct {
+	FailedNodes      []int `json:"failed_nodes"`
+	MigratedBlocks   int   `json:"migrated_blocks"`
+	MaxMigrationHops int   `json:"max_migration_hops"`
+	// ExtraHopWords can be negative: consolidating a dead node's blocks
+	// onto a neighbour makes their mutual edges local.
+	ExtraHopWords int64 `json:"extra_hop_words"`
+	// MakespanInflation is degraded/intact makespan under the reference
+	// era-1991 parameters.
+	MakespanInflation float64 `json:"makespan_inflation"`
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -591,11 +749,28 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errStatus(err), err)
 		return
 	}
+	var degraded *DegradedInfo
+	if len(req.FailedNodes) > 0 {
+		dp, dstats, err := p.RemapDegraded(req.FailedNodes)
+		if err != nil {
+			writeError(w, errStatus(err), err)
+			return
+		}
+		p = dp
+		degraded = &DegradedInfo{
+			FailedNodes:       dstats.FailedNodes,
+			MigratedBlocks:    dstats.MigratedBlocks,
+			MaxMigrationHops:  dstats.MaxMigrationHops,
+			ExtraHopWords:     dstats.ExtraHopWords,
+			MakespanInflation: dstats.MakespanInflation,
+		}
+	}
 	opt := loopmap.SimOptions{
 		Engine:         engine,
 		Aggregate:      req.Aggregate,
 		LinkContention: req.Contention,
 		Timeline:       req.Trace,
+		Faults:         req.Faults.schedule(),
 	}
 	stats, err := p.SimulateCtx(ctx, params, opt)
 	if err != nil {
@@ -603,13 +778,18 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := SimulateResponse{
-		Makespan:     stats.Makespan,
-		Messages:     stats.Messages,
-		Words:        stats.Words,
-		MaxProcOps:   stats.MaxProcOps,
-		CriticalProc: stats.CriticalProc(),
-		Procs:        p.Procs(),
-		Cache:        outcome,
+		Makespan:       stats.Makespan,
+		Messages:       stats.Messages,
+		Words:          stats.Words,
+		MaxProcOps:     stats.MaxProcOps,
+		CriticalProc:   stats.CriticalProc(),
+		Procs:          p.Procs(),
+		Crashes:        stats.Crashes,
+		Retransmits:    stats.Retransmits,
+		CheckpointTime: stats.CheckpointTime,
+		ReplayTime:     stats.ReplayTime,
+		Degraded:       degraded,
+		Cache:          outcome,
 	}
 	if req.Sequential {
 		seq, err := p.SimulateSequential(params)
@@ -685,7 +865,7 @@ func (s *Server) handleSPMD(w http.ResponseWriter, r *http.Request) {
 
 	// SPMD generation is bounded by the admission gate like planning: the
 	// parse is cheap but the embedded plan is not.
-	if err := s.gate.Acquire(ctx); err != nil {
+	if err := s.acquire(ctx); err != nil {
 		writeError(w, errStatus(err), err)
 		return
 	}
@@ -740,6 +920,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.draining() {
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
 		return

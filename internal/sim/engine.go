@@ -44,7 +44,7 @@ func simulateBlockLevel(ctx context.Context, st *loop.Structure, sch hyperplane.
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if err := validate(st, a, p); err != nil {
+	if err := validate(st, a, p, opt); err != nil {
 		return nil, err
 	}
 	hops := a.Hops
@@ -91,7 +91,20 @@ func simulateBlockLevel(ctx context.Context, st *loop.Structure, sch hyperplane.
 		RecvWords: make([]int64, a.NumProcs),
 		ProcOps:   make([]int64, a.NumProcs),
 	}
+	// Fault injection is a strict no-op unless a non-empty schedule is
+	// set: fs stays nil and every fault branch below is skipped, leaving
+	// the fault-free arithmetic byte-for-byte unchanged. Both engines call
+	// the fault hooks at the same points of the same global (step, vertex)
+	// order, so a fixed seed reproduces identical fault behavior on either
+	// engine.
+	var fs *faultState
+	if opt.Faults != nil && !opt.Faults.Empty() {
+		fs = newFaultState(opt.Faults, a, p, hops, stats)
+	}
 	networkArrival := networkArrivalFunc(a, p, hops, opt.LinkContention && a.Route != nil)
+	if fs != nil {
+		networkArrival = fs.arrivalFunc(opt.LinkContention && a.Route != nil)
+	}
 
 	clock := make([]float64, a.NumProcs)
 	// arrival[vi] is the latest remote-input arrival at vertex vi. The
@@ -116,17 +129,30 @@ func simulateBlockLevel(ctx context.Context, st *loop.Structure, sch hyperplane.
 			vi := int(v)
 			pr := a.ProcOf[vi]
 			// Execute the (block, step) slot: start at the processor clock
-			// or the latest remote arrival, whichever is later.
+			// or the latest remote arrival, whichever is later. Under fault
+			// injection the slot runs on pr's takeover node (exec) once pr
+			// has crashed; a local predecessor's finish time still never
+			// binds because the takeover clock is advanced past the crash
+			// time plus the replayed work.
+			exec := pr
 			start := clock[pr]
 			if t := arrival[vi]; t > start {
 				start = t
 			}
+			if fs != nil {
+				var err error
+				exec, start, err = fs.beginCompute(pr, arrival[vi], compute, clock)
+				if err != nil {
+					return nil, err
+				}
+				fs.workSince[exec] += compute
+			}
 			end := start + compute
-			stats.Busy[pr] += compute
-			stats.ProcOps[pr] += opsInt
-			clock[pr] = end
+			stats.Busy[exec] += compute
+			stats.ProcOps[exec] += opsInt
+			clock[exec] = end
 			if opt.Timeline {
-				stats.Spans = append(stats.Spans, Span{Proc: pr, Kind: SpanCompute, Start: start, End: end})
+				stats.Spans = append(stats.Spans, Span{Proc: exec, Kind: SpanCompute, Start: start, End: end})
 			}
 
 			// Collect remote successors in dependence order.
@@ -160,17 +186,22 @@ func simulateBlockLevel(ctx context.Context, st *loop.Structure, sch hyperplane.
 						j++
 					}
 					k := int64(j - i)
-					sendDone := clock[pr] + p.TStart + float64(k)*p.TComm
-					arrivalTime := networkArrival(clock[pr], pr, dst, k)
-					if opt.Timeline {
-						stats.Spans = append(stats.Spans, Span{Proc: pr, Kind: SpanSend, Start: clock[pr], End: sendDone})
+					var arrivalTime float64
+					if fs != nil {
+						arrivalTime = fs.send(exec, pr, dst, k, clock, networkArrival, opt.Timeline)
+					} else {
+						sendDone := clock[pr] + p.TStart + float64(k)*p.TComm
+						arrivalTime = networkArrival(clock[pr], pr, dst, k)
+						if opt.Timeline {
+							stats.Spans = append(stats.Spans, Span{Proc: pr, Kind: SpanSend, Start: clock[pr], End: sendDone})
+						}
+						clock[pr] = sendDone
+						stats.SendTime[pr] += p.TStart + float64(k)*p.TComm
+						stats.Messages++
+						stats.Words += k
+						stats.SendWords[pr] += k
+						stats.RecvWords[dst] += k
 					}
-					clock[pr] = sendDone
-					stats.SendTime[pr] += p.TStart + float64(k)*p.TComm
-					stats.Messages++
-					stats.Words += k
-					stats.SendWords[pr] += k
-					stats.RecvWords[dst] += k
 					for ; i < j; i++ {
 						si := remoteSucc[i]
 						if arrivalTime > arrival[si] {
@@ -182,22 +213,30 @@ func simulateBlockLevel(ctx context.Context, st *loop.Structure, sch hyperplane.
 				// The paper's model: every word is its own message.
 				for i, si := range remoteSucc {
 					dst := int(remoteProc[i])
-					sendDone := clock[pr] + p.TStart + p.TComm
-					arrivalTime := networkArrival(clock[pr], pr, dst, 1)
-					if opt.Timeline {
-						stats.Spans = append(stats.Spans, Span{Proc: pr, Kind: SpanSend, Start: clock[pr], End: sendDone})
+					var arrivalTime float64
+					if fs != nil {
+						arrivalTime = fs.send(exec, pr, dst, 1, clock, networkArrival, opt.Timeline)
+					} else {
+						sendDone := clock[pr] + p.TStart + p.TComm
+						arrivalTime = networkArrival(clock[pr], pr, dst, 1)
+						if opt.Timeline {
+							stats.Spans = append(stats.Spans, Span{Proc: pr, Kind: SpanSend, Start: clock[pr], End: sendDone})
+						}
+						clock[pr] = sendDone
+						stats.SendTime[pr] += p.TStart + p.TComm
+						stats.Messages++
+						stats.Words++
+						stats.SendWords[pr]++
+						stats.RecvWords[dst]++
 					}
-					clock[pr] = sendDone
-					stats.SendTime[pr] += p.TStart + p.TComm
-					stats.Messages++
-					stats.Words++
-					stats.SendWords[pr]++
-					stats.RecvWords[dst]++
 					if arrivalTime > arrival[si] {
 						arrival[si] = arrivalTime
 					}
 				}
 			}
+		}
+		if fs != nil {
+			fs.endStep(s, clock)
 		}
 	}
 

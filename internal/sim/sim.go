@@ -23,12 +23,19 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/hyperplane"
 	"repro/internal/loop"
 	"repro/internal/machine"
 	"repro/internal/mapping"
 	"repro/internal/vec"
 )
+
+// ErrBadOptions wraps every rejection of a silently-conflicting option
+// combination (e.g. LinkContention with a nil Assignment.Route), so
+// callers can classify the failure as a caller error without string
+// matching.
+var ErrBadOptions = errors.New("sim: conflicting options")
 
 // Assignment places every vertex of a computational structure on a
 // processor.
@@ -78,6 +85,23 @@ func FromMeshMapping(p *core.Partitioning, m *mapping.MeshResult) Assignment {
 	}
 }
 
+// FromDegradedMapping combines a partitioning and a degraded hypercube
+// mapping (failed nodes/links remapped and rerouted) into a vertex-level
+// assignment with surviving-graph hop counts and routes. Failed nodes
+// keep their processor ids but host no vertices.
+func FromDegradedMapping(p *core.Partitioning, d *mapping.Degraded) Assignment {
+	procOf := make([]int, len(p.BlockOf))
+	for vi, b := range p.BlockOf {
+		procOf[vi] = d.NodeOf[b]
+	}
+	return Assignment{
+		ProcOf:   procOf,
+		NumProcs: d.Cube.N,
+		Hops:     d.Hops,
+		Route:    d.Route,
+	}
+}
+
 // BlocksAsProcs assigns each partitioned block its own processor — the
 // pre-mapping ideal the partitioning phase reasons about.
 func BlocksAsProcs(p *core.Partitioning) Assignment {
@@ -122,9 +146,17 @@ type Options struct {
 	// LinkContention models store-and-forward links that carry one
 	// message at a time: a message occupies every link of its route
 	// (Assignment.Route) for k·t_comm + t_hop each, queueing behind
-	// earlier traffic. Requires Assignment.Route; without it the option
-	// is ignored (uncontended network).
+	// earlier traffic. Requires Assignment.Route; the simulation rejects
+	// the option (ErrBadOptions) when the assignment has none, because
+	// silently falling back to an uncontended network would misreport
+	// contention experiments.
 	LinkContention bool
+	// Faults optionally injects deterministic faults — node crashes, link
+	// failures, per-message loss with retries, checkpoint/restart
+	// accounting (see internal/fault). nil or an empty schedule is a
+	// strict no-op: the fault-free simulation path is byte-for-byte
+	// unchanged. Link failures require Assignment.Route.
+	Faults *fault.Schedule
 }
 
 // Validate rejects option values no engine understands, with actionable
@@ -136,6 +168,11 @@ func (o Options) Validate() error {
 	case EnginePoint, EngineBlock:
 	default:
 		return fmt.Errorf("sim: unknown Engine %d (have EnginePoint=%d, EngineBlock=%d)", o.Engine, EnginePoint, EngineBlock)
+	}
+	// Machine-size-dependent checks (crash node ranges, Route
+	// requirements) run in validate once the assignment is known.
+	if err := o.Faults.Validate(0); err != nil {
+		return err
 	}
 	return nil
 }
@@ -179,6 +216,17 @@ type Stats struct {
 	// Spans is the per-processor activity timeline (only recorded when
 	// Options.Timeline is set), in chronological order per processor.
 	Spans []Span
+
+	// Crashes counts node crashes triggered by Options.Faults.
+	Crashes int
+	// Retransmits counts lost message transmissions that were retried.
+	Retransmits int64
+	// CheckpointTime is the total time processors spent writing
+	// checkpoints at hyperplane-step boundaries.
+	CheckpointTime float64
+	// ReplayTime is the total un-checkpointed work replayed on takeover
+	// nodes after crashes.
+	ReplayTime float64
 
 	// critical caches CriticalProc()+1; 0 means not yet computed, so the
 	// ProcOps scan runs at most once per Stats.
@@ -235,8 +283,10 @@ func (s *Stats) CriticalInOutWords() int64 {
 	return s.SendWords[p] + s.RecvWords[p]
 }
 
-// validate checks the simulation inputs shared by both engines.
-func validate(st *loop.Structure, a Assignment, p machine.Params) error {
+// validate checks the simulation inputs shared by both engines, including
+// option combinations that only become checkable once the assignment is
+// known (Route requirements, crash-node ranges).
+func validate(st *loop.Structure, a Assignment, p machine.Params, opt Options) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -249,6 +299,17 @@ func validate(st *loop.Structure, a Assignment, p machine.Params) error {
 	for vi, pr := range a.ProcOf {
 		if pr < 0 || pr >= a.NumProcs {
 			return fmt.Errorf("sim: vertex %d on invalid processor %d", vi, pr)
+		}
+	}
+	if opt.LinkContention && a.Route == nil {
+		return fmt.Errorf("%w: LinkContention requires Assignment.Route (link queues follow the message path) — map onto a topology (e.g. FromMapping) or disable contention", ErrBadOptions)
+	}
+	if opt.Faults != nil {
+		if err := opt.Faults.Validate(a.NumProcs); err != nil {
+			return err
+		}
+		if len(opt.Faults.LinkFailures) > 0 && a.Route == nil {
+			return fmt.Errorf("%w: fault schedule has link failures but Assignment.Route is nil (detours follow the message path) — map onto a topology or drop the link failures", ErrBadOptions)
 		}
 	}
 	return nil
@@ -316,7 +377,7 @@ func SimulateCtx(ctx context.Context, st *loop.Structure, sch hyperplane.Schedul
 	if opt.Engine == EngineBlock {
 		return simulateBlockLevel(ctx, st, sch, a, p, opt)
 	}
-	if err := validate(st, a, p); err != nil {
+	if err := validate(st, a, p, opt); err != nil {
 		return nil, err
 	}
 	hops := a.Hops
@@ -367,7 +428,17 @@ func SimulateCtx(ctx context.Context, st *loop.Structure, sch hyperplane.Schedul
 		RecvWords: make([]int64, a.NumProcs),
 	}
 
+	// Fault injection is a strict no-op unless a non-empty schedule is
+	// set: fs stays nil and every fault branch below is skipped, leaving
+	// the fault-free arithmetic byte-for-byte unchanged.
+	var fs *faultState
+	if opt.Faults != nil && !opt.Faults.Empty() {
+		fs = newFaultState(opt.Faults, a, p, hops, stats)
+	}
 	networkArrival := networkArrivalFunc(a, p, hops, opt.LinkContention && a.Route != nil)
+	if fs != nil {
+		networkArrival = fs.arrivalFunc(opt.LinkContention && a.Route != nil)
+	}
 	clock := make([]float64, a.NumProcs)
 	finish := make([]float64, nV)
 	// arrival[vi*nD+di] is when the value along dependence di reaches
@@ -376,6 +447,10 @@ func SimulateCtx(ctx context.Context, st *loop.Structure, sch hyperplane.Schedul
 	stats.ProcOps = make([]int64, a.NumProcs)
 	procOps := stats.ProcOps
 
+	// prevStep tracks hyperplane-step boundaries for checkpoint hooks; the
+	// order is step-sorted, so crossing a boundary fires the same endStep
+	// sequence the block engine fires after each step bucket.
+	var prevStep int64
 	for oi, vi := range order {
 		if oi%simCheckEvery == simCheckEvery-1 {
 			if err := ctx.Err(); err != nil {
@@ -383,6 +458,12 @@ func SimulateCtx(ctx context.Context, st *loop.Structure, sch hyperplane.Schedul
 			}
 		}
 		pr := a.ProcOf[vi]
+		if fs != nil {
+			for prevStep < steps[vi] {
+				fs.endStep(int(prevStep), clock)
+				prevStep++
+			}
+		}
 		// Ready once all remote inputs have arrived.
 		ready := 0.0
 		for di := 0; di < nD; di++ {
@@ -395,17 +476,28 @@ func SimulateCtx(ctx context.Context, st *loop.Structure, sch hyperplane.Schedul
 				}
 			}
 		}
+		// exec is the processor that physically runs the slot: pr itself on
+		// the fault-free path, pr's takeover node after a crash.
+		exec := pr
 		start := clock[pr]
 		if ready > start {
 			start = ready
 		}
+		if fs != nil {
+			var err error
+			exec, start, err = fs.beginCompute(pr, ready, opsPerPoint*p.TCalc, clock)
+			if err != nil {
+				return nil, err
+			}
+			fs.workSince[exec] += opsPerPoint * p.TCalc
+		}
 		end := start + opsPerPoint*p.TCalc
-		stats.Busy[pr] += opsPerPoint * p.TCalc
-		procOps[pr] += int64(opsPerPoint)
+		stats.Busy[exec] += opsPerPoint * p.TCalc
+		procOps[exec] += int64(opsPerPoint)
 		finish[vi] = end
-		clock[pr] = end
+		clock[exec] = end
 		if opt.Timeline {
-			stats.Spans = append(stats.Spans, Span{Proc: pr, Kind: SpanCompute, Start: start, End: end})
+			stats.Spans = append(stats.Spans, Span{Proc: exec, Kind: SpanCompute, Start: start, End: end})
 		}
 
 		// Deliver outputs; remote sends occupy the sender.
@@ -441,17 +533,22 @@ func SimulateCtx(ctx context.Context, st *loop.Structure, sch hyperplane.Schedul
 			for _, dst := range procsOrder {
 				items := byProc[dst]
 				k := int64(len(items))
-				sendDone := clock[pr] + p.TStart + float64(k)*p.TComm
-				arrivalTime := networkArrival(clock[pr], pr, dst, k)
-				if opt.Timeline {
-					stats.Spans = append(stats.Spans, Span{Proc: pr, Kind: SpanSend, Start: clock[pr], End: sendDone})
+				var arrivalTime float64
+				if fs != nil {
+					arrivalTime = fs.send(exec, pr, dst, k, clock, networkArrival, opt.Timeline)
+				} else {
+					sendDone := clock[pr] + p.TStart + float64(k)*p.TComm
+					arrivalTime = networkArrival(clock[pr], pr, dst, k)
+					if opt.Timeline {
+						stats.Spans = append(stats.Spans, Span{Proc: pr, Kind: SpanSend, Start: clock[pr], End: sendDone})
+					}
+					clock[pr] = sendDone
+					stats.SendTime[pr] += p.TStart + float64(k)*p.TComm
+					stats.Messages++
+					stats.Words += k
+					stats.SendWords[pr] += k
+					stats.RecvWords[dst] += k
 				}
-				clock[pr] = sendDone
-				stats.SendTime[pr] += p.TStart + float64(k)*p.TComm
-				stats.Messages++
-				stats.Words += k
-				stats.SendWords[pr] += k
-				stats.RecvWords[dst] += k
 				for _, s := range items {
 					if arrivalTime > arrival[s.target*nD+s.dep] {
 						arrival[s.target*nD+s.dep] = arrivalTime
@@ -461,21 +558,32 @@ func SimulateCtx(ctx context.Context, st *loop.Structure, sch hyperplane.Schedul
 		} else {
 			// The paper's model: every word is its own message.
 			for _, s := range remote {
-				sendDone := clock[pr] + p.TStart + p.TComm
-				arrivalTime := networkArrival(clock[pr], pr, s.proc, 1)
-				if opt.Timeline {
-					stats.Spans = append(stats.Spans, Span{Proc: pr, Kind: SpanSend, Start: clock[pr], End: sendDone})
+				var arrivalTime float64
+				if fs != nil {
+					arrivalTime = fs.send(exec, pr, s.proc, 1, clock, networkArrival, opt.Timeline)
+				} else {
+					sendDone := clock[pr] + p.TStart + p.TComm
+					arrivalTime = networkArrival(clock[pr], pr, s.proc, 1)
+					if opt.Timeline {
+						stats.Spans = append(stats.Spans, Span{Proc: pr, Kind: SpanSend, Start: clock[pr], End: sendDone})
+					}
+					clock[pr] = sendDone
+					stats.SendTime[pr] += p.TStart + p.TComm
+					stats.Messages++
+					stats.Words++
+					stats.SendWords[pr]++
+					stats.RecvWords[s.proc]++
 				}
-				clock[pr] = sendDone
-				stats.SendTime[pr] += p.TStart + p.TComm
-				stats.Messages++
-				stats.Words++
-				stats.SendWords[pr]++
-				stats.RecvWords[s.proc]++
 				if arrivalTime > arrival[s.target*nD+s.dep] {
 					arrival[s.target*nD+s.dep] = arrivalTime
 				}
 			}
+		}
+	}
+
+	if fs != nil {
+		for last := sch.Steps(); prevStep < last; prevStep++ {
+			fs.endStep(int(prevStep), clock)
 		}
 	}
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -318,21 +319,22 @@ func TestLinkContentionSerializesSharedLink(t *testing.T) {
 	}
 }
 
-func TestLinkContentionIgnoredWithoutRoute(t *testing.T) {
+func TestLinkContentionRejectedWithoutRoute(t *testing.T) {
+	// LinkContention with no Route used to be silently ignored — an
+	// uncontended run masquerading as a contention experiment. It is now a
+	// classified caller error, on both engines.
 	k := kernels.MatVec(8)
 	st, sch, p, _ := pipeline(t, k, 0)
 	a := BlocksAsProcs(p) // no Route
 	params := machine.Era1991()
-	plain, err := Simulate(st, sch, a, params, Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	withOpt, err := Simulate(st, sch, a, params, Options{LinkContention: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if plain.Makespan != withOpt.Makespan {
-		t.Fatal("LinkContention without Route changed the result")
+	for _, eng := range []Engine{EnginePoint, EngineBlock} {
+		_, err := Simulate(st, sch, a, params, Options{Engine: eng, LinkContention: true})
+		if err == nil {
+			t.Fatalf("engine %d: LinkContention without Route accepted", eng)
+		}
+		if !errors.Is(err, ErrBadOptions) {
+			t.Fatalf("engine %d: error %v does not wrap ErrBadOptions", eng, err)
+		}
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/hyperplane"
 	"repro/internal/kernels"
 	"repro/internal/loop"
@@ -78,6 +79,23 @@ type (
 	ExecResult = kernels.Result
 	// IntVec is an exact integer vector (index point, dependence, Π).
 	IntVec = vec.Int
+	// FaultSchedule describes deterministic fault injection for the
+	// simulator (SimOptions.Faults): node crashes, link failures,
+	// per-message loss with retries, checkpoint/restart costs.
+	FaultSchedule = fault.Schedule
+	// NodeCrash takes a node offline at a simulated time.
+	NodeCrash = fault.NodeCrash
+	// LinkFailure takes a physical link offline at a simulated time.
+	LinkFailure = fault.LinkFailure
+	// RetryPolicy bounds lost-message retransmission.
+	RetryPolicy = fault.RetryPolicy
+	// CheckpointPolicy is the checkpoint/restart cost model.
+	CheckpointPolicy = fault.Checkpoint
+	// DegradedMapping is a hypercube mapping with failed nodes/links
+	// remapped and rerouted (see Plan.RemapDegraded).
+	DegradedMapping = mapping.Degraded
+	// DegradationStats quantifies what a degraded remap cost.
+	DegradationStats = mapping.DegradationStats
 )
 
 // Simulation engines for SimOptions.Engine: the point-level reference
@@ -117,6 +135,14 @@ var (
 	// the partitioning under the requested placement (see
 	// MapOptions.Exclusive).
 	ErrCubeTooSmall = mapping.ErrCubeTooSmall
+	// ErrBadSimOptions classifies silently-conflicting simulation options
+	// (e.g. LinkContention without a routed topology).
+	ErrBadSimOptions = sim.ErrBadOptions
+	// ErrBadFaultSchedule classifies malformed fault schedules.
+	ErrBadFaultSchedule = fault.ErrInvalid
+	// ErrDegraded classifies impossible degraded remaps (all nodes failed,
+	// surviving cube partitioned, addresses out of range).
+	ErrDegraded = mapping.ErrDegraded
 )
 
 // LookupKernel instantiates a built-in kernel by name. Unknown names
@@ -243,6 +269,9 @@ func (o PlanOptions) Validate() error {
 		return fmt.Errorf("loopmap: unknown mapping policy %d (have RoundRobin=%d, WidestFirst=%d)",
 			o.Mapping.Policy, mapping.RoundRobin, mapping.WidestFirst)
 	}
+	if o.Mapping.Exclusive && o.CubeDim < 0 {
+		return errors.New("loopmap: Mapping.Exclusive with negative CubeDim (exclusive placement needs a hypercube; set CubeDim >= 0, or drop Exclusive)")
+	}
 	return nil
 }
 
@@ -256,6 +285,10 @@ type Plan struct {
 	TIG          *TIG
 	// Mapping is nil when PlanOptions.CubeDim < 0.
 	Mapping *Mapping
+	// Degraded, when non-nil, overrides Mapping for placement and
+	// simulation: blocks of failed nodes live on their takeover nodes and
+	// messages route over the surviving cube (see RemapDegraded).
+	Degraded *DegradedMapping
 }
 
 // NewPlan runs schedule → projection → partitioning (→ mapping) on the
@@ -348,6 +381,7 @@ func (p *Plan) Remap(cubeDim int) (*Plan, error) {
 func (p *Plan) RemapOpts(cubeDim int, opt MapOptions) (*Plan, error) {
 	clone := *p
 	clone.Mapping = nil
+	clone.Degraded = nil
 	if cubeDim >= 0 {
 		m, err := mapping.MapPartitioning(p.Partitioning, cubeDim, opt)
 		if err != nil {
@@ -358,8 +392,58 @@ func (p *Plan) RemapOpts(cubeDim int, opt MapOptions) (*Plan, error) {
 	return &clone, nil
 }
 
+// RemapDegraded returns a plan that survives the given node failures:
+// every dead node's blocks migrate to its nearest healthy node (a
+// Gray-code physical neighbour whenever one survives — the adjacency
+// Algorithm 2 paid for), and Hops/Route reroute over the surviving cube.
+// The shared pipeline artifacts are reused; only the placement changes.
+// The returned DegradationStats includes the makespan inflation under the
+// paper-era cost model (block engine, Era1991 parameters).
+//
+// Errors wrap ErrDegraded: no mapping phase, all nodes failed, addresses
+// out of range, or a surviving cube too partitioned to carry the
+// dataflow.
+func (p *Plan) RemapDegraded(failedNodes []int) (*Plan, *DegradationStats, error) {
+	return p.RemapDegradedTopology(failedNodes, nil)
+}
+
+// RemapDegradedTopology is RemapDegraded with failed physical links in
+// addition to failed nodes; each link is a node-address pair that must be
+// a hypercube edge.
+func (p *Plan) RemapDegradedTopology(failedNodes []int, failedLinks [][2]int) (*Plan, *DegradationStats, error) {
+	if p.Mapping == nil {
+		return nil, nil, fmt.Errorf("%w: plan has no mapping phase (CubeDim < 0)", ErrDegraded)
+	}
+	d, stats, err := mapping.Degrade(p.Mapping, p.TIG, failedNodes, failedLinks)
+	if err != nil {
+		return nil, nil, err
+	}
+	clone := *p
+	clone.Degraded = d
+	params := machine.Era1991()
+	base, err := p.Simulate(params, SimOptions{Engine: EngineBlock})
+	if err != nil {
+		return nil, nil, err
+	}
+	degr, err := clone.Simulate(params, SimOptions{Engine: EngineBlock})
+	if err != nil {
+		return nil, nil, err
+	}
+	if base.Makespan > 0 {
+		stats.MakespanInflation = degr.Makespan / base.Makespan
+	}
+	return &clone, stats, nil
+}
+
 // placement returns the vertex→processor placement of the plan.
 func (p *Plan) placement() exec.Placement {
+	if p.Degraded != nil {
+		procOf := make([]int, len(p.Partitioning.BlockOf))
+		for vi, b := range p.Partitioning.BlockOf {
+			procOf[vi] = p.Degraded.NodeOf[b]
+		}
+		return exec.Placement{ProcOf: procOf, NumProcs: p.Degraded.Cube.N}
+	}
 	if p.Mapping != nil {
 		return exec.FromMapping(p.Partitioning, p.Mapping)
 	}
@@ -368,6 +452,9 @@ func (p *Plan) placement() exec.Placement {
 
 // assignment returns the simulator assignment of the plan.
 func (p *Plan) assignment() sim.Assignment {
+	if p.Degraded != nil {
+		return sim.FromDegradedMapping(p.Partitioning, p.Degraded)
+	}
 	if p.Mapping != nil {
 		return sim.FromMapping(p.Partitioning, p.Mapping)
 	}
