@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short bench bench-json fuzz experiments cover clean serve serve-smoke chaos
+.PHONY: all build vet test race short bench bench-json fuzz experiments cover clean serve serve-smoke chaos crash
 
 all: build vet test
 
@@ -30,9 +30,11 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchjson -benchtime 1x -o BENCH_1.json
 
-# Ten seconds of parser fuzzing beyond the checked-in seeds.
+# Ten seconds each of parser and full-pipeline fuzzing beyond the
+# checked-in seeds.
 fuzz:
 	$(GO) test -fuzz FuzzParseProgram -fuzztime 10s ./internal/parser/
+	$(GO) test -fuzz FuzzNewPlan -fuzztime 10s -run '^$$' .
 
 # Run the plan-serving daemon on :8080.
 serve:
@@ -51,6 +53,12 @@ experiments:
 chaos:
 	$(GO) test -race -run 'Fault|Degraded|Panic|Overload' ./...
 	$(GO) run ./cmd/experiments -faults
+
+# Kill/restart chaos harness: build loopmapd, drive it with concurrent
+# load, SIGKILL it mid-write, restart from the same -state-dir, and
+# assert every pre-kill response is served warm and byte-identical.
+crash:
+	$(GO) run ./cmd/crashtest -requests 64 -seed 1
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

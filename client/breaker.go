@@ -1,0 +1,114 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned without touching the network while the
+// circuit breaker is open (or while its single half-open probe is already
+// in flight). Callers should treat it like a 503: back off and retry.
+var ErrBreakerOpen = errors.New("client: circuit breaker open")
+
+// BreakerState is the circuit breaker's observable state.
+type BreakerState string
+
+const (
+	// BreakerClosed: requests flow normally.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: every request fails fast with ErrBreakerOpen until
+	// the cooldown elapses.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: one probe request is allowed through; its outcome
+	// decides between closing and re-opening.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// breaker is a consecutive-failure circuit breaker. Threshold
+// consecutive failures trip it open; after cooldown it admits exactly one
+// probe (half-open). A successful probe closes it, a failed probe
+// re-opens it for another cooldown.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecutive int       // failures since the last success (closed state)
+	openedAt    time.Time // when the breaker last tripped
+	probing     bool      // a half-open probe is in flight
+
+	opens int64 // cumulative trips, for stats
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		state:     BreakerClosed,
+	}
+}
+
+// allow reports whether a request may proceed. In half-open it reserves
+// the probe slot, so every allow() must be paired with a record().
+func (b *breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return ErrBreakerOpen
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return ErrBreakerOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// record reports the outcome of a request previously admitted by allow.
+func (b *breaker) record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if ok {
+		b.state = BreakerClosed
+		b.consecutive = 0
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		// The probe failed: straight back to open for another cooldown.
+		b.trip()
+	case BreakerClosed:
+		b.consecutive++
+		if b.consecutive >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the breaker. Callers hold b.mu.
+func (b *breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.consecutive = 0
+	b.opens++
+}
+
+// snapshot returns the current state and cumulative trip count.
+func (b *breaker) snapshot() (BreakerState, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.opens
+}

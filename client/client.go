@@ -1,0 +1,469 @@
+// Package client is the resilient Go client for loopmapd.
+//
+// It wraps the daemon's HTTP/JSON API (/v1/plan, /v1/simulate, /v1/spmd,
+// /v1/kernels) with the retry discipline the server's admission control
+// expects:
+//
+//   - every call takes a context and never outlives its deadline;
+//   - 503 responses are retried after the server's Retry-After hint,
+//     transport errors after capped exponential backoff with full jitter
+//     (so a restarting daemon is ridden out, not hammered);
+//   - a consecutive-failure circuit breaker fails fast while the daemon
+//     is down and recovers through a single half-open probe;
+//   - optionally, cache-hit-likely reads (/v1/plan, /v1/kernels) are
+//     hedged: if the primary request hasn't answered within HedgeDelay, a
+//     second identical request races it and the first response wins.
+//
+// Request and response types are aliases of the server's own, so the
+// wire contract cannot drift from the daemon.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Aliases of the daemon's wire types: one definition, one contract.
+type (
+	PlanRequest      = serve.PlanRequest
+	PlanResponse     = serve.PlanResponse
+	SimulateRequest  = serve.SimulateRequest
+	SimulateResponse = serve.SimulateResponse
+	FaultSpec        = serve.FaultSpec
+	NodeCrashSpec    = serve.NodeCrashSpec
+	LinkFailureSpec  = serve.LinkFailureSpec
+	DegradedInfo     = serve.DegradedInfo
+	SPMDRequest      = serve.SPMDRequest
+	SPMDResponse     = serve.SPMDResponse
+	KernelInfo       = serve.KernelInfo
+	CacheOutcome     = serve.CacheOutcome
+)
+
+// Cache outcomes, re-exported for switch statements on PlanResponse.Cache.
+const (
+	CacheHit    = serve.CacheHit
+	CacheMiss   = serve.CacheMiss
+	CacheShared = serve.CacheShared
+)
+
+// APIError is a non-2xx response from the daemon, decoded from its JSON
+// error envelope.
+type APIError struct {
+	Status  int    // HTTP status code
+	Message string // server-side error text
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Message)
+}
+
+// Config tunes a Client. The zero value works against a BaseURL.
+type Config struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides the transport (default: a plain http.Client;
+	// per-call contexts bound every request, so no global timeout is
+	// set).
+	HTTPClient *http.Client
+
+	// MaxRetries is how many times a retryable failure (503 or transport
+	// error) is retried after the first attempt (default 4).
+	MaxRetries int
+	// BaseBackoff seeds the exponential backoff (default 50ms); each
+	// retry waits a uniformly random duration in (0, min(MaxBackoff,
+	// BaseBackoff<<attempt)] — "full jitter". A server Retry-After hint
+	// overrides the computed wait.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff window (default 2s).
+	MaxBackoff time.Duration
+
+	// HedgeDelay > 0 enables hedged reads on /v1/plan and /v1/kernels: a
+	// duplicate request launches if the primary hasn't answered in this
+	// long. Leave 0 for compute-heavy workloads — hedging a cold /v1/plan
+	// doubles the work.
+	HedgeDelay time.Duration
+
+	// BreakerThreshold consecutive failures trip the circuit breaker
+	// (default 5); BreakerCooldown is how long it stays open before
+	// admitting a half-open probe (default 2s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 4
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	return c
+}
+
+// ClientStats is a point-in-time snapshot of a Client's behaviour.
+type ClientStats struct {
+	Requests  int64 // API calls made by the application
+	Attempts  int64 // HTTP attempts (≥ Requests when retrying)
+	Retries   int64 // attempts beyond the first
+	Successes int64 // calls that returned a decoded response
+	Failures  int64 // calls that returned an error
+
+	Hedges    int64 // duplicate requests launched by hedging
+	HedgeWins int64 // calls answered by the hedge, not the primary
+
+	RetryAfterHonored int64 // waits driven by a server Retry-After hint
+
+	BreakerOpens   int64        // times the breaker tripped open
+	BreakerRejects int64        // calls failed fast with ErrBreakerOpen
+	BreakerState   BreakerState // current state
+}
+
+// Client is a resilient loopmapd client. It is safe for concurrent use.
+type Client struct {
+	cfg     Config
+	base    string
+	breaker *breaker
+
+	requests, attempts, retries atomic.Int64
+	successes, failures         atomic.Int64
+	hedges, hedgeWins           atomic.Int64
+	retryAfterHonored           atomic.Int64
+	breakerRejects              atomic.Int64
+}
+
+// New builds a Client for the daemon at cfg.BaseURL.
+func New(cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{
+		cfg:     cfg,
+		base:    strings.TrimRight(cfg.BaseURL, "/"),
+		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+	}
+}
+
+// Stats returns a snapshot of the client's counters and breaker state.
+func (c *Client) Stats() ClientStats {
+	state, opens := c.breaker.snapshot()
+	return ClientStats{
+		Requests:          c.requests.Load(),
+		Attempts:          c.attempts.Load(),
+		Retries:           c.retries.Load(),
+		Successes:         c.successes.Load(),
+		Failures:          c.failures.Load(),
+		Hedges:            c.hedges.Load(),
+		HedgeWins:         c.hedgeWins.Load(),
+		RetryAfterHonored: c.retryAfterHonored.Load(),
+		BreakerOpens:      opens,
+		BreakerRejects:    c.breakerRejects.Load(),
+		BreakerState:      state,
+	}
+}
+
+// Plan requests a plan for a built-in kernel. Hedged when HedgeDelay is
+// set: plans are cached server-side, so a duplicate is usually a cheap
+// cache hit.
+func (c *Client) Plan(ctx context.Context, req *PlanRequest) (*PlanResponse, error) {
+	var out PlanResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/plan", req, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Simulate plans and simulates a kernel. Never hedged: a cold simulate
+// is the most expensive call the daemon serves.
+func (c *Client) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateResponse, error) {
+	var out SimulateResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/simulate", req, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SPMD compiles loop-DSL source into a parallel Go program.
+func (c *Client) SPMD(ctx context.Context, req *SPMDRequest) (*SPMDResponse, error) {
+	var out SPMDResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/spmd", req, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Kernels lists the daemon's built-in kernels. Hedged when HedgeDelay is
+// set.
+func (c *Client) Kernels(ctx context.Context) ([]KernelInfo, error) {
+	var out []KernelInfo
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/kernels", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Ready probes /readyz once — no retries, no breaker — and returns nil
+// iff the daemon is accepting traffic. Meant for wait-until-up loops.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{Status: resp.StatusCode, Message: "not ready"}
+	}
+	return nil
+}
+
+// httpResult is one fully-read HTTP exchange.
+type httpResult struct {
+	status     int
+	retryAfter time.Duration
+	body       []byte
+}
+
+// doJSON runs one API call through the breaker + retry + hedging stack.
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out any, hedgeable bool) error {
+	c.requests.Add(1)
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			c.failures.Add(1)
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+	}
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := c.breaker.allow(); err != nil {
+			c.breakerRejects.Add(1)
+			c.failures.Add(1)
+			if lastErr != nil {
+				return fmt.Errorf("%w (last failure: %v)", err, lastErr)
+			}
+			return err
+		}
+		c.attempts.Add(1)
+		res, err := c.attempt(ctx, method, path, body, hedgeable)
+
+		// Classify. A 4xx means the server is healthy and we are wrong:
+		// success for the breaker, terminal for the caller. 503 is the
+		// server shedding load: failure, retryable. Other 5xx and
+		// transport errors: failure; only transport errors are retryable
+		// (a restarting daemon shows up as connection refused/reset).
+		var retryable bool
+		var retryAfter time.Duration
+		switch {
+		case err != nil:
+			c.breaker.record(false)
+			lastErr = fmt.Errorf("client: %s %s: %w", method, path, err)
+			retryable = true
+		case res.status == http.StatusServiceUnavailable:
+			c.breaker.record(false)
+			lastErr = apiErrorFrom(res)
+			retryable = true
+			retryAfter = res.retryAfter
+		case res.status >= 500:
+			c.breaker.record(false)
+			c.failures.Add(1)
+			return apiErrorFrom(res)
+		case res.status >= 300:
+			c.breaker.record(true)
+			c.failures.Add(1)
+			return apiErrorFrom(res)
+		default:
+			if out != nil {
+				if err := json.Unmarshal(res.body, out); err != nil {
+					// A 2xx with an undecodable body is corruption, not
+					// load: terminal, and a breaker failure.
+					c.breaker.record(false)
+					c.failures.Add(1)
+					return fmt.Errorf("client: %s %s: decoding %d-byte response: %w", method, path, len(res.body), err)
+				}
+			}
+			c.breaker.record(true)
+			c.successes.Add(1)
+			return nil
+		}
+
+		if !retryable || attempt >= c.cfg.MaxRetries {
+			c.failures.Add(1)
+			return lastErr
+		}
+		wait := c.backoff(attempt, retryAfter)
+		if retryAfter > 0 {
+			c.retryAfterHonored.Add(1)
+		}
+		// Never sleep past the caller's deadline: if the wait cannot fit,
+		// surface the last failure now instead of burning the remaining
+		// budget asleep.
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < wait {
+			c.failures.Add(1)
+			return fmt.Errorf("client: deadline too close to retry (%w): %w", context.DeadlineExceeded, lastErr)
+		}
+		c.retries.Add(1)
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			c.failures.Add(1)
+			return fmt.Errorf("client: %w (last failure: %v)", ctx.Err(), lastErr)
+		case <-t.C:
+		}
+	}
+}
+
+// backoff computes the wait before retry number attempt+1. A server
+// Retry-After hint is honored as given; otherwise full jitter over an
+// exponentially growing, capped window.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		return retryAfter
+	}
+	window := c.cfg.BaseBackoff << uint(attempt)
+	if window > c.cfg.MaxBackoff || window <= 0 {
+		window = c.cfg.MaxBackoff
+	}
+	return time.Duration(rand.Int64N(int64(window))) + time.Millisecond
+}
+
+// attempt performs one (possibly hedged) exchange.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, hedgeable bool) (*httpResult, error) {
+	if !hedgeable || c.cfg.HedgeDelay <= 0 {
+		return c.roundTrip(ctx, method, path, body)
+	}
+
+	type outcome struct {
+		res    *httpResult
+		err    error
+		hedged bool
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // aborts the losing request
+	ch := make(chan outcome, 2)
+	launch := func(hedged bool) {
+		go func() {
+			res, err := c.roundTrip(hctx, method, path, body)
+			ch <- outcome{res, err, hedged}
+		}()
+	}
+	launch(false)
+	timer := time.NewTimer(c.cfg.HedgeDelay)
+	defer timer.Stop()
+
+	pending, hedged := 1, false
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				pending++
+				c.hedges.Add(1)
+				launch(true)
+			}
+		case o := <-ch:
+			pending--
+			if o.err == nil {
+				if o.hedged {
+					c.hedgeWins.Add(1)
+				}
+				return o.res, nil
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			if pending == 0 {
+				return nil, firstErr
+			}
+		}
+	}
+}
+
+// roundTrip is one HTTP exchange with the body fully read.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) (*httpResult, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("reading response: %w", err)
+	}
+	return &httpResult{
+		status:     resp.StatusCode,
+		retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		body:       data,
+	}, nil
+}
+
+// parseRetryAfter reads a delta-seconds Retry-After value (the only form
+// the daemon emits). HTTP-date forms are ignored.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// apiErrorFrom decodes the daemon's JSON error envelope, falling back to
+// the raw body.
+func apiErrorFrom(res *httpResult) error {
+	var env struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(res.body))
+	if err := json.Unmarshal(res.body, &env); err == nil && env.Error != "" {
+		msg = env.Error
+	}
+	if msg == "" {
+		msg = http.StatusText(res.status)
+	}
+	return &APIError{Status: res.status, Message: msg}
+}

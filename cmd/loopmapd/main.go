@@ -42,6 +42,8 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "largest per-request deadline a client may ask for")
 	maxSize := flag.Int64("max-size", 128, "largest kernel size parameter accepted")
 	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown grace period")
+	stateDir := flag.String("state-dir", "", "durable plan store directory: the cache warm-starts from it and survives crashes (empty = ephemeral)")
+	fsync := flag.String("fsync", "interval", "WAL durability policy: always, interval, never")
 	smoke := flag.Bool("smoke", false, "start on an ephemeral port, serve one self-issued /v1/plan request, and exit")
 	flag.Parse()
 
@@ -52,8 +54,27 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxKernelSize:  *maxSize,
+		StateDir:       *stateDir,
+		Fsync:          *fsync,
 		Logger:         logger,
 	})
+	rs, err := srv.Recover(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if rs.Enabled {
+		logger.Info("warm start",
+			"state_dir", *stateDir,
+			"recovered", rs.Recovered,
+			"skipped", rs.Skipped,
+			"snapshot_records", rs.SnapshotRecords,
+			"wal_records", rs.WALRecords,
+			"dropped_tail_bytes", rs.DroppedTailBytes,
+			"tail_err", fmt.Sprint(rs.TailErr),
+			"dur_ms", rs.Elapsed.Milliseconds(),
+		)
+	}
 
 	if *smoke {
 		if err := runSmoke(srv, *drain); err != nil {
@@ -82,7 +103,9 @@ func main() {
 // /readyz flips to 503 first so load balancers stop routing, and in-flight
 // requests get up to drainTimeout to finish.
 func serveUntil(ctx context.Context, srv *serve.Server, ln net.Listener, drainTimeout time.Duration, logger *slog.Logger) error {
-	hs := &http.Server{Handler: srv.Handler()}
+	// The hardened listener: header/read/idle timeouts against slowloris
+	// and dead keep-alive peers.
+	hs := serve.NewHTTPServer(srv.Handler(), serve.ServerTimeouts{})
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -100,6 +123,11 @@ func serveUntil(ctx context.Context, srv *serve.Server, ln net.Listener, drainTi
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	// Flush and close the durable store only after in-flight requests
+	// have finished appending to it.
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("closing plan store: %w", err)
 	}
 	logger.Info("drained")
 	return nil

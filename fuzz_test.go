@@ -1,0 +1,80 @@
+package loopmap
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// FuzzNewPlan throws fuzzer-mutated option combinations at the full
+// schedule → projection → partitioning → mapping pipeline, seeded from
+// every built-in kernel. The contract under test: NewPlan either returns
+// a structurally sound plan or a typed error — it must never panic,
+// overflow, or hang past its context.
+func FuzzNewPlan(f *testing.F) {
+	for i, name := range KernelNames() {
+		f.Add(name, int64(4+i%5), 3, false, int64(0), false, 0)
+		f.Add(name, int64(8), -1, true, int64(2), true, 1)
+		f.Add(name, int64(6), 2, false, int64(3), false, 2)
+	}
+	f.Fuzz(func(t *testing.T, name string, size int64, cubeDim int, searchPi bool, merge int64, noAux bool, choice int) {
+		// Clamp the fuzzed inputs to the daemon's own admission range:
+		// anything outside is rejected before planning ever runs.
+		if size < 1 || size > 16 {
+			t.Skip()
+		}
+		if cubeDim < -1 || cubeDim > 4 {
+			t.Skip()
+		}
+		if merge < 0 || merge > 4 || choice < 0 || choice > 8 {
+			t.Skip()
+		}
+		k, err := LookupKernel(name, size)
+		if err != nil {
+			t.Skip() // unknown kernel name: not this fuzzer's target
+		}
+		opt := PlanOptions{
+			SearchPi: searchPi,
+			CubeDim:  cubeDim,
+			Partition: PartitionOptions{
+				MergeFactor:    merge,
+				NoAux:          noAux,
+				GroupingChoice: choice,
+			},
+		}
+		if err := opt.Validate(); err != nil {
+			t.Skip() // invalid combinations are the caller's error
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		p, err := NewPlanCtx(ctx, k, opt)
+		if err != nil {
+			return // a typed refusal is a valid outcome
+		}
+
+		// A returned plan must be structurally sound.
+		if p.Partitioning == nil || p.Partitioning.NumBlocks() <= 0 {
+			t.Fatalf("%s size %d: plan with no blocks", name, size)
+		}
+		if p.TIG == nil {
+			t.Fatalf("%s size %d: plan without a TIG", name, size)
+		}
+		if cubeDim >= 0 && p.Mapping == nil {
+			t.Fatalf("%s size %d: CubeDim %d but no mapping", name, size, cubeDim)
+		}
+		if cubeDim < 0 && p.Mapping != nil {
+			t.Fatalf("%s size %d: CubeDim %d yet a mapping was built", name, size, cubeDim)
+		}
+		_ = p.Summary() // must not panic
+
+		// Remapping a planned kernel onto a different cube must hold the
+		// same invariants.
+		rp, err := p.Remap(2)
+		if err != nil {
+			return
+		}
+		if rp.Mapping == nil {
+			t.Fatalf("%s size %d: Remap(2) lost the mapping", name, size)
+		}
+	})
+}

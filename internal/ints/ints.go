@@ -184,6 +184,16 @@ func CheckedAdd(a, b int64) (int64, bool) {
 	return s, true
 }
 
+// CheckedSub returns a−b and reports whether the difference stayed within
+// int64.
+func CheckedSub(a, b int64) (int64, bool) {
+	d := a - b
+	if (b < 0 && d < a) || (b > 0 && d > a) {
+		return 0, false
+	}
+	return d, true
+}
+
 // MinMax returns the smallest and largest of vals; panics on empty input.
 func MinMax(vals ...int64) (mn, mx int64) {
 	if len(vals) == 0 {

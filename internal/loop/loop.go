@@ -14,9 +14,11 @@ package loop
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
+	"repro/internal/ints"
 	"repro/internal/vec"
 )
 
@@ -301,7 +303,16 @@ type rectIndex struct {
 	strides []int64
 }
 
-func newRectIndex(n *Nest) *rectIndex {
+// ErrTooLarge classifies iteration spaces whose sizing arithmetic
+// overflows int64 — adversarial bounds must fail loudly at structure
+// construction, not wrap silently into bogus stride indexing.
+var ErrTooLarge = errors.New("loop: iteration space too large")
+
+// newRectIndex builds the stride indexer, or returns (nil, nil) for nests
+// with non-constant bounds (the map fallback handles those). Stride sizing
+// multiplies user-supplied extents, so every step is overflow-checked: a
+// product past int64 returns ErrTooLarge.
+func newRectIndex(n *Nest) (*rectIndex, error) {
 	r := &rectIndex{
 		lo:      make([]int64, n.Dims),
 		hi:      make([]int64, n.Dims),
@@ -309,20 +320,31 @@ func newRectIndex(n *Nest) *rectIndex {
 	}
 	for j := 0; j < n.Dims; j++ {
 		if !n.Lower[j].IsConst() || !n.Upper[j].IsConst() {
-			return nil
+			return nil, nil
 		}
 		r.lo[j] = n.Lower[j].Const
 		r.hi[j] = n.Upper[j].Const
 		if r.hi[j] < r.lo[j] {
-			return nil // empty range: fall back to the map
+			return nil, nil // empty range: fall back to the map
 		}
 	}
 	stride := int64(1)
 	for j := n.Dims - 1; j >= 0; j-- {
 		r.strides[j] = stride
-		stride *= r.hi[j] - r.lo[j] + 1
+		extent, ok := ints.CheckedSub(r.hi[j], r.lo[j])
+		if !ok {
+			return nil, fmt.Errorf("%w: dimension %d spans [%d, %d]", ErrTooLarge, j+1, r.lo[j], r.hi[j])
+		}
+		span, ok := ints.CheckedAdd(extent, 1)
+		if !ok {
+			return nil, fmt.Errorf("%w: dimension %d spans [%d, %d]", ErrTooLarge, j+1, r.lo[j], r.hi[j])
+		}
+		stride, ok = ints.CheckedMul(stride, span)
+		if !ok {
+			return nil, fmt.Errorf("%w: %d dimensions overflow the index space at dimension %d", ErrTooLarge, n.Dims, j+1)
+		}
 	}
-	return r
+	return r, nil
 }
 
 func (r *rectIndex) indexOf(p vec.Int) int {
@@ -389,7 +411,11 @@ func NewStructureCtx(ctx context.Context, n *Nest, explicitDeps ...vec.Int) (*St
 		}
 	}
 	s := &Structure{Nest: n, D: d}
-	if s.rect = newRectIndex(n); s.rect == nil {
+	rect, err := newRectIndex(n)
+	if err != nil {
+		return nil, fmt.Errorf("loop %q: %w", n.Name, err)
+	}
+	if s.rect = rect; s.rect == nil {
 		s.index = map[string]int{}
 	}
 	var ctxErr error

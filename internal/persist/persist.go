@@ -1,0 +1,424 @@
+// Package persist implements the durable record store behind loopmapd's
+// crash safety: an append-only, CRC-checksummed snapshot + write-ahead-log
+// pair.
+//
+// The store holds opaque (key, value) records. loopmapd uses it to make
+// its plan cache survive crashes: because a plan is a pure function of its
+// canonicalized request, the durable record is the tiny canonical request
+// — not the multi-megabyte artifact — and recovery recomputes the plan,
+// which is bit-identical to the one that was lost (the same property the
+// paper's Algorithm 1 gives blocks: cheap to re-derive from Π, the
+// dependence matrix, and the bounds).
+//
+// # Layout
+//
+// A store directory contains two files sharing one format:
+//
+//	snapshot.dat  the compacted record set as of the last compaction
+//	wal.log       records appended since that compaction
+//
+// Each file is an 8-byte magic header followed by length-prefixed records:
+//
+//	[uint32 payload length][uint32 CRC-32C of payload][payload]
+//	payload = uvarint(len(key)) ‖ key ‖ value
+//
+// # Crash safety
+//
+// Appends go to the WAL under the configured fsync policy. Compaction
+// writes the full live set to snapshot.tmp, fsyncs it, atomically renames
+// it over snapshot.dat, and only then truncates the WAL — a crash at any
+// point leaves either the old state or the new state plus a redundant WAL
+// suffix, and replaying a record twice is harmless because keyed replay is
+// idempotent.
+//
+// # Corrupt-tail tolerance
+//
+// A SIGKILL mid-write can leave a torn record at the WAL tail. Replay
+// verifies every record's length bound and checksum and stops at the first
+// bad one, reporting — never failing on — the dropped tail; Open then
+// truncates the WAL back to the last good record so new appends extend a
+// clean log. Startup therefore always succeeds with every record that was
+// durable at the time of the crash.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+const (
+	snapshotName = "snapshot.dat"
+	walName      = "wal.log"
+	tmpName      = "snapshot.tmp"
+
+	// fileMagic opens every store file; a format change bumps the digit.
+	fileMagic = "LOOPMAP1"
+
+	// maxRecordBytes bounds a record's length prefix during replay, so a
+	// corrupt length cannot provoke a giant allocation.
+	maxRecordBytes = 16 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Policy selects when appends reach stable storage.
+type Policy int
+
+const (
+	// FsyncInterval (the default) fsyncs the WAL on a background ticker
+	// every Options.Interval — bounded loss, near-zero append latency.
+	FsyncInterval Policy = iota
+	// FsyncAlways fsyncs after every append: a record handed back to the
+	// caller is durable.
+	FsyncAlways
+	// FsyncNever leaves flushing to the OS page cache.
+	FsyncNever
+)
+
+// ParsePolicy maps the -fsync flag spellings to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "interval", "":
+		return FsyncInterval, nil
+	case "always":
+		return FsyncAlways, nil
+	case "never":
+		return FsyncNever, nil
+	default:
+		return 0, fmt.Errorf("persist: unknown fsync policy %q (have always, interval, never)", s)
+	}
+}
+
+func (p Policy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncNever:
+		return "never"
+	default:
+		return "interval"
+	}
+}
+
+// Options tunes a Store.
+type Options struct {
+	// Fsync is the append durability policy.
+	Fsync Policy
+	// Interval is the FsyncInterval flush period (default 100ms).
+	Interval time.Duration
+}
+
+// Record is one durable (key, value) pair.
+type Record struct {
+	Key   string
+	Value []byte
+}
+
+// ReplayStats reports what Open recovered.
+type ReplayStats struct {
+	// SnapshotRecords and WALRecords count the records replayed from each
+	// file, in order; the caller sees their concatenation.
+	SnapshotRecords int
+	WALRecords      int
+	// DroppedTailBytes is how much trailing garbage replay discarded
+	// (torn final record, bit-flipped checksum, bad length).
+	DroppedTailBytes int64
+	// TailErr describes the first bad record that stopped a replay, nil
+	// when both files ended cleanly. It is informational: Open never
+	// fails on a corrupt tail.
+	TailErr error
+}
+
+// Store is an open snapshot+WAL record store. Methods are safe for
+// concurrent use; the store assumes a single owning process.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	wal      *os.File
+	walBytes int64
+	closed   bool
+
+	stopFlush chan struct{}
+	flushDone chan struct{}
+}
+
+// Open opens (creating if needed) the store in dir and replays it,
+// returning the surviving records in append order — snapshot first, then
+// WAL, duplicates included (keyed replay is idempotent for the caller). A
+// truncated or corrupt tail is dropped and reported in ReplayStats, never
+// returned as an error.
+func Open(dir string, opts Options) (*Store, []Record, ReplayStats, error) {
+	if opts.Interval <= 0 {
+		opts.Interval = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, ReplayStats{}, err
+	}
+	// A leftover snapshot.tmp is a compaction that never committed.
+	_ = os.Remove(filepath.Join(dir, tmpName))
+
+	var stats ReplayStats
+	snapRecs, _, snapDropped, snapErr := replayFile(filepath.Join(dir, snapshotName))
+	stats.SnapshotRecords = len(snapRecs)
+	stats.DroppedTailBytes += snapDropped
+	if snapErr != nil {
+		stats.TailErr = snapErr
+	}
+
+	walPath := filepath.Join(dir, walName)
+	walRecs, goodOff, walDropped, walErr := replayFile(walPath)
+	stats.WALRecords = len(walRecs)
+	stats.DroppedTailBytes += walDropped
+	if walErr != nil && stats.TailErr == nil {
+		stats.TailErr = walErr
+	}
+
+	wal, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	if goodOff < int64(len(fileMagic)) {
+		// Empty or headerless WAL: start it fresh.
+		if err := wal.Truncate(0); err != nil {
+			wal.Close()
+			return nil, nil, stats, err
+		}
+		if _, err := wal.WriteAt([]byte(fileMagic), 0); err != nil {
+			wal.Close()
+			return nil, nil, stats, err
+		}
+		goodOff = int64(len(fileMagic))
+	} else if walDropped > 0 {
+		// Repair: cut the torn tail so appends extend a clean log.
+		if err := wal.Truncate(goodOff); err != nil {
+			wal.Close()
+			return nil, nil, stats, err
+		}
+	}
+	if _, err := wal.Seek(goodOff, io.SeekStart); err != nil {
+		wal.Close()
+		return nil, nil, stats, err
+	}
+
+	s := &Store{
+		dir:       dir,
+		opts:      opts,
+		wal:       wal,
+		walBytes:  goodOff,
+		stopFlush: make(chan struct{}),
+		flushDone: make(chan struct{}),
+	}
+	if opts.Fsync == FsyncInterval {
+		go s.flushLoop()
+	} else {
+		close(s.flushDone)
+	}
+	return s, append(snapRecs, walRecs...), stats, nil
+}
+
+// flushLoop fsyncs the WAL on the configured interval until Close.
+func (s *Store) flushLoop() {
+	defer close(s.flushDone)
+	t := time.NewTicker(s.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.mu.Lock()
+			if !s.closed {
+				_ = s.wal.Sync()
+			}
+			s.mu.Unlock()
+		case <-s.stopFlush:
+			return
+		}
+	}
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// WALBytes returns the WAL's current size — the compaction trigger input.
+func (s *Store) WALBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walBytes
+}
+
+// Append writes one record to the WAL under the fsync policy.
+func (s *Store) Append(rec Record) error {
+	frame := encodeFrame(rec)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("persist: store closed")
+	}
+	n, err := s.wal.Write(frame)
+	s.walBytes += int64(n)
+	if err != nil {
+		return err
+	}
+	if s.opts.Fsync == FsyncAlways {
+		return s.wal.Sync()
+	}
+	return nil
+}
+
+// Sync forces the WAL to stable storage regardless of policy.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	return s.wal.Sync()
+}
+
+// Compact atomically replaces the snapshot with the given live set and
+// resets the WAL. Appends block for the duration; the caller supplies the
+// records in the order it wants them replayed.
+func (s *Store) Compact(live []Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("persist: store closed")
+	}
+	tmpPath := filepath.Join(s.dir, tmpName)
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write([]byte(fileMagic)); err != nil {
+		tmp.Close()
+		return err
+	}
+	for _, rec := range live {
+		if _, err := tmp.Write(encodeFrame(rec)); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, filepath.Join(s.dir, snapshotName)); err != nil {
+		return err
+	}
+	s.syncDir()
+	// The snapshot now covers everything; restart the WAL. A crash between
+	// the rename above and this truncate replays stale WAL records on top
+	// of the new snapshot — idempotent, so harmless.
+	if err := s.wal.Truncate(int64(len(fileMagic))); err != nil {
+		return err
+	}
+	if _, err := s.wal.Seek(int64(len(fileMagic)), io.SeekStart); err != nil {
+		return err
+	}
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	s.walBytes = int64(len(fileMagic))
+	return nil
+}
+
+// syncDir fsyncs the store directory so renames and truncates are durable.
+func (s *Store) syncDir() {
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// Close flushes and closes the store. Further appends fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.wal.Sync()
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	s.mu.Unlock()
+	close(s.stopFlush)
+	<-s.flushDone
+	return err
+}
+
+// encodeFrame renders one record as [len][crc][payload].
+func encodeFrame(rec Record) []byte {
+	payload := make([]byte, 0, binary.MaxVarintLen64+len(rec.Key)+len(rec.Value))
+	payload = binary.AppendUvarint(payload, uint64(len(rec.Key)))
+	payload = append(payload, rec.Key...)
+	payload = append(payload, rec.Value...)
+	frame := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	return append(frame, payload...)
+}
+
+// decodePayload splits a verified payload back into a Record.
+func decodePayload(payload []byte) (Record, error) {
+	klen, n := binary.Uvarint(payload)
+	if n <= 0 || klen > uint64(len(payload)-n) {
+		return Record{}, errors.New("persist: malformed record payload")
+	}
+	key := string(payload[n : n+int(klen)])
+	val := append([]byte(nil), payload[n+int(klen):]...)
+	return Record{Key: key, Value: val}, nil
+}
+
+// replayFile reads every intact record of one store file. It returns the
+// records, the offset just past the last good record, the number of
+// trailing bytes dropped, and a description of what stopped the scan (nil
+// for a clean EOF). A missing file replays as empty.
+func replayFile(path string) (recs []Record, goodOff int64, dropped int64, tailErr error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, 0, nil
+	}
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if len(data) < len(fileMagic) || string(data[:len(fileMagic)]) != string(fileMagic) {
+		return nil, 0, int64(len(data)), fmt.Errorf("persist: %s: bad or missing header", filepath.Base(path))
+	}
+	off := int64(len(fileMagic))
+	total := int64(len(data))
+	for off < total {
+		if total-off < 8 {
+			return recs, off, total - off, fmt.Errorf("persist: %s: torn frame header at offset %d", filepath.Base(path), off)
+		}
+		plen := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		wantCRC := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if plen > maxRecordBytes || off+8+plen > total {
+			return recs, off, total - off, fmt.Errorf("persist: %s: bad record length %d at offset %d", filepath.Base(path), plen, off)
+		}
+		payload := data[off+8 : off+8+plen]
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			return recs, off, total - off, fmt.Errorf("persist: %s: checksum mismatch at offset %d", filepath.Base(path), off)
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return recs, off, total - off, fmt.Errorf("persist: %s: %w at offset %d", filepath.Base(path), err, off)
+		}
+		recs = append(recs, rec)
+		off += 8 + plen
+	}
+	return recs, off, 0, nil
+}

@@ -1,0 +1,307 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openOrFatal(t *testing.T, dir string, opts Options) (*Store, []Record, ReplayStats) {
+	t.Helper()
+	s, recs, stats, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, recs, stats
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, recs, stats := openOrFatal(t, dir, Options{Fsync: FsyncAlways})
+	if len(recs) != 0 || stats.TailErr != nil {
+		t.Fatalf("fresh store replayed %d records, tail err %v", len(recs), stats.TailErr)
+	}
+	want := []Record{
+		{Key: "a", Value: []byte(`{"kernel":"l1","size":8}`)},
+		{Key: "b", Value: []byte{}},
+		{Key: "c", Value: bytes.Repeat([]byte{0xff}, 1024)},
+	}
+	for _, r := range want {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, got, stats := openOrFatal(t, dir, Options{})
+	if stats.TailErr != nil || stats.DroppedTailBytes != 0 {
+		t.Fatalf("clean log reported tail damage: %+v", stats)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Key != want[i].Key || !bytes.Equal(got[i].Value, want[i].Value) {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCorruptTailBitFlip flips one bit in the final record and checks that
+// replay keeps every earlier record, reports the damage, and repairs the
+// WAL so subsequent appends replay cleanly.
+func TestCorruptTailBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := openOrFatal(t, dir, Options{Fsync: FsyncAlways})
+	for i := 0; i < 5; i++ {
+		if err := s.Append(Record{Key: fmt.Sprintf("k%d", i), Value: []byte("payload")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	walPath := filepath.Join(dir, walName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x10 // bit-flip inside the last record's payload
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, recs, stats := openOrFatal(t, dir, Options{Fsync: FsyncAlways})
+	if len(recs) != 4 {
+		t.Fatalf("replay after bit flip kept %d records, want 4", len(recs))
+	}
+	if stats.TailErr == nil || stats.DroppedTailBytes == 0 {
+		t.Fatalf("bit flip not reported: %+v", stats)
+	}
+	// The store must have truncated the damage: appends extend a clean log.
+	if err := s2.Append(Record{Key: "new", Value: []byte("after repair")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, stats = openOrFatal(t, dir, Options{})
+	if stats.TailErr != nil {
+		t.Fatalf("repaired log still reports damage: %v", stats.TailErr)
+	}
+	if len(recs) != 5 || recs[4].Key != "new" {
+		t.Fatalf("after repair+append: %d records, last %q; want 5 and \"new\"", len(recs), recs[len(recs)-1].Key)
+	}
+}
+
+// TestTornTail simulates a SIGKILL mid-write: the final frame is cut short.
+func TestTornTail(t *testing.T) {
+	for _, cut := range []int{1, 5, 9} { // inside payload, inside header, mid-frame
+		dir := t.TempDir()
+		s, _, _ := openOrFatal(t, dir, Options{Fsync: FsyncAlways})
+		for i := 0; i < 3; i++ {
+			if err := s.Append(Record{Key: fmt.Sprintf("k%d", i), Value: []byte("0123456789")}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Close()
+		walPath := filepath.Join(dir, walName)
+		data, err := os.ReadFile(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(walPath, data[:len(data)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, recs, stats := openOrFatal(t, dir, Options{})
+		if len(recs) != 2 {
+			t.Fatalf("cut %d: replayed %d records, want 2", cut, len(recs))
+		}
+		if stats.TailErr == nil {
+			t.Fatalf("cut %d: torn tail not reported", cut)
+		}
+	}
+}
+
+// TestBadLengthPrefix corrupts a length prefix into an absurd value.
+func TestBadLengthPrefix(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := openOrFatal(t, dir, Options{Fsync: FsyncAlways})
+	if err := s.Append(Record{Key: "good", Value: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Record{Key: "bad", Value: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	walPath := filepath.Join(dir, walName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second frame starts after magic + first frame (8 + payload).
+	firstPayload := len(data) // recompute: find via replay offsets instead
+	_ = firstPayload
+	// Corrupt the second frame's length prefix (locate it by replaying).
+	recs, goodOff, _, _ := replayFile(walPath)
+	if len(recs) != 2 {
+		t.Fatalf("setup: %d records", len(recs))
+	}
+	// Walk one frame from the header to find the second frame's offset.
+	off := int64(len(fileMagic))
+	plen := int64(data[off]) | int64(data[off+1])<<8 | int64(data[off+2])<<16 | int64(data[off+3])<<24
+	second := off + 8 + plen
+	if second >= goodOff {
+		t.Fatalf("setup: second frame offset %d past end %d", second, goodOff)
+	}
+	data[second+3] = 0x7f // length becomes ~2^31: absurd
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, got, stats := openOrFatal(t, dir, Options{})
+	if len(got) != 1 || got[0].Key != "good" {
+		t.Fatalf("replay kept %d records, want just \"good\"", len(got))
+	}
+	if stats.TailErr == nil {
+		t.Fatal("bad length prefix not reported")
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := openOrFatal(t, dir, Options{Fsync: FsyncAlways})
+	for i := 0; i < 10; i++ {
+		if err := s.Append(Record{Key: fmt.Sprintf("k%d", i), Value: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.WALBytes()
+	live := []Record{{Key: "k8", Value: []byte("x")}, {Key: "k9", Value: []byte("x")}}
+	if err := s.Compact(live); err != nil {
+		t.Fatal(err)
+	}
+	if s.WALBytes() >= before {
+		t.Fatalf("WAL did not shrink on compaction: %d -> %d", before, s.WALBytes())
+	}
+	// New appends land after the compaction.
+	if err := s.Append(Record{Key: "k10", Value: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	_, recs, stats := openOrFatal(t, dir, Options{})
+	if stats.SnapshotRecords != 2 || stats.WALRecords != 1 {
+		t.Fatalf("replay split snapshot/WAL = %d/%d, want 2/1", stats.SnapshotRecords, stats.WALRecords)
+	}
+	keys := []string{}
+	for _, r := range recs {
+		keys = append(keys, r.Key)
+	}
+	want := []string{"k8", "k9", "k10"}
+	if len(keys) != len(want) {
+		t.Fatalf("replayed keys %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("replayed keys %v, want %v", keys, want)
+		}
+	}
+}
+
+// TestLeftoverTmpIgnored proves a crash mid-compaction (tmp written, not
+// renamed) does not poison the store.
+func TestLeftoverTmpIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := openOrFatal(t, dir, Options{Fsync: FsyncAlways})
+	if err := s.Append(Record{Key: "live", Value: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := os.WriteFile(filepath.Join(dir, tmpName), []byte("partial snapshot junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, _ := openOrFatal(t, dir, Options{})
+	if len(recs) != 1 || recs[0].Key != "live" {
+		t.Fatalf("leftover tmp corrupted replay: %+v", recs)
+	}
+	if _, err := os.Stat(filepath.Join(dir, tmpName)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("leftover snapshot.tmp not removed on Open")
+	}
+}
+
+func TestFsyncIntervalFlushes(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := openOrFatal(t, dir, Options{Fsync: FsyncInterval, Interval: 5 * time.Millisecond})
+	if err := s.Append(Record{Key: "k", Value: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond) // let the ticker fire at least once
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, _ := openOrFatal(t, dir, Options{})
+	if len(recs) != 1 {
+		t.Fatalf("interval-flushed record lost: %d records", len(recs))
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := openOrFatal(t, dir, Options{Fsync: FsyncNever})
+	var wg sync.WaitGroup
+	const writers, each = 8, 50
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := s.Append(Record{Key: fmt.Sprintf("w%d-%d", w, i), Value: []byte("v")}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.Close()
+	_, recs, stats := openOrFatal(t, dir, Options{})
+	if len(recs) != writers*each {
+		t.Fatalf("concurrent appends: replayed %d, want %d", len(recs), writers*each)
+	}
+	if stats.TailErr != nil {
+		t.Fatalf("concurrent appends interleaved corruptly: %v", stats.TailErr)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]Policy{
+		"": FsyncInterval, "interval": FsyncInterval,
+		"always": FsyncAlways, "never": FsyncNever,
+	} {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("ParsePolicy accepted junk")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := openOrFatal(t, dir, Options{})
+	s.Close()
+	if err := s.Append(Record{Key: "k"}); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+}

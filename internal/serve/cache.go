@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	loopmap "repro"
+	"repro/internal/persist"
 )
 
 // planCache is a content-addressed LRU over *base* plans (planned with
@@ -25,6 +26,11 @@ type cacheEntry struct {
 	key   string
 	plan  *loopmap.Plan
 	bytes int64
+	// payload is the canonical request the plan was computed from — the
+	// compact durable encoding the persist WAL stores (the plan itself is
+	// a pure function of it, so recovery recomputes instead of
+	// deserializing megabytes). Nil when persistence is disabled.
+	payload []byte
 }
 
 func newPlanCache(maxBytes int64) *planCache {
@@ -47,7 +53,7 @@ func (c *planCache) get(key string) (*loopmap.Plan, bool) {
 // byte budget holds again; the newest entry itself is never evicted, so a
 // single oversized plan still caches (and evicts everything else). It
 // returns the number of evictions.
-func (c *planCache) put(key string, p *loopmap.Plan) int {
+func (c *planCache) put(key string, p *loopmap.Plan, payload []byte) int {
 	b := planBytes(p)
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -55,7 +61,7 @@ func (c *planCache) put(key string, p *loopmap.Plan) int {
 		c.ll.MoveToFront(el)
 		return 0
 	}
-	el := c.ll.PushFront(&cacheEntry{key: key, plan: p, bytes: b})
+	el := c.ll.PushFront(&cacheEntry{key: key, plan: p, bytes: b, payload: payload})
 	c.items[key] = el
 	c.bytes += b
 	evicted := 0
@@ -68,6 +74,23 @@ func (c *planCache) put(key string, p *loopmap.Plan) int {
 		evicted++
 	}
 	return evicted
+}
+
+// records dumps the live entries as durable records, least-recently-used
+// first, so a replay re-inserts them in recency order and the warmest
+// entries survive any budget eviction during recovery. Entries without a
+// payload (cached before persistence was enabled) are skipped.
+func (c *planCache) records() []persist.Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]persist.Record, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		if e.payload != nil {
+			out = append(out, persist.Record{Key: e.key, Value: e.payload})
+		}
+	}
+	return out
 }
 
 // stats returns the current byte and entry footprint.

@@ -29,13 +29,13 @@ func TestPlanCacheLRUOrder(t *testing.T) {
 	budget := planBytes(pa) + planBytes(pb) + planBytes(pc)/2
 	c := newPlanCache(budget)
 
-	c.put("a", pa)
-	c.put("b", pb)
+	c.put("a", pa, nil)
+	c.put("b", pb, nil)
 	// Touch a so b becomes the eviction candidate.
 	if _, ok := c.get("a"); !ok {
 		t.Fatal("a missing before eviction")
 	}
-	if ev := c.put("c", pc); ev == 0 {
+	if ev := c.put("c", pc, nil); ev == 0 {
 		t.Fatal("inserting c should evict")
 	}
 	if _, ok := c.get("b"); ok {
@@ -52,7 +52,7 @@ func TestPlanCacheLRUOrder(t *testing.T) {
 func TestPlanCacheNewestNeverEvicted(t *testing.T) {
 	p := testPlan(t, 6)
 	c := newPlanCache(1) // smaller than any plan
-	c.put("big", p)
+	c.put("big", p, nil)
 	if _, ok := c.get("big"); !ok {
 		t.Fatal("an oversized newest entry must still cache")
 	}
@@ -64,8 +64,8 @@ func TestPlanCacheNewestNeverEvicted(t *testing.T) {
 func TestPlanCacheDuplicatePut(t *testing.T) {
 	p := testPlan(t, 4)
 	c := newPlanCache(1 << 20)
-	c.put("k", p)
-	c.put("k", p)
+	c.put("k", p, nil)
+	c.put("k", p, nil)
 	b1, n := c.stats()
 	if n != 1 {
 		t.Fatalf("entries = %d, want 1 after duplicate put", n)

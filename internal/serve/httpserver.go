@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// ServerTimeouts bounds the connection lifecycle of the daemon's listener.
+// The zero value gets production defaults. WriteTimeout is deliberately
+// absent: responses are written only after the (already deadline-bounded)
+// pipeline finishes, and a write timeout would start ticking at the end of
+// the header read — killing legitimate long plan computations.
+type ServerTimeouts struct {
+	// ReadHeader bounds how long a client may dribble request headers
+	// (default 5s) — the slowloris guard.
+	ReadHeader time.Duration
+	// Read bounds reading one full request, headers plus body (default
+	// 30s).
+	Read time.Duration
+	// Idle bounds how long a keep-alive connection may sit between
+	// requests (default 2m).
+	Idle time.Duration
+}
+
+func (t ServerTimeouts) withDefaults() ServerTimeouts {
+	if t.ReadHeader <= 0 {
+		t.ReadHeader = 5 * time.Second
+	}
+	if t.Read <= 0 {
+		t.Read = 30 * time.Second
+	}
+	if t.Idle <= 0 {
+		t.Idle = 2 * time.Minute
+	}
+	return t
+}
+
+// NewHTTPServer wraps a handler in an http.Server with the connection
+// timeouts every deployment of the daemon should run with: unset, a single
+// client holding headers open (or a dead keep-alive peer) pins a
+// connection — and its goroutine — forever.
+func NewHTTPServer(h http.Handler, t ServerTimeouts) *http.Server {
+	t = t.withDefaults()
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: t.ReadHeader,
+		ReadTimeout:       t.Read,
+		IdleTimeout:       t.Idle,
+	}
+}

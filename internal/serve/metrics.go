@@ -100,6 +100,12 @@ type metrics struct {
 	cacheBytes         atomic.Int64
 	cacheEntries       atomic.Int64
 	panics             atomic.Int64
+	recoveredPlans     atomic.Int64
+	recoverySkipped    atomic.Int64
+	walAppends         atomic.Int64
+	walErrors          atomic.Int64
+	walBytes           atomic.Int64
+	compactions        atomic.Int64
 
 	endpoints map[string]*endpointMetrics // fixed at construction
 }
@@ -139,6 +145,12 @@ type Snapshot struct {
 	CacheBytes         int64
 	CacheEntries       int64
 	Panics             int64
+	RecoveredPlans     int64
+	RecoverySkipped    int64
+	WALAppends         int64
+	WALErrors          int64
+	WALBytes           int64
+	Compactions        int64
 	Endpoints          map[string]EndpointSnapshot
 }
 
@@ -153,6 +165,12 @@ func (m *metrics) snapshot() Snapshot {
 		CacheBytes:         m.cacheBytes.Load(),
 		CacheEntries:       m.cacheEntries.Load(),
 		Panics:             m.panics.Load(),
+		RecoveredPlans:     m.recoveredPlans.Load(),
+		RecoverySkipped:    m.recoverySkipped.Load(),
+		WALAppends:         m.walAppends.Load(),
+		WALErrors:          m.walErrors.Load(),
+		WALBytes:           m.walBytes.Load(),
+		Compactions:        m.compactions.Load(),
 		Endpoints:          make(map[string]EndpointSnapshot, len(m.endpoints)),
 	}
 	for name, em := range m.endpoints {
@@ -178,6 +196,12 @@ func (s Snapshot) render(w io.Writer) {
 	counter("loopmapd_singleflight_shared_total", "Requests served by joining an in-flight computation.", s.SingleflightShared)
 	counter("loopmapd_plan_computations_total", "Underlying NewPlan computations performed.", s.PlanComputations)
 	counter("loopmapd_panics_total", "Handler panics recovered by the middleware.", s.Panics)
+	counter("loopmapd_recovered_plans_total", "Plans recomputed into the cache during warm restart.", s.RecoveredPlans)
+	counter("loopmapd_recovery_skipped_total", "Durable records skipped during warm restart (undecodable, invalid, or key-mismatched).", s.RecoverySkipped)
+	counter("loopmapd_wal_appends_total", "Plan records appended to the durable WAL.", s.WALAppends)
+	counter("loopmapd_wal_errors_total", "Durable store write failures (the daemon keeps serving).", s.WALErrors)
+	counter("loopmapd_compactions_total", "Background snapshot compactions completed.", s.Compactions)
+	gauge("loopmapd_wal_bytes", "Current size of the durable WAL.", s.WALBytes)
 	gauge("loopmapd_inflight_plans", "Plan computations currently admitted.", s.InflightPlans)
 	gauge("loopmapd_cache_bytes", "Estimated bytes held by the plan cache.", s.CacheBytes)
 	gauge("loopmapd_cache_entries", "Entries held by the plan cache.", s.CacheEntries)

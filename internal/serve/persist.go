@@ -1,0 +1,257 @@
+// Durable plan store wiring: warm restart and WAL maintenance.
+//
+// The daemon's crash safety rests on the pipeline being a pure function of
+// the canonicalized request — the same property the LRU key exploits. The
+// durable record for a cached plan is therefore the canonical request
+// itself (a few hundred bytes), not the plan artifact (megabytes): Recover
+// replays the snapshot+WAL, recomputes each plan with the exact code path
+// a live request uses, and pre-populates the cache. A recovered plan is
+// bit-identical to a freshly computed one by construction.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	loopmap "repro"
+	"repro/internal/persist"
+	"repro/internal/pool"
+)
+
+// storedRequest is the durable encoding of a plan's canonical request:
+// exactly the cacheKey fields, with the key's default normalization
+// (SearchBound, MergeFactor) applied before writing.
+type storedRequest struct {
+	Kernel         string  `json:"kernel"`
+	Size           int64   `json:"size"`
+	Pi             []int64 `json:"pi,omitempty"`
+	SearchPi       bool    `json:"search_pi,omitempty"`
+	SearchBound    int64   `json:"search_bound,omitempty"`
+	MergeFactor    int64   `json:"merge_factor,omitempty"`
+	NoAux          bool    `json:"no_aux,omitempty"`
+	GroupingChoice int     `json:"grouping_choice,omitempty"`
+}
+
+// persistPayload renders the request's canonical planning fields as the
+// WAL record value.
+func (r *PlanRequest) persistPayload() []byte {
+	sr := storedRequest{
+		Kernel:         r.Kernel,
+		Size:           r.Size,
+		Pi:             r.Pi,
+		SearchPi:       r.SearchPi,
+		SearchBound:    r.SearchBound,
+		MergeFactor:    r.MergeFactor,
+		NoAux:          r.NoAux,
+		GroupingChoice: r.GroupingChoice,
+	}
+	if sr.SearchPi && sr.SearchBound <= 0 {
+		sr.SearchBound = 2
+	}
+	if !sr.SearchPi {
+		sr.SearchBound = 0
+	}
+	if sr.MergeFactor < 1 {
+		sr.MergeFactor = 1
+	}
+	b, err := json.Marshal(sr)
+	if err != nil {
+		// storedRequest marshals unconditionally; this is unreachable.
+		panic(fmt.Sprintf("serve: persistPayload: %v", err))
+	}
+	return b
+}
+
+// planRequest reconstructs the in-memory request a stored record encodes.
+func (sr *storedRequest) planRequest() *PlanRequest {
+	return &PlanRequest{
+		Kernel:         sr.Kernel,
+		Size:           sr.Size,
+		Pi:             sr.Pi,
+		SearchPi:       sr.SearchPi,
+		SearchBound:    sr.SearchBound,
+		MergeFactor:    sr.MergeFactor,
+		NoAux:          sr.NoAux,
+		GroupingChoice: sr.GroupingChoice,
+	}
+}
+
+// RecoveryStats summarizes a warm start for the startup log line and for
+// tests.
+type RecoveryStats struct {
+	// Enabled reports whether a StateDir was configured at all.
+	Enabled bool
+	// SnapshotRecords and WALRecords count the durable records replayed.
+	SnapshotRecords int
+	WALRecords      int
+	// Recovered counts plans recomputed into the cache; Skipped counts
+	// records dropped as undecodable, invalid under the current limits,
+	// key-mismatched, or failed to recompute.
+	Recovered int
+	Skipped   int
+	// DroppedTailBytes and TailErr report corrupt-tail repair (see
+	// persist.ReplayStats); a non-nil TailErr never fails recovery.
+	DroppedTailBytes int64
+	TailErr          error
+	Elapsed          time.Duration
+}
+
+// Recover opens the durable store at Config.StateDir, replays it, and
+// warm-starts the plan cache: every intact record's plan is recomputed
+// (concurrently, up to MaxInflight at once) and inserted in replay order,
+// so the most recently used plans end up warmest. It must be called before
+// the handler serves traffic; with no StateDir it is a no-op. Corrupt or
+// stale records are skipped and counted, never fatal — only an unusable
+// state directory fails recovery.
+func (s *Server) Recover(ctx context.Context) (RecoveryStats, error) {
+	var rs RecoveryStats
+	if s.cfg.StateDir == "" {
+		return rs, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	policy, err := persist.ParsePolicy(s.cfg.Fsync)
+	if err != nil {
+		return rs, err
+	}
+	store, recs, replay, err := persist.Open(s.cfg.StateDir, persist.Options{
+		Fsync:    policy,
+		Interval: s.cfg.FsyncEvery,
+	})
+	if err != nil {
+		return rs, fmt.Errorf("serve: opening state dir %s: %w", s.cfg.StateDir, err)
+	}
+	s.store = store
+	rs.Enabled = true
+	rs.SnapshotRecords = replay.SnapshotRecords
+	rs.WALRecords = replay.WALRecords
+	rs.DroppedTailBytes = replay.DroppedTailBytes
+	rs.TailErr = replay.TailErr
+
+	// Deduplicate by key (replay is idempotent: a key's payload is
+	// canonical, so duplicates are byte-identical).
+	seen := make(map[string]bool, len(recs))
+	work := recs[:0]
+	for _, rec := range recs {
+		if seen[rec.Key] {
+			continue
+		}
+		seen[rec.Key] = true
+		work = append(work, rec)
+	}
+
+	// Decode and validate sequentially (cheap), recompute concurrently
+	// (expensive), insert in replay order (preserves recency).
+	type slot struct {
+		req  *PlanRequest
+		rec  persist.Record
+		plan *loopmap.Plan
+	}
+	slots := make([]*slot, 0, len(work))
+	for _, rec := range work {
+		var sr storedRequest
+		if err := json.Unmarshal(rec.Value, &sr); err != nil {
+			rs.Skipped++
+			continue
+		}
+		req := sr.planRequest()
+		if req.cacheKey() != rec.Key {
+			// The record's key and payload disagree — a foreign or
+			// hand-edited store. Trust neither.
+			rs.Skipped++
+			continue
+		}
+		if err := s.validatePlanRequest(req); err != nil {
+			// Stale under the current admission limits (e.g. a smaller
+			// MaxKernelSize); recomputing it would admit work the daemon
+			// now rejects.
+			rs.Skipped++
+			continue
+		}
+		slots = append(slots, &slot{req: req, rec: rec})
+	}
+	pool.Run(len(slots), s.cfg.MaxInflight, func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		k, err := loopmap.LookupKernel(slots[i].req.Kernel, slots[i].req.Size)
+		if err != nil {
+			return
+		}
+		p, err := loopmap.NewPlanCtx(ctx, k, slots[i].req.planOptions())
+		if err != nil {
+			return
+		}
+		slots[i].plan = p
+	})
+	if err := ctx.Err(); err != nil {
+		return rs, err
+	}
+	for _, sl := range slots {
+		if sl.plan == nil {
+			rs.Skipped++
+			continue
+		}
+		s.cache.put(sl.rec.Key, sl.plan, sl.rec.Value)
+		rs.Recovered++
+	}
+	s.metrics.recoveredPlans.Add(int64(rs.Recovered))
+	s.metrics.recoverySkipped.Add(int64(rs.Skipped))
+	rs.Elapsed = time.Since(start)
+	return rs, nil
+}
+
+// persistPlan appends one computed plan's canonical request to the WAL and
+// triggers compaction when the log has outgrown its budget. Store failures
+// are counted and logged, never surfaced to the request — durability
+// degrades, serving does not.
+func (s *Server) persistPlan(key string, payload []byte) {
+	if s.store == nil || payload == nil {
+		return
+	}
+	if err := s.store.Append(persist.Record{Key: key, Value: payload}); err != nil {
+		s.metrics.walErrors.Add(1)
+		s.cfg.Logger.Error("wal append failed", "key", key, "err", err)
+		return
+	}
+	s.metrics.walAppends.Add(1)
+	s.maybeCompact()
+}
+
+// maybeCompact starts one background compaction when the WAL exceeds
+// WALMaxBytes: the live cache contents become the new snapshot and the WAL
+// restarts empty. At most one compaction runs at a time.
+func (s *Server) maybeCompact() {
+	if s.store.WALBytes() < s.cfg.WALMaxBytes {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	s.compactWG.Add(1)
+	go func() {
+		defer s.compactWG.Done()
+		defer s.compacting.Store(false)
+		if err := s.store.Compact(s.cache.records()); err != nil {
+			s.metrics.walErrors.Add(1)
+			s.cfg.Logger.Error("compaction failed", "err", err)
+			return
+		}
+		s.metrics.compactions.Add(1)
+	}()
+}
+
+// Close waits for background store maintenance and closes the durable
+// store (a no-op without one). In-flight HTTP requests are the listener's
+// concern; call this after the listener has drained.
+func (s *Server) Close() error {
+	s.compactWG.Wait()
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Close()
+}

@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	loopmap "repro"
+	"repro/internal/machine"
+	"repro/internal/persist"
+)
+
+// newPersistentServer builds a Server on dir and warm-starts it.
+func newPersistentServer(t *testing.T, dir string, mutate func(*Config)) (*Server, *httptest.Server, RecoveryStats) {
+	t.Helper()
+	cfg := Config{StateDir: dir, Fsync: "always"}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s := New(cfg)
+	rs, err := s.Recover(context.Background())
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts, rs
+}
+
+// planArtifactsEqual DeepEquals every derived artifact of two plans. The
+// Kernel itself is compared structurally (name, nest, deps, Π) because its
+// executable semantics are function values, which DeepEqual cannot
+// meaningfully compare.
+func planArtifactsEqual(t *testing.T, got, want *loopmap.Plan) {
+	t.Helper()
+	if got.Kernel.Name != want.Kernel.Name {
+		t.Fatalf("kernel name %q != %q", got.Kernel.Name, want.Kernel.Name)
+	}
+	if !reflect.DeepEqual(got.Kernel.Nest, want.Kernel.Nest) {
+		t.Fatal("kernel nests differ")
+	}
+	if !reflect.DeepEqual(got.Kernel.Deps, want.Kernel.Deps) {
+		t.Fatal("kernel dependence matrices differ")
+	}
+	for name, pair := range map[string][2]any{
+		"Structure":    {got.Structure, want.Structure},
+		"Schedule":     {got.Schedule, want.Schedule},
+		"Projected":    {got.Projected, want.Projected},
+		"Partitioning": {got.Partitioning, want.Partitioning},
+		"TIG":          {got.TIG, want.TIG},
+		"Mapping":      {got.Mapping, want.Mapping},
+	} {
+		if !reflect.DeepEqual(pair[0], pair[1]) {
+			t.Fatalf("recovered plan's %s differs from fresh computation", name)
+		}
+	}
+}
+
+// TestWarmRestartServesIdenticalPlans is the round-trip proof: plans
+// computed before a restart come back as warm cache hits whose Plan and
+// simulation Stats are DeepEqual to a fresh computation.
+func TestWarmRestartServesIdenticalPlans(t *testing.T) {
+	dir := t.TempDir()
+	requests := []string{
+		`{"kernel": "l1", "size": 8, "cube_dim": 3}`,
+		`{"kernel": "matvec", "size": 12, "cube_dim": 2}`,
+		`{"kernel": "matmul", "size": 4, "cube_dim": 3, "search_pi": true}`,
+	}
+
+	s1, ts1, rs := newPersistentServer(t, dir, nil)
+	if rs.Recovered != 0 {
+		t.Fatalf("fresh state dir recovered %d plans", rs.Recovered)
+	}
+	var firstBodies []PlanResponse
+	for _, body := range requests {
+		pr := planBody(t, ts1.URL+"/v1/plan", body)
+		if pr.Cache != CacheMiss {
+			t.Fatalf("first run of %s: cache %q, want miss", body, pr.Cache)
+		}
+		firstBodies = append(firstBodies, pr)
+	}
+	if got := s1.Metrics().WALAppends; got != int64(len(requests)) {
+		t.Fatalf("WAL appends = %d, want %d", got, len(requests))
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2, rs := newPersistentServer(t, dir, nil)
+	if rs.Recovered != len(requests) || rs.Skipped != 0 {
+		t.Fatalf("warm restart recovered %d / skipped %d, want %d / 0", rs.Recovered, rs.Skipped, len(requests))
+	}
+	for i, body := range requests {
+		pr := planBody(t, ts2.URL+"/v1/plan", body)
+		if pr.Cache != CacheHit {
+			t.Fatalf("post-restart %s: cache %q, want hit", body, pr.Cache)
+		}
+		// The response must match the pre-crash one except for the cache
+		// outcome itself.
+		pre := firstBodies[i]
+		pre.Cache = CacheHit
+		if !reflect.DeepEqual(pr, pre) {
+			t.Fatalf("post-restart response differs:\n got %+v\nwant %+v", pr, pre)
+		}
+	}
+	if got := s2.Metrics().RecoveredPlans; got != int64(len(requests)) {
+		t.Fatalf("loopmapd_recovered_plans_total = %d, want %d", got, len(requests))
+	}
+
+	// Plan + Stats identity against fresh computation, per acceptance
+	// criterion: DeepEqual, not just summary equality.
+	req := &PlanRequest{Kernel: "matvec", Size: 12}
+	recovered, ok := s2.cache.get(req.cacheKey())
+	if !ok {
+		t.Fatal("recovered matvec plan missing from cache")
+	}
+	k := loopmap.NewKernel("matvec", 12)
+	fresh, err := loopmap.NewPlan(k, req.planOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	planArtifactsEqual(t, recovered, fresh)
+
+	recMapped, err := recovered.Remap(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshMapped, err := fresh.Remap(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planArtifactsEqual(t, recMapped, freshMapped)
+	for _, engine := range []loopmap.SimEngine{loopmap.EngineBlock, loopmap.EnginePoint} {
+		recStats, err := recMapped.Simulate(machine.Era1991(), loopmap.SimOptions{Engine: engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		freshStats, err := freshMapped.Simulate(machine.Era1991(), loopmap.SimOptions{Engine: engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(recStats, freshStats) {
+			t.Fatalf("engine %v: recovered stats %+v != fresh %+v", engine, recStats, freshStats)
+		}
+	}
+}
+
+// TestRecoverySkipsCorruptTail bit-flips the WAL tail and checks startup
+// still succeeds with every earlier record intact.
+func TestRecoverySkipsCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1, _ := newPersistentServer(t, dir, nil)
+	for _, body := range []string{
+		`{"kernel": "l1", "size": 6, "cube_dim": 3}`,
+		`{"kernel": "l1", "size": 7, "cube_dim": 3}`,
+		`{"kernel": "l1", "size": 8, "cube_dim": 3}`,
+	} {
+		planBody(t, ts1.URL+"/v1/plan", body)
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	walPath := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x04 // flip one bit inside the final record
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2, rs := newPersistentServer(t, dir, nil)
+	if rs.TailErr == nil || rs.DroppedTailBytes == 0 {
+		t.Fatalf("corrupt tail unreported: %+v", rs)
+	}
+	if rs.Recovered != 2 {
+		t.Fatalf("recovered %d plans, want the 2 before the flipped record", rs.Recovered)
+	}
+	// The two intact records serve warm; the lost one recomputes.
+	if pr := planBody(t, ts2.URL+"/v1/plan", `{"kernel": "l1", "size": 7, "cube_dim": 3}`); pr.Cache != CacheHit {
+		t.Fatalf("intact record not warm: %q", pr.Cache)
+	}
+	if pr := planBody(t, ts2.URL+"/v1/plan", `{"kernel": "l1", "size": 8, "cube_dim": 3}`); pr.Cache != CacheMiss {
+		t.Fatalf("lost record not recomputed: %q", pr.Cache)
+	}
+	_ = s2
+}
+
+// TestRecoverySkipsForeignRecords: a record with a valid checksum but an
+// undecodable or inconsistent payload is skipped, not fatal.
+func TestRecoverySkipsForeignRecords(t *testing.T) {
+	dir := t.TempDir()
+	store, _, _, err := persist.Open(dir, persist.Options{Fsync: persist.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := &PlanRequest{Kernel: "l1", Size: 8}
+	if err := store.Append(persist.Record{Key: good.cacheKey(), Value: good.persistPayload()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Append(persist.Record{Key: "junk-key", Value: []byte("not json")}); err != nil {
+		t.Fatal(err)
+	}
+	mismatched := &PlanRequest{Kernel: "matvec", Size: 8}
+	if err := store.Append(persist.Record{Key: "wrong-key", Value: mismatched.persistPayload()}); err != nil {
+		t.Fatal(err)
+	}
+	oversized := &PlanRequest{Kernel: "l1", Size: 4096}
+	if err := store.Append(persist.Record{Key: oversized.cacheKey(), Value: oversized.persistPayload()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, _, rs := newPersistentServer(t, dir, nil)
+	if rs.Recovered != 1 || rs.Skipped != 3 {
+		t.Fatalf("recovered %d / skipped %d, want 1 / 3", rs.Recovered, rs.Skipped)
+	}
+	if got := s.Metrics().RecoverySkipped; got != 3 {
+		t.Fatalf("loopmapd_recovery_skipped_total = %d, want 3", got)
+	}
+}
+
+// TestCompactionKeepsStoreRecoverable drives the WAL past its budget and
+// verifies the snapshot+truncated-WAL pair still warm-starts everything.
+func TestCompactionKeepsStoreRecoverable(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1, _ := newPersistentServer(t, dir, func(c *Config) {
+		c.WALMaxBytes = 256 // a few records
+	})
+	const n = 8
+	for i := 0; i < n; i++ {
+		planBody(t, ts1.URL+"/v1/plan", fmt.Sprintf(`{"kernel": "l1", "size": %d, "cube_dim": 3}`, i+4))
+	}
+	s1.compactWG.Wait()
+	if got := s1.Metrics().Compactions; got == 0 {
+		t.Fatal("no compaction despite a 256-byte WAL budget")
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2, rs := newPersistentServer(t, dir, nil)
+	if rs.Recovered != n {
+		t.Fatalf("recovered %d plans after compaction, want %d", rs.Recovered, n)
+	}
+	if rs.SnapshotRecords == 0 {
+		t.Fatal("compaction never produced a snapshot")
+	}
+	for i := 0; i < n; i++ {
+		pr := planBody(t, ts2.URL+"/v1/plan", fmt.Sprintf(`{"kernel": "l1", "size": %d, "cube_dim": 3}`, i+4))
+		if pr.Cache != CacheHit {
+			t.Fatalf("size %d not warm after compacted restart: %q", i+4, pr.Cache)
+		}
+	}
+}
+
+// TestRecoverWithoutStateDirIsNoop keeps the ephemeral configuration
+// behaviour unchanged.
+func TestRecoverWithoutStateDirIsNoop(t *testing.T) {
+	s := New(Config{})
+	rs, err := s.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Enabled {
+		t.Fatal("Recover claimed persistence without a StateDir")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverRejectsBadFsyncPolicy surfaces configuration typos early.
+func TestRecoverRejectsBadFsyncPolicy(t *testing.T) {
+	s := New(Config{StateDir: t.TempDir(), Fsync: "sometimes"})
+	if _, err := s.Recover(context.Background()); err == nil {
+		t.Fatal("Recover accepted fsync policy \"sometimes\"")
+	}
+}

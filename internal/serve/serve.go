@@ -26,11 +26,14 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	loopmap "repro"
 	"repro/internal/machine"
 	"repro/internal/mapping"
+	"repro/internal/persist"
 	"repro/internal/pool"
 	"repro/internal/trace"
 )
@@ -56,10 +59,22 @@ type Config struct {
 	// 128); MaxCubeDim caps the hypercube dimension (default 10);
 	// MaxBodyBytes caps a request body (default 1 MiB); MaxSourceBytes
 	// caps inline DSL source (default 64 KiB).
-	MaxKernelSize int64
-	MaxCubeDim    int
-	MaxBodyBytes  int64
+	MaxKernelSize  int64
+	MaxCubeDim     int
+	MaxBodyBytes   int64
 	MaxSourceBytes int
+	// StateDir enables the durable plan store: Recover warm-starts the
+	// cache from it and every computed plan's canonical request is
+	// appended to its WAL. Empty disables persistence.
+	StateDir string
+	// Fsync is the WAL durability policy: "always", "interval" (default),
+	// or "never"; FsyncEvery is the interval-policy flush period (default
+	// 100ms).
+	Fsync      string
+	FsyncEvery time.Duration
+	// WALMaxBytes triggers background compaction once the WAL outgrows it
+	// (default 4 MiB).
+	WALMaxBytes int64
 	// Logger receives structured request logs; nil discards them.
 	Logger *slog.Logger
 }
@@ -92,6 +107,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSourceBytes <= 0 {
 		c.MaxSourceBytes = 64 << 10
 	}
+	if c.WALMaxBytes <= 0 {
+		c.WALMaxBytes = 4 << 20
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -113,6 +131,13 @@ type Server struct {
 	metrics *metrics
 	drain   chan struct{} // closed when draining
 	mux     *http.ServeMux
+
+	// store is the durable plan store, attached by Recover (nil when
+	// persistence is disabled). It must be attached before the handler
+	// serves traffic.
+	store      *persist.Store
+	compacting atomic.Bool
+	compactWG  sync.WaitGroup
 }
 
 // New builds a Server with the given configuration.
@@ -165,6 +190,9 @@ func (s *Server) Metrics() Snapshot {
 	s.metrics.cacheBytes.Store(b)
 	s.metrics.cacheEntries.Store(int64(n))
 	s.metrics.inflightPlans.Store(int64(s.gate.InFlight()))
+	if s.store != nil {
+		s.metrics.walBytes.Store(s.store.WALBytes())
+	}
 	return s.metrics.snapshot()
 }
 
@@ -272,7 +300,8 @@ func errStatus(err error) int {
 		errors.Is(err, loopmap.ErrCubeTooSmall),
 		errors.Is(err, loopmap.ErrBadSimOptions),
 		errors.Is(err, loopmap.ErrBadFaultSchedule),
-		errors.Is(err, loopmap.ErrDegraded):
+		errors.Is(err, loopmap.ErrDegraded),
+		errors.Is(err, loopmap.ErrTooLarge):
 		return http.StatusBadRequest
 	default:
 		return http.StatusInternalServerError
@@ -451,9 +480,14 @@ func (s *Server) basePlan(ctx context.Context, req *PlanRequest) (*loopmap.Plan,
 		if err != nil {
 			return nil, err
 		}
-		if ev := s.cache.put(key, p); ev > 0 {
+		var payload []byte
+		if s.store != nil {
+			payload = req.persistPayload()
+		}
+		if ev := s.cache.put(key, p, payload); ev > 0 {
 			s.metrics.cacheEvictions.Add(int64(ev))
 		}
+		s.persistPlan(key, payload)
 		return p, nil
 	})
 	if err != nil {
@@ -498,12 +532,12 @@ type PlanResponse struct {
 	TIGTraffic   int64 `json:"tig_traffic"`
 	MaxOutDegree int   `json:"max_out_degree"`
 
-	CubeDim     int    `json:"cube_dim"`
-	Procs       int    `json:"procs"`
-	HopWeight   int64  `json:"hop_weight,omitempty"`
-	MaxDilation int    `json:"max_dilation,omitempty"`
-	MinLoad     int64  `json:"min_load,omitempty"`
-	MaxLoad     int64  `json:"max_load,omitempty"`
+	CubeDim     int   `json:"cube_dim"`
+	Procs       int   `json:"procs"`
+	HopWeight   int64 `json:"hop_weight,omitempty"`
+	MaxDilation int   `json:"max_dilation,omitempty"`
+	MinLoad     int64 `json:"min_load,omitempty"`
+	MaxLoad     int64 `json:"max_load,omitempty"`
 
 	Cache   CacheOutcome `json:"cache"`
 	Summary string       `json:"summary"`

@@ -397,3 +397,18 @@ func TestDefaultTimeoutClamped(t *testing.T) {
 		t.Fatalf("clamped request took %v", elapsed)
 	}
 }
+
+// TestSPMDOverflowBoundsRejected: adversarial DSL bounds whose iteration-
+// space sizing overflows int64 are a 400 (typed ErrTooLarge), not a silent
+// wraparound or a 500.
+func TestSPMDOverflowBoundsRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"source": "for i = 0 to 4294967296\nfor j = 0 to 4294967296\n{\n A[i+1, j] = A[i, j]\n}"}`
+	resp, out := postJSON(t, ts.URL+"/v1/spmd", body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("overflowing bounds: status %d (%s), want 400", resp.StatusCode, out)
+	}
+	if !strings.Contains(string(out), "too large") {
+		t.Fatalf("error body %s does not name the overflow", out)
+	}
+}

@@ -93,7 +93,7 @@ func faultSchedules(baseline float64) map[string]*fault.Schedule {
 			{Node: 1, T: baseline / 3}, {Node: 2, T: baseline / 2}},
 			Checkpoint: fault.Checkpoint{RestartCost: 50}},
 		"checkpoint": {Checkpoint: fault.Checkpoint{EverySteps: 2, Cost: 5}},
-		"link": {LinkFailures: []fault.LinkFailure{{A: 0, B: 1, T: 0}}},
+		"link":       {LinkFailures: []fault.LinkFailure{{A: 0, B: 1, T: 0}}},
 		"everything": {Seed: 3, LossProb: 0.2,
 			Crashes:      []fault.NodeCrash{{Node: 3, T: baseline / 2}},
 			LinkFailures: []fault.LinkFailure{{A: 0, B: 2, T: baseline / 4}},

@@ -143,6 +143,10 @@ var (
 	// ErrDegraded classifies impossible degraded remaps (all nodes failed,
 	// surviving cube partitioned, addresses out of range).
 	ErrDegraded = mapping.ErrDegraded
+	// ErrTooLarge classifies iteration spaces whose sizing arithmetic
+	// overflows int64 — adversarial bounds are a caller error, detected
+	// before enumeration rather than wrapped silently into bogus indexing.
+	ErrTooLarge = loop.ErrTooLarge
 )
 
 // LookupKernel instantiates a built-in kernel by name. Unknown names
