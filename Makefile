@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short bench bench-json fuzz experiments cover clean serve serve-smoke chaos crash
+.PHONY: all build vet test race short bench bench-json fuzz experiments cover clean serve serve-smoke chaos crash cluster
 
 all: build vet test
 
@@ -30,11 +30,12 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchjson -benchtime 1x -o BENCH_1.json
 
-# Ten seconds each of parser and full-pipeline fuzzing beyond the
-# checked-in seeds.
+# Ten seconds each of parser, full-pipeline, and WAL-replay fuzzing
+# beyond the checked-in seeds.
 fuzz:
 	$(GO) test -fuzz FuzzParseProgram -fuzztime 10s ./internal/parser/
 	$(GO) test -fuzz FuzzNewPlan -fuzztime 10s -run '^$$' .
+	$(GO) test -fuzz FuzzWALReplay -fuzztime 10s ./internal/persist/
 
 # Run the plan-serving daemon on :8080.
 serve:
@@ -59,6 +60,13 @@ chaos:
 # assert every pre-kill response is served warm and byte-identical.
 crash:
 	$(GO) run ./cmd/crashtest -requests 64 -seed 1
+
+# Cluster kill/rehome chaos harness: boot 4 sharded daemons, drive mixed
+# load through the cluster-aware client, SIGKILL the busiest shard, and
+# assert the dead shard's keyspace rehomes warm onto the survivors with
+# every acknowledged response re-served byte-identically.
+cluster:
+	$(GO) run ./cmd/clustertest -requests 48 -seed 1
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

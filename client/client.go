@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 )
 
@@ -48,6 +49,9 @@ type (
 	SPMDResponse     = serve.SPMDResponse
 	KernelInfo       = serve.KernelInfo
 	CacheOutcome     = serve.CacheOutcome
+	ClusterInfo      = serve.ClusterInfo
+	ClusterStatus    = serve.ClusterStatus
+	PeerStatus       = cluster.PeerStatus
 )
 
 // Cache outcomes, re-exported for switch statements on PlanResponse.Cache.
@@ -142,6 +146,15 @@ type ClientStats struct {
 	BreakerOpens   int64        // times the breaker tripped open
 	BreakerRejects int64        // calls failed fast with ErrBreakerOpen
 	BreakerState   BreakerState // current state
+
+	// Multi-endpoint counters, populated only by a Multi's aggregate
+	// Stats (zero on single-endpoint clients).
+	OwnerRouted  int64 // calls sent straight to the key's owner shard
+	Failovers    int64 // attempts moved to another endpoint after a failure
+	MapRefreshes int64 // shard-map fetches from /v1/cluster
+	// PerEndpoint breaks the counters down by endpoint base URL on a
+	// Multi (nil otherwise).
+	PerEndpoint map[string]ClientStats
 }
 
 // Client is a resilient loopmapd client. It is safe for concurrent use.
@@ -166,6 +179,9 @@ func New(cfg Config) *Client {
 		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 	}
 }
+
+// BaseURL is the normalized daemon root this client talks to.
+func (c *Client) BaseURL() string { return c.base }
 
 // Stats returns a snapshot of the client's counters and breaker state.
 func (c *Client) Stats() ClientStats {
@@ -223,6 +239,17 @@ func (c *Client) Kernels(ctx context.Context) ([]KernelInfo, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// ClusterStatus fetches the daemon's shard-membership table. Outside
+// cluster mode the daemon has no /v1/cluster route and this returns a
+// 404 *APIError.
+func (c *Client) ClusterStatus(ctx context.Context) (*ClusterStatus, error) {
+	var out ClusterStatus
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/cluster", nil, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Ready probes /readyz once — no retries, no breaker — and returns nil

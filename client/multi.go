@@ -1,0 +1,318 @@
+// Multi is the cluster-aware client: one *Client per endpoint (each with
+// its own circuit breaker), owner-affinity routing once a response has
+// revealed the shard map, and failover to the remaining endpoints when
+// the preferred one is down or its breaker is open.
+//
+// Routing mirrors the server exactly: the canonical plan-cache key
+// (serve.CanonicalPlanKey) is rendezvous-hashed over the alive shard set
+// from the last /v1/cluster snapshot. When the map is right, every call
+// lands on the shard that already holds the plan — zero forwarding hops.
+// When it is stale, the server's own forwarding corrects the route and
+// the client refreshes its map after any failover, so affinity degrades
+// to extra hops, never to an error.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+// MultiConfig tunes a Multi. Config (minus BaseURL, which Endpoints
+// replaces) is applied to every per-endpoint Client, so one HTTPClient —
+// and its connection pool — is shared across all endpoints.
+type MultiConfig struct {
+	// Endpoints lists the daemons' base URLs. Order does not need to
+	// match shard IDs: the shard map is learned from /v1/cluster.
+	Endpoints []string
+	// Config carries the per-endpoint tuning (retries, backoff, breaker,
+	// hedging, HTTPClient). Its BaseURL is ignored.
+	Config Config
+}
+
+// shardMap is one immutable snapshot of the cluster's ownership view.
+type shardMap struct {
+	alive      []int       // alive shard IDs, sorted
+	endpointOf map[int]int // shard ID → index into Multi.clients
+}
+
+// Multi is a cluster-aware loopmapd client. It is safe for concurrent
+// use.
+type Multi struct {
+	clients []*Client
+	view    atomic.Pointer[shardMap]
+	// noCluster latches when /v1/cluster 404s: a single-daemon
+	// deployment, so stop asking.
+	noCluster atomic.Bool
+	cursor    atomic.Uint64 // round-robin start for non-affine calls
+	refreshMu sync.Mutex
+
+	ownerRouted  atomic.Int64
+	failovers    atomic.Int64
+	mapRefreshes atomic.Int64
+}
+
+// NewMulti builds a Multi over the given endpoints.
+func NewMulti(cfg MultiConfig) (*Multi, error) {
+	if len(cfg.Endpoints) == 0 {
+		return nil, errors.New("client: NewMulti requires at least one endpoint")
+	}
+	m := &Multi{clients: make([]*Client, len(cfg.Endpoints))}
+	seen := make(map[string]bool, len(cfg.Endpoints))
+	for i, url := range cfg.Endpoints {
+		c := cfg.Config
+		c.BaseURL = url
+		m.clients[i] = New(c)
+		norm := m.clients[i].BaseURL()
+		if norm == "" || seen[norm] {
+			return nil, fmt.Errorf("client: endpoint %d (%q) is empty or duplicate", i, url)
+		}
+		seen[norm] = true
+	}
+	return m, nil
+}
+
+// Endpoints returns the normalized endpoint base URLs, in config order.
+func (m *Multi) Endpoints() []string {
+	out := make([]string, len(m.clients))
+	for i, c := range m.clients {
+		out[i] = c.BaseURL()
+	}
+	return out
+}
+
+// order returns endpoint indexes in preference order for a call keyed by
+// key, and whether the first entry is the key's owner shard. With no key
+// or no learned map, it is plain round-robin.
+func (m *Multi) order(key string) (idxs []int, affine bool) {
+	n := len(m.clients)
+	seen := make([]bool, n)
+	idxs = make([]int, 0, n)
+	if key != "" {
+		if v := m.view.Load(); v != nil && len(v.alive) > 0 {
+			owner := cluster.Owner(key, v.alive)
+			if i, ok := v.endpointOf[owner]; ok {
+				idxs = append(idxs, i)
+				seen[i] = true
+				affine = true
+			}
+		}
+	}
+	start := int(m.cursor.Add(1)-1) % n
+	for off := 0; off < n; off++ {
+		i := (start + off) % n
+		if !seen[i] {
+			idxs = append(idxs, i)
+			seen[i] = true
+		}
+	}
+	return idxs, affine
+}
+
+// call runs fn against endpoints in preference order until one succeeds.
+// A 4xx other than 429 is terminal — the server is healthy and the
+// request is wrong, so trying its siblings would just repeat the
+// rejection. Everything else (transport errors, open breakers, 5xx,
+// 429/503 exhaustion) fails over. After any failover — or before the
+// shard map is first learned — the map is refreshed from the endpoint
+// that answered.
+func (m *Multi) call(ctx context.Context, key string, fn func(*Client) error) error {
+	idxs, affine := m.order(key)
+	var lastErr error
+	for rank, i := range idxs {
+		if rank > 0 {
+			m.failovers.Add(1)
+		}
+		err := fn(m.clients[i])
+		if err == nil {
+			if affine && rank == 0 {
+				m.ownerRouted.Add(1)
+			}
+			if rank > 0 || (m.view.Load() == nil && !m.noCluster.Load()) {
+				m.refresh(ctx, m.clients[i])
+			}
+			return nil
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Status >= 400 && apiErr.Status < 500 &&
+			apiErr.Status != http.StatusTooManyRequests {
+			return err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return lastErr
+}
+
+// refresh re-learns the shard map from one endpoint's /v1/cluster. A 404
+// latches single-daemon mode; any other failure keeps the current view.
+func (m *Multi) refresh(ctx context.Context, c *Client) {
+	st, err := c.ClusterStatus(ctx)
+	if err != nil {
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
+			m.noCluster.Store(true)
+		}
+		return
+	}
+	m.adopt(st)
+}
+
+// adopt installs a membership snapshot as the routing view.
+func (m *Multi) adopt(st *ClusterStatus) {
+	m.refreshMu.Lock()
+	defer m.refreshMu.Unlock()
+	v := &shardMap{endpointOf: make(map[int]int, len(st.Shards))}
+	for _, sh := range st.Shards {
+		if i, ok := m.endpointIndex(sh.URL); ok {
+			v.endpointOf[sh.ID] = i
+		}
+		if sh.Alive {
+			v.alive = append(v.alive, sh.ID)
+		}
+	}
+	m.view.Store(v)
+	m.mapRefreshes.Add(1)
+}
+
+// endpointIndex matches a shard's advertised URL to a configured
+// endpoint by normalized base URL.
+func (m *Multi) endpointIndex(url string) (int, bool) {
+	url = strings.TrimRight(url, "/")
+	for i, c := range m.clients {
+		if c.BaseURL() == url {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Plan requests a plan, routed to the key's owner shard when the map is
+// known.
+func (m *Multi) Plan(ctx context.Context, req *PlanRequest) (*PlanResponse, error) {
+	var out *PlanResponse
+	err := m.call(ctx, serve.CanonicalPlanKey(req), func(c *Client) error {
+		r, err := c.Plan(ctx, req)
+		if err == nil {
+			out = r
+		}
+		return err
+	})
+	return out, err
+}
+
+// Simulate plans and simulates a kernel, routed by the embedded plan
+// request's key (the simulation reuses the owner's cached plan).
+func (m *Multi) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateResponse, error) {
+	var out *SimulateResponse
+	err := m.call(ctx, serve.CanonicalPlanKey(&req.PlanRequest), func(c *Client) error {
+		r, err := c.Simulate(ctx, req)
+		if err == nil {
+			out = r
+		}
+		return err
+	})
+	return out, err
+}
+
+// SPMD compiles loop-DSL source on any available shard (uncached, so no
+// affinity).
+func (m *Multi) SPMD(ctx context.Context, req *SPMDRequest) (*SPMDResponse, error) {
+	var out *SPMDResponse
+	err := m.call(ctx, "", func(c *Client) error {
+		r, err := c.SPMD(ctx, req)
+		if err == nil {
+			out = r
+		}
+		return err
+	})
+	return out, err
+}
+
+// Kernels lists built-in kernels from any available shard.
+func (m *Multi) Kernels(ctx context.Context) ([]KernelInfo, error) {
+	var out []KernelInfo
+	err := m.call(ctx, "", func(c *Client) error {
+		r, err := c.Kernels(ctx)
+		if err == nil {
+			out = r
+		}
+		return err
+	})
+	return out, err
+}
+
+// ClusterStatus returns the membership table from the first endpoint
+// that answers, refreshing the routing map as a side effect.
+func (m *Multi) ClusterStatus(ctx context.Context) (*ClusterStatus, error) {
+	var out *ClusterStatus
+	err := m.call(ctx, "", func(c *Client) error {
+		r, err := c.ClusterStatus(ctx)
+		if err == nil {
+			out = r
+		}
+		return err
+	})
+	if out != nil {
+		m.adopt(out)
+	}
+	return out, err
+}
+
+// Ready returns nil iff at least one endpoint is accepting traffic.
+func (m *Multi) Ready(ctx context.Context) error {
+	var lastErr error
+	for _, c := range m.clients {
+		if err := c.Ready(ctx); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+	}
+	return lastErr
+}
+
+// ReadyAll returns nil iff every endpoint is accepting traffic.
+func (m *Multi) ReadyAll(ctx context.Context) error {
+	for _, c := range m.clients {
+		if err := c.Ready(ctx); err != nil {
+			return fmt.Errorf("client: endpoint %s not ready: %w", c.BaseURL(), err)
+		}
+	}
+	return nil
+}
+
+// Stats aggregates every endpoint's counters and attaches the
+// per-endpoint breakdown plus the Multi's own routing counters.
+func (m *Multi) Stats() ClientStats {
+	agg := ClientStats{
+		OwnerRouted:  m.ownerRouted.Load(),
+		Failovers:    m.failovers.Load(),
+		MapRefreshes: m.mapRefreshes.Load(),
+		PerEndpoint:  make(map[string]ClientStats, len(m.clients)),
+	}
+	for _, c := range m.clients {
+		s := c.Stats()
+		agg.Requests += s.Requests
+		agg.Attempts += s.Attempts
+		agg.Retries += s.Retries
+		agg.Successes += s.Successes
+		agg.Failures += s.Failures
+		agg.Hedges += s.Hedges
+		agg.HedgeWins += s.HedgeWins
+		agg.RetryAfterHonored += s.RetryAfterHonored
+		agg.BreakerOpens += s.BreakerOpens
+		agg.BreakerRejects += s.BreakerRejects
+		agg.PerEndpoint[c.BaseURL()] = s
+	}
+	return agg
+}

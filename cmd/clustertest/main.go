@@ -1,0 +1,651 @@
+// Command clustertest is the kill/rehome chaos harness for loopmapd's
+// cluster mode.
+//
+// It builds the daemon, boots an N-shard cluster (static peer list,
+// fast health probes, one durable state dir per shard), drives a seeded
+// mixed /v1/plan + /v1/simulate load through the cluster-aware Multi
+// client, and asserts the sharding contract while everything is
+// healthy:
+//
+//   - ≥95% of responses come from the key's rendezvous owner shard;
+//   - every forwarded request took at most ⌈log₂N⌉ hops;
+//   - the shard each response names as owner matches the client's own
+//     rendezvous hash over the full shard set.
+//
+// Then it SIGKILLs the shard that owns the most recorded keys, waits
+// for the survivors' probes to mark it dead, and asserts the failure
+// contract:
+//
+//   - every request acknowledged before the kill is re-servable from
+//     the survivors, byte-identical modulo the cache and cluster
+//     metadata fields;
+//   - a follow-up sweep is ≥95% warm: the dead shard's keyspace has
+//     rehomed onto the survivors' caches;
+//   - a fresh standalone daemon computes the same bytes for every
+//     recorded key (the cluster never changed a payload);
+//   - the survivors still shut down cleanly on SIGTERM.
+//
+// The workload derives from -seed, so a run is reproducible. CI runs a
+// short deterministic version (`make cluster`).
+//
+//	clustertest -requests 48 -seed 1
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/client"
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+func main() {
+	bin := flag.String("bin", "", "loopmapd binary (default: go build it to a temp dir)")
+	shards := flag.Int("shards", 4, "cluster size")
+	requests := flag.Int("requests", 48, "total requests in the mixed load")
+	workers := flag.Int("workers", 4, "concurrent client goroutines")
+	seed := flag.Int64("seed", 1, "workload generator seed (runs are reproducible per seed)")
+	flag.Parse()
+
+	if err := run(*bin, *shards, *requests, *workers, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "clustertest: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("clustertest: PASS")
+}
+
+func run(bin string, shards, requests, workers int, seed int64) error {
+	if shards < 2 {
+		return fmt.Errorf("need at least 2 shards, got %d", shards)
+	}
+	if requests < 8 {
+		return fmt.Errorf("need at least 8 requests, got %d", requests)
+	}
+	if bin == "" {
+		built, cleanup, err := buildDaemon()
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		bin = built
+	}
+	root, err := os.MkdirTemp("", "clustertest-state-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	// Pre-pick one port per shard so every daemon can be told the full
+	// peer list before any of them starts.
+	ports, err := pickPorts(shards)
+	if err != nil {
+		return err
+	}
+	urls := make([]string, shards)
+	for i, p := range ports {
+		urls[i] = fmt.Sprintf("http://127.0.0.1:%d", p)
+	}
+	fmt.Printf("clustertest: %d shards, %d requests, seed %d\n", shards, requests, seed)
+
+	// --- Phase 1: boot the cluster. ---
+	daemons := make([]*daemon, shards)
+	for i := range daemons {
+		d, err := startShard(bin, i, ports[i], urls, filepath.Join(root, fmt.Sprintf("shard%d", i)))
+		if err != nil {
+			return fmt.Errorf("starting shard %d: %w", i, err)
+		}
+		daemons[i] = d
+		defer d.kill()
+	}
+	m, err := client.NewMulti(client.MultiConfig{
+		Endpoints: urls,
+		Config: client.Config{
+			MaxRetries:       1,
+			BaseBackoff:      20 * time.Millisecond,
+			MaxBackoff:       200 * time.Millisecond,
+			BreakerThreshold: 2,
+			BreakerCooldown:  500 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := waitReadyAll(m); err != nil {
+		return err
+	}
+	// One warmup call teaches the client the shard map so the measured
+	// load runs owner-affine.
+	warmCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	_, err = m.Plan(warmCtx, &client.PlanRequest{Kernel: "l1", Size: 4})
+	cancel()
+	if err != nil {
+		return fmt.Errorf("warmup plan: %w", err)
+	}
+
+	// --- Phase 2: seeded load; assert affinity and the hop budget. ---
+	allIDs := make([]int, shards)
+	for i := range allIDs {
+		allIDs[i] = i
+	}
+	dim := hopBudget(shards)
+	load := generateWorkload(requests, seed)
+	rec := &recorder{byKey: make(map[string]recorded)}
+	var mu sync.Mutex
+	var total, byOwner, ownerAgree int
+	maxHops := 0
+
+	var wg sync.WaitGroup
+	items := make(chan workItem)
+	errc := make(chan error, 1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range items {
+				n, err := reissue(m, it)
+				if err != nil {
+					select {
+					case errc <- fmt.Errorf("healthy-phase request %s: %w", it.key(), err):
+					default:
+					}
+					continue
+				}
+				rec.put(it.key(), recorded{item: it, response: n.resp})
+				if n.cl != nil {
+					mu.Lock()
+					total++
+					if n.cl.Shard == n.cl.Owner {
+						byOwner++
+					}
+					if cluster.Owner(serve.CanonicalPlanKey(&it.plan), allIDs) == n.cl.Owner {
+						ownerAgree++
+					}
+					if n.cl.Hops > maxHops {
+						maxHops = n.cl.Hops
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, it := range load {
+		items <- it
+	}
+	close(items)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+	}
+	fmt.Printf("clustertest: healthy: %d/%d served by owner, %d/%d owners agree with client hash, max hops %d (budget %d)\n",
+		byOwner, total, ownerAgree, total, maxHops, dim)
+	if total == 0 {
+		return fmt.Errorf("no responses carried cluster metadata")
+	}
+	if 100*byOwner < 95*total {
+		return fmt.Errorf("only %d/%d responses served by the rendezvous owner (< 95%%)", byOwner, total)
+	}
+	if 100*ownerAgree < 95*total {
+		return fmt.Errorf("server and client disagree on ownership for %d/%d keys", total-ownerAgree, total)
+	}
+	if maxHops > dim {
+		return fmt.Errorf("a request took %d hops, budget is %d", maxHops, dim)
+	}
+
+	// --- Phase 3: SIGKILL the shard owning the most keys. ---
+	pre := rec.snapshot()
+	victim := busiestOwner(pre, allIDs)
+	fmt.Printf("clustertest: SIGKILL shard %d (owns %d of %d recorded keys)\n",
+		victim, ownedBy(pre, victim, allIDs), len(pre))
+	daemons[victim].kill()
+
+	survivor := (victim + 1) % shards
+	if err := waitDead(urls[survivor], victim); err != nil {
+		return err
+	}
+	fmt.Printf("clustertest: shard %d marked dead by shard %d's probes\n", victim, survivor)
+
+	// --- Phase 4: every acknowledged response is re-servable, unchanged. ---
+	survivors := make([]int, 0, shards-1)
+	for _, id := range allIDs {
+		if id != victim {
+			survivors = append(survivors, id)
+		}
+	}
+	var mismatches int
+	for key, want := range pre {
+		n, err := reissue(m, want.item)
+		if err != nil {
+			return fmt.Errorf("replaying %s after the kill: %w", key, err)
+		}
+		if n.cl != nil && n.cl.Shard == victim {
+			return fmt.Errorf("replay of %s claims it was served by the dead shard", key)
+		}
+		if !reflect.DeepEqual(n.resp, want.response) {
+			mismatches++
+			fmt.Fprintf(os.Stderr, "clustertest: MISMATCH after kill: %s\n  pre:  %+v\n  post: %+v\n", key, want.response, n.resp)
+		}
+	}
+	fmt.Printf("clustertest: post-kill: %d/%d acknowledged responses re-served identically\n", len(pre)-mismatches, len(pre))
+	if mismatches > 0 {
+		return fmt.Errorf("%d responses changed across the shard kill", mismatches)
+	}
+
+	// --- Phase 5: the rehomed keyspace is warm on the survivors. ---
+	var warm, swept int
+	for _, want := range pre {
+		n, err := reissue(m, want.item)
+		if err != nil {
+			return fmt.Errorf("warm sweep: %w", err)
+		}
+		swept++
+		if n.outcome == client.CacheHit {
+			warm++
+		}
+		if n.cl != nil && cluster.Owner(serve.CanonicalPlanKey(&want.item.plan), survivors) != n.cl.Owner {
+			return fmt.Errorf("degraded owner of %s disagrees with the survivor rehash", want.item.key())
+		}
+	}
+	fmt.Printf("clustertest: warm sweep: %d/%d cache hits on the survivors\n", warm, swept)
+	if 100*warm < 95*swept {
+		return fmt.Errorf("only %d/%d rehomed keys warm (< 95%%)", warm, swept)
+	}
+
+	// --- Phase 6: a standalone daemon computes identical bytes. ---
+	solo, err := startShard(bin, 0, 0, nil, filepath.Join(root, "solo"))
+	if err != nil {
+		return fmt.Errorf("starting standalone daemon: %w", err)
+	}
+	defer solo.kill()
+	sc := client.New(client.Config{BaseURL: "http://" + solo.addr, MaxRetries: 2})
+	if err := waitReady(sc); err != nil {
+		return err
+	}
+	var soloMismatches int
+	for key, want := range pre {
+		n, err := reissueSingle(sc, want.item)
+		if err != nil {
+			return fmt.Errorf("standalone replay of %s: %w", key, err)
+		}
+		if !reflect.DeepEqual(n.resp, want.response) {
+			soloMismatches++
+			fmt.Fprintf(os.Stderr, "clustertest: STANDALONE MISMATCH: %s\n", key)
+		}
+	}
+	fmt.Printf("clustertest: standalone daemon agrees on %d/%d responses\n", len(pre)-soloMismatches, len(pre))
+	if soloMismatches > 0 {
+		return fmt.Errorf("cluster responses differ from standalone computation for %d keys", soloMismatches)
+	}
+
+	// --- Phase 7: survivors die gracefully. ---
+	for _, id := range survivors {
+		if err := daemons[id].terminate(15 * time.Second); err != nil {
+			return fmt.Errorf("graceful stop of shard %d: %w", id, err)
+		}
+	}
+	if err := solo.terminate(15 * time.Second); err != nil {
+		return fmt.Errorf("graceful stop of standalone daemon: %w", err)
+	}
+	st := m.Stats()
+	fmt.Printf("clustertest: client stats: requests=%d owner_routed=%d failovers=%d map_refreshes=%d\n",
+		st.Requests, st.OwnerRouted, st.Failovers, st.MapRefreshes)
+	return nil
+}
+
+// hopBudget is ⌈log₂n⌉ — the cluster's forwarding budget.
+func hopBudget(n int) int {
+	d := 0
+	for 1<<d < n {
+		d++
+	}
+	return d
+}
+
+// pickPorts reserves n distinct ephemeral ports by binding and releasing
+// them. A racer could grab one before the daemon does; the ready check
+// would catch that, and reruns are cheap.
+func pickPorts(n int) ([]int, error) {
+	ports := make([]int, n)
+	lns := make([]net.Listener, n)
+	for i := range ports {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		ports[i] = ln.Addr().(*net.TCPAddr).Port
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return ports, nil
+}
+
+// busiestOwner picks the shard owning the most recorded keys (ties to
+// the lowest ID) — killing it maximizes the rehomed keyspace.
+func busiestOwner(pre map[string]recorded, ids []int) int {
+	best, bestN := ids[0], -1
+	for _, id := range ids {
+		if n := ownedBy(pre, id, ids); n > bestN {
+			best, bestN = id, n
+		}
+	}
+	return best
+}
+
+func ownedBy(pre map[string]recorded, id int, ids []int) int {
+	n := 0
+	for _, r := range pre {
+		if cluster.Owner(serve.CanonicalPlanKey(&r.item.plan), ids) == id {
+			n++
+		}
+	}
+	return n
+}
+
+// waitDead polls a survivor's /v1/cluster until its probes mark the
+// victim dead.
+func waitDead(survivorURL string, victim int) error {
+	c := client.New(client.Config{BaseURL: survivorURL, MaxRetries: 0})
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		st, err := c.ClusterStatus(ctx)
+		cancel()
+		if err == nil {
+			for _, sh := range st.Shards {
+				if sh.ID == victim && !sh.Alive {
+					return nil
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("survivor never marked shard %d dead", victim)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// --- workload (same deterministic generator family as crashtest) ---
+
+type workItem struct {
+	simulate bool
+	plan     client.PlanRequest
+	era      string
+	engine   string
+}
+
+func (w workItem) key() string {
+	cube := -2
+	if w.plan.CubeDim != nil {
+		cube = *w.plan.CubeDim
+	}
+	return fmt.Sprintf("sim=%t era=%s eng=%s kernel=%s size=%d cube=%d pi=%v search=%t bound=%d merge=%d noaux=%t choice=%d",
+		w.simulate, w.era, w.engine, w.plan.Kernel, w.plan.Size, cube, w.plan.Pi,
+		w.plan.SearchPi, w.plan.SearchBound, w.plan.MergeFactor, w.plan.NoAux, w.plan.GroupingChoice)
+}
+
+func generateWorkload(n int, seed int64) []workItem {
+	rng := rand.New(rand.NewSource(seed))
+	kernels := []string{"l1", "matmul", "matvec", "stencil", "sor2d", "convolution"}
+	sizes := []int64{4, 6, 8, 10, 12}
+	var out []workItem
+	for i := 0; i < n; i++ {
+		it := workItem{
+			plan: client.PlanRequest{
+				Kernel: kernels[rng.Intn(len(kernels))],
+				Size:   sizes[rng.Intn(len(sizes))],
+			},
+		}
+		cube := rng.Intn(4) + 1
+		it.plan.CubeDim = &cube
+		switch rng.Intn(4) {
+		case 0:
+			it.plan.SearchPi = true
+		case 1:
+			it.plan.MergeFactor = int64(rng.Intn(2) + 2)
+		case 2:
+			it.plan.NoAux = true
+		}
+		if rng.Intn(3) == 0 {
+			it.simulate = true
+			it.era = []string{"1991", "unit", "balanced"}[rng.Intn(3)]
+			it.engine = []string{"block", "point"}[rng.Intn(2)]
+		}
+		out = append(out, it)
+	}
+	return out
+}
+
+// recorded is an acknowledged response, normalized: Cache and Cluster
+// cleared so pre-kill, post-kill, and standalone copies compare equal
+// iff the payload bytes are identical.
+type recorded struct {
+	item     workItem
+	response any
+}
+
+type recorder struct {
+	mu    sync.Mutex
+	byKey map[string]recorded
+}
+
+func (r *recorder) put(key string, rec recorded) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byKey[key] = rec
+}
+
+func (r *recorder) snapshot() map[string]recorded {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]recorded, len(r.byKey))
+	for k, v := range r.byKey {
+		out[k] = v
+	}
+	return out
+}
+
+// norm is one normalized exchange: the payload with serving metadata
+// stripped, plus that metadata on the side.
+type norm struct {
+	resp    any
+	outcome client.CacheOutcome
+	cl      *client.ClusterInfo
+}
+
+func reissue(m *client.Multi, it workItem) (norm, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if it.simulate {
+		resp, err := m.Simulate(ctx, &client.SimulateRequest{PlanRequest: it.plan, Era: it.era, Engine: it.engine})
+		if err != nil {
+			return norm{}, err
+		}
+		return normalizeSim(resp), nil
+	}
+	resp, err := m.Plan(ctx, &it.plan)
+	if err != nil {
+		return norm{}, err
+	}
+	return normalizePlan(resp), nil
+}
+
+func reissueSingle(c *client.Client, it workItem) (norm, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if it.simulate {
+		resp, err := c.Simulate(ctx, &client.SimulateRequest{PlanRequest: it.plan, Era: it.era, Engine: it.engine})
+		if err != nil {
+			return norm{}, err
+		}
+		return normalizeSim(resp), nil
+	}
+	resp, err := c.Plan(ctx, &it.plan)
+	if err != nil {
+		return norm{}, err
+	}
+	return normalizePlan(resp), nil
+}
+
+func normalizePlan(resp *client.PlanResponse) norm {
+	n := norm{outcome: resp.Cache, cl: resp.Cluster}
+	resp.Cache = ""
+	resp.Cluster = nil
+	n.resp = *resp
+	return n
+}
+
+func normalizeSim(resp *client.SimulateResponse) norm {
+	n := norm{outcome: resp.Cache, cl: resp.Cluster}
+	resp.Cache = ""
+	resp.Cluster = nil
+	n.resp = *resp
+	return n
+}
+
+func waitReadyAll(m *client.Multi) error {
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		err := m.ReadyAll(ctx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster never became ready: %w", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func waitReady(c *client.Client) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		err := c.Ready(ctx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon never became ready: %w", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// --- daemon management ---
+
+var listenRe = regexp.MustCompile(`msg=listening addr=([\d.:]+)`)
+
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startShard launches one cluster shard (or, with no peers, a
+// standalone daemon on an ephemeral port). Fast probes and a low fail
+// threshold keep the chaos run short; fsync always because the test
+// asserts that acknowledged responses survive a SIGKILL.
+func startShard(bin string, id, port int, peers []string, stateDir string) (*daemon, error) {
+	args := []string{
+		"-state-dir", stateDir,
+		"-fsync", "always",
+		"-drain", "10s",
+	}
+	if len(peers) > 0 {
+		args = append(args,
+			"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+			"-peers", strings.Join(peers, ","),
+			"-shard-id", fmt.Sprint(id),
+			"-probe-interval", "150ms",
+			"-fail-threshold", "2",
+		)
+	} else {
+		args = append(args, "-addr", "127.0.0.1:0")
+	}
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	d := &daemon{cmd: cmd}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if m := listenRe.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case d.addr = <-addrCh:
+		return d, nil
+	case <-time.After(10 * time.Second):
+		d.kill()
+		return nil, fmt.Errorf("daemon never logged its listen address")
+	}
+}
+
+func (d *daemon) kill() {
+	if d.cmd.Process != nil {
+		d.cmd.Process.Kill()
+		d.cmd.Wait()
+	}
+}
+
+func (d *daemon) terminate(grace time.Duration) error {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("daemon exited uncleanly after SIGTERM: %w", err)
+		}
+		return nil
+	case <-time.After(grace):
+		d.kill()
+		return fmt.Errorf("daemon ignored SIGTERM for %v", grace)
+	}
+}
+
+func buildDaemon() (string, func(), error) {
+	dir, err := os.MkdirTemp("", "clustertest-bin-*")
+	if err != nil {
+		return "", nil, err
+	}
+	out := filepath.Join(dir, "loopmapd")
+	cmd := exec.Command("go", "build", "-o", out, "repro/cmd/loopmapd")
+	if b, err := cmd.CombinedOutput(); err != nil {
+		os.RemoveAll(dir)
+		return "", nil, fmt.Errorf("building loopmapd: %v\n%s", err, strings.TrimSpace(string(b)))
+	}
+	return out, func() { os.RemoveAll(dir) }, nil
+}

@@ -25,6 +25,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -44,6 +45,11 @@ func main() {
 	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown grace period")
 	stateDir := flag.String("state-dir", "", "durable plan store directory: the cache warm-starts from it and survives crashes (empty = ephemeral)")
 	fsync := flag.String("fsync", "interval", "WAL durability policy: always, interval, never")
+	peers := flag.String("peers", "", "comma-separated shard base URLs, self included — enables cluster mode")
+	shardID := flag.Int("shard-id", 0, "this daemon's shard ID: its index in -peers and its hypercube address")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "cluster peer health-probe period")
+	failThreshold := flag.Int("fail-threshold", 3, "consecutive probe failures that mark a peer dead")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	smoke := flag.Bool("smoke", false, "start on an ephemeral port, serve one self-issued /v1/plan request, and exit")
 	flag.Parse()
 
@@ -76,8 +82,30 @@ func main() {
 		)
 	}
 
+	if *peers != "" {
+		var urls []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				urls = append(urls, p)
+			}
+		}
+		if err := srv.EnableCluster(serve.ClusterOptions{
+			SelfID:        *shardID,
+			Peers:         urls,
+			ProbeInterval: *probeInterval,
+			FailThreshold: *failThreshold,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		m := srv.ClusterMembership()
+		logger.Info("cluster mode", "shard", m.Self(), "n", m.N(), "dim", m.Dim())
+	}
+
+	handler := withPprof(srv.Handler(), *pprofOn)
+
 	if *smoke {
-		if err := runSmoke(srv, *drain); err != nil {
+		if err := runSmoke(srv, handler, *drain); err != nil {
 			fmt.Fprintln(os.Stderr, "smoke:", err)
 			os.Exit(1)
 		}
@@ -93,19 +121,36 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := serveUntil(ctx, srv, ln, *drain, logger); err != nil {
+	if err := serveUntil(ctx, srv, handler, ln, *drain, logger); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
+// withPprof optionally mounts net/http/pprof in front of the API
+// handler. Opt-in only: the profiling endpoints expose internals and
+// cost CPU, so production deployments leave them off.
+func withPprof(h http.Handler, on bool) http.Handler {
+	if !on {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // serveUntil runs the HTTP server until ctx is cancelled, then drains:
 // /readyz flips to 503 first so load balancers stop routing, and in-flight
 // requests get up to drainTimeout to finish.
-func serveUntil(ctx context.Context, srv *serve.Server, ln net.Listener, drainTimeout time.Duration, logger *slog.Logger) error {
+func serveUntil(ctx context.Context, srv *serve.Server, handler http.Handler, ln net.Listener, drainTimeout time.Duration, logger *slog.Logger) error {
 	// The hardened listener: header/read/idle timeouts against slowloris
 	// and dead keep-alive peers.
-	hs := serve.NewHTTPServer(srv.Handler(), serve.ServerTimeouts{})
+	hs := serve.NewHTTPServer(handler, serve.ServerTimeouts{})
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -136,7 +181,7 @@ func serveUntil(ctx context.Context, srv *serve.Server, ln net.Listener, drainTi
 // runSmoke exercises the full serving path in-process: bind an ephemeral
 // port, issue one real /v1/plan request over TCP, print the response, and
 // shut down cleanly. This is what `make serve` and the command test run.
-func runSmoke(srv *serve.Server, drainTimeout time.Duration) error {
+func runSmoke(srv *serve.Server, handler http.Handler, drainTimeout time.Duration) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -144,7 +189,7 @@ func runSmoke(srv *serve.Server, drainTimeout time.Duration) error {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		done <- serveUntil(ctx, srv, ln, drainTimeout, slog.New(slog.NewTextHandler(io.Discard, nil)))
+		done <- serveUntil(ctx, srv, handler, ln, drainTimeout, slog.New(slog.NewTextHandler(io.Discard, nil)))
 	}()
 
 	url := "http://" + ln.Addr().String() + "/v1/plan"

@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/hypercube"
+)
+
+// Prober checks one peer's liveness. The production implementation is
+// HTTPProber; tests inject deterministic fakes.
+type Prober interface {
+	// Probe returns nil iff the shard at url is healthy.
+	Probe(ctx context.Context, url string) error
+}
+
+// HTTPProber probes a shard's /healthz endpoint.
+type HTTPProber struct {
+	// Client is the probe transport (default http.DefaultClient; the
+	// per-probe context carries the timeout).
+	Client *http.Client
+}
+
+// Probe GETs url/healthz and treats any 2xx as alive.
+func (p HTTPProber) Probe(ctx context.Context, url string) error {
+	c := p.Client
+	if c == nil {
+		c = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(url, "/")+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("cluster: probe %s: status %d", url, resp.StatusCode)
+	}
+	return nil
+}
+
+// Config describes a cluster from one member's point of view.
+type Config struct {
+	// Self is this process's shard ID — its index in Peers and its
+	// hypercube address.
+	Self int
+	// Peers lists every shard's base URL, indexed by shard ID (self
+	// included).
+	Peers []string
+	// ProbeInterval is the health-probe period of Run (default 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each individual probe (default 1s).
+	ProbeTimeout time.Duration
+	// FailThreshold consecutive probe failures mark a peer dead; one
+	// success revives it (default 3).
+	FailThreshold int
+	// Prober overrides the health check (default HTTPProber{}).
+	Prober Prober
+	// Now overrides the clock for deterministic tests (default time.Now).
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.Prober == nil {
+		c.Prober = HTTPProber{}
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// PeerStatus is one shard's health as seen by this member.
+type PeerStatus struct {
+	ID    int    `json:"id"`
+	URL   string `json:"url"`
+	Alive bool   `json:"alive"`
+	Self  bool   `json:"self,omitempty"`
+	// ConsecutiveFails counts probe failures since the last success.
+	ConsecutiveFails int `json:"consecutive_fails,omitempty"`
+	// LastError describes the most recent probe failure ("" when none).
+	LastError string `json:"last_error,omitempty"`
+}
+
+type peerState struct {
+	alive   bool
+	fails   int
+	lastErr error
+}
+
+// Membership tracks the static peer list and each peer's probed health.
+// Methods are safe for concurrent use.
+type Membership struct {
+	cfg  Config
+	cube hypercube.Cube
+
+	mu    sync.Mutex
+	peers []peerState
+}
+
+// New validates the config and returns a Membership with every shard
+// initially presumed alive (optimism lets the cluster form before the
+// first probe round completes).
+func New(cfg Config) (*Membership, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	if cfg.Self < 0 || cfg.Self >= len(cfg.Peers) {
+		return nil, fmt.Errorf("cluster: self ID %d out of range [0, %d)", cfg.Self, len(cfg.Peers))
+	}
+	for i, u := range cfg.Peers {
+		if strings.TrimSpace(u) == "" {
+			return nil, fmt.Errorf("cluster: peer %d has an empty URL", i)
+		}
+		cfg.Peers[i] = strings.TrimRight(strings.TrimSpace(u), "/")
+	}
+	cube, err := CubeFor(len(cfg.Peers))
+	if err != nil {
+		return nil, err
+	}
+	peers := make([]peerState, len(cfg.Peers))
+	for i := range peers {
+		peers[i].alive = true
+	}
+	return &Membership{cfg: cfg, cube: cube, peers: peers}, nil
+}
+
+// Self returns this member's shard ID.
+func (m *Membership) Self() int { return m.cfg.Self }
+
+// N returns the cluster size.
+func (m *Membership) N() int { return len(m.cfg.Peers) }
+
+// Dim returns the hypercube dimension ⌈log₂N⌉ — the forwarding hop
+// budget.
+func (m *Membership) Dim() int { return m.cube.Dim }
+
+// URL returns shard id's base URL.
+func (m *Membership) URL(id int) string { return m.cfg.Peers[id] }
+
+// IsAlive reports shard id's probed health (self is always alive).
+func (m *Membership) IsAlive(id int) bool {
+	if id == m.cfg.Self {
+		return true
+	}
+	if id < 0 || id >= len(m.cfg.Peers) {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peers[id].alive
+}
+
+// Alive returns the sorted IDs of every shard currently believed alive.
+// Self is always a member, so the set is never empty.
+func (m *Membership) Alive() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, 0, len(m.peers))
+	for id, p := range m.peers {
+		if p.alive || id == m.cfg.Self {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Owner returns the shard owning key under the current alive set —
+// degraded ownership falls out for free: marking a peer dead rehashes
+// exactly its keyspace onto the survivors.
+func (m *Membership) Owner(key string) int {
+	return Owner(key, m.Alive())
+}
+
+// NextHop returns the next shard on the e-cube route from self toward
+// `to`, skipping dead or unpopulated addresses.
+func (m *Membership) NextHop(to int) int {
+	return NextHop(m.cube, m.cfg.Self, to, func(id int) bool {
+		return id < len(m.cfg.Peers) && m.IsAlive(id)
+	})
+}
+
+// MarkDead forces shard id dead immediately (forward-failure feedback:
+// a peer that refuses a forwarded request should not wait out the probe
+// cycle). Self cannot be marked dead. The next successful probe revives
+// the peer.
+func (m *Membership) MarkDead(id int) {
+	if id == m.cfg.Self || id < 0 || id >= len(m.cfg.Peers) {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.peers[id].alive = false
+	if m.peers[id].fails < m.cfg.FailThreshold {
+		m.peers[id].fails = m.cfg.FailThreshold
+	}
+}
+
+// Tick runs one probe round over every peer (concurrently, each bounded
+// by ProbeTimeout) and applies the threshold rule: FailThreshold
+// consecutive failures mark a peer dead, one success revives it. It
+// returns the number of failed probes. Tests drive Tick directly with an
+// injected prober; Run drives it on a timer.
+func (m *Membership) Tick(ctx context.Context) int {
+	type result struct {
+		id  int
+		err error
+	}
+	results := make(chan result, len(m.cfg.Peers))
+	probes := 0
+	for id, url := range m.cfg.Peers {
+		if id == m.cfg.Self {
+			continue
+		}
+		probes++
+		go func(id int, url string) {
+			pctx, cancel := context.WithTimeout(ctx, m.cfg.ProbeTimeout)
+			defer cancel()
+			results <- result{id, m.cfg.Prober.Probe(pctx, url)}
+		}(id, url)
+	}
+	failures := 0
+	for i := 0; i < probes; i++ {
+		r := <-results
+		m.mu.Lock()
+		p := &m.peers[r.id]
+		if r.err != nil {
+			failures++
+			p.fails++
+			p.lastErr = r.err
+			if p.fails >= m.cfg.FailThreshold {
+				p.alive = false
+			}
+		} else {
+			p.fails = 0
+			p.lastErr = nil
+			p.alive = true
+		}
+		m.mu.Unlock()
+	}
+	return failures
+}
+
+// Run probes on ProbeInterval until ctx is cancelled.
+func (m *Membership) Run(ctx context.Context) {
+	t := time.NewTicker(m.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			m.Tick(ctx)
+		}
+	}
+}
+
+// Snapshot reports every shard's health for /v1/cluster and metrics.
+func (m *Membership) Snapshot() []PeerStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]PeerStatus, len(m.peers))
+	for id, p := range m.peers {
+		st := PeerStatus{
+			ID:               id,
+			URL:              m.cfg.Peers[id],
+			Alive:            p.alive || id == m.cfg.Self,
+			Self:             id == m.cfg.Self,
+			ConsecutiveFails: p.fails,
+		}
+		if p.lastErr != nil {
+			st.LastError = p.lastErr.Error()
+		}
+		out[id] = st
+	}
+	return out
+}

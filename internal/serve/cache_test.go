@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -89,7 +90,7 @@ func TestFlightGroupDeduplicates(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err, shared := g.do("k", func() (any, error) {
+			v, err, shared := g.do(context.Background(), "k", func() (any, error) {
 				calls.Add(1)
 				once.Do(func() { close(started) })
 				<-release
@@ -120,12 +121,12 @@ func TestFlightGroupDeduplicates(t *testing.T) {
 func TestFlightGroupPropagatesError(t *testing.T) {
 	var g flightGroup
 	boom := errors.New("boom")
-	_, err, _ := g.do("k", func() (any, error) { return nil, boom })
+	_, err, _ := g.do(context.Background(), "k", func() (any, error) { return nil, boom })
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	// A failed flight is not cached: the next call runs again.
-	v, err, _ := g.do("k", func() (any, error) { return 1, nil })
+	v, err, _ := g.do(context.Background(), "k", func() (any, error) { return 1, nil })
 	if err != nil || v.(int) != 1 {
 		t.Fatalf("retry after failure: v=%v err=%v", v, err)
 	}

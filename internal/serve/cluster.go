@@ -1,0 +1,271 @@
+// Cluster-mode serving: N loopmapd shards behave as one sharded plan
+// cache. Every shard canonicalizes a request to the same cache key,
+// rendezvous-hashes it to an owner over the currently-alive shard set, and
+// either serves it (owner) or forwards it one e-cube hop toward the owner.
+// Forwards carry a hop counter and the visited-shard path, so a stale or
+// disagreeing membership view degrades to serving locally — never to a
+// routing loop or a dropped request.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// Forwarding headers: the hop count so far and the comma-separated shard
+// IDs already visited (loop detection).
+const (
+	hopHeader  = "X-Loopmap-Hops"
+	pathHeader = "X-Loopmap-Path"
+)
+
+// ClusterOptions configures sharded multi-daemon serving.
+type ClusterOptions struct {
+	// SelfID is this daemon's shard ID: its index in Peers and its
+	// hypercube address.
+	SelfID int
+	// Peers lists every shard's base URL by shard ID, self included.
+	Peers []string
+	// ProbeInterval is the peer health-probe period (default 2s). A
+	// negative value disables background probing entirely — tests drive
+	// Membership.Tick by hand.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (default 1s); FailThreshold
+	// consecutive failures mark a peer dead (default 3).
+	ProbeTimeout  time.Duration
+	FailThreshold int
+	// ForwardClient is the transport for forwarded requests (default: a
+	// pooled client). Prober overrides the health check for tests.
+	ForwardClient *http.Client
+	Prober        cluster.Prober
+}
+
+// clusterNode is the server's cluster-mode state.
+type clusterNode struct {
+	m    *cluster.Membership
+	fwd  *http.Client
+	stop context.CancelFunc
+	done chan struct{}
+}
+
+// EnableCluster switches the server into cluster mode: it joins the
+// static peer list as shard SelfID, registers GET /v1/cluster, starts the
+// background health prober (unless ProbeInterval < 0), and makes
+// /v1/plan and /v1/simulate ownership-aware. Call it after New and before
+// serving traffic.
+func (s *Server) EnableCluster(opts ClusterOptions) error {
+	if s.cluster != nil {
+		return errors.New("serve: cluster already enabled")
+	}
+	interval := opts.ProbeInterval
+	if interval == 0 {
+		interval = 2 * time.Second
+	}
+	m, err := cluster.New(cluster.Config{
+		Self:          opts.SelfID,
+		Peers:         opts.Peers,
+		ProbeInterval: interval,
+		ProbeTimeout:  opts.ProbeTimeout,
+		FailThreshold: opts.FailThreshold,
+		Prober:        opts.Prober,
+	})
+	if err != nil {
+		return err
+	}
+	fwd := opts.ForwardClient
+	if fwd == nil {
+		fwd = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	}
+	cn := &clusterNode{m: m, fwd: fwd, done: make(chan struct{})}
+	if interval < 0 {
+		close(cn.done) // manual probing: nothing to stop
+	} else {
+		ctx, cancel := context.WithCancel(context.Background())
+		cn.stop = cancel
+		go func() {
+			defer close(cn.done)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					s.metrics.probeFailures.Add(int64(m.Tick(ctx)))
+				}
+			}
+		}()
+	}
+	s.cluster = cn
+	s.mux.HandleFunc("GET /v1/cluster", s.instrument("/v1/cluster", s.handleClusterStatus))
+	return nil
+}
+
+// ClusterMembership exposes the membership table (nil when cluster mode
+// is off) for startup logging and tests.
+func (s *Server) ClusterMembership() *cluster.Membership {
+	if s.cluster == nil {
+		return nil
+	}
+	return s.cluster.m
+}
+
+// stopProbing halts the background prober and waits for it to exit.
+func (cn *clusterNode) stopProbing() {
+	if cn.stop != nil {
+		cn.stop()
+	}
+	<-cn.done
+}
+
+// ClusterInfo is the per-response shard metadata attached to /v1/plan and
+// /v1/simulate responses in cluster mode: which shard computed the
+// response, which shard owns the key under the responder's membership
+// view, and how many forwarding hops the request took to get there.
+type ClusterInfo struct {
+	Shard int `json:"shard"`
+	Owner int `json:"owner"`
+	Hops  int `json:"hops"`
+}
+
+// ClusterStatus is the GET /v1/cluster response.
+type ClusterStatus struct {
+	Self int `json:"self"`
+	N    int `json:"n"`
+	// Dim is the hypercube dimension ⌈log₂N⌉ — also the forwarding hop
+	// budget.
+	Dim    int                  `json:"dim"`
+	Shards []cluster.PeerStatus `json:"shards"`
+}
+
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	cn := s.cluster
+	writeJSON(w, http.StatusOK, ClusterStatus{
+		Self:   cn.m.Self(),
+		N:      cn.m.N(),
+		Dim:    cn.m.Dim(),
+		Shards: cn.m.Snapshot(),
+	})
+}
+
+// forwardState reads the hop count and visited path off a request.
+func forwardState(r *http.Request) (hops int, visited []int) {
+	if h, err := strconv.Atoi(r.Header.Get(hopHeader)); err == nil && h > 0 {
+		hops = h
+	}
+	for _, f := range strings.Split(r.Header.Get(pathHeader), ",") {
+		if id, err := strconv.Atoi(strings.TrimSpace(f)); err == nil {
+			visited = append(visited, id)
+		}
+	}
+	return hops, visited
+}
+
+// maybeForward routes a request one e-cube hop toward its owner and
+// proxies the response back. It returns true iff the response has been
+// written. Every failure mode — budget exhausted, loop detected, peer
+// unreachable — falls back to serving locally, so forwarding can delay a
+// response but never lose one.
+func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, path, key string, body []byte) bool {
+	cn := s.cluster
+	if cn == nil {
+		return false
+	}
+	hops, visited := forwardState(r)
+	if hops > 0 {
+		s.metrics.forwardsReceived.Add(1)
+		s.metrics.forwardHops.Add(int64(hops))
+	}
+	self := cn.m.Self()
+	owner := cn.m.Owner(key)
+	if owner == self {
+		return false
+	}
+	if hops >= cn.m.Dim() || containsInt(visited, self) {
+		s.metrics.forwardBudgetStops.Add(1)
+		s.cfg.Logger.Warn("forward budget exhausted; serving locally",
+			"key", key, "owner", owner, "hops", hops, "visited", visited)
+		return false
+	}
+	next := cn.m.NextHop(owner)
+	resp, err := cn.forward(r.Context(), path, body, hops+1, append(visited, self), next)
+	if err != nil {
+		s.metrics.forwardErrors.Add(1)
+		// Unreachable peer: mark it dead now instead of waiting out the
+		// probe cycle (a later successful probe revives it) and serve the
+		// request ourselves.
+		cn.m.MarkDead(next)
+		s.cfg.Logger.Warn("forward failed; serving locally",
+			"next", next, "owner", owner, "err", err)
+		return false
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	s.metrics.forwardsSent.Add(1)
+	return true
+}
+
+// forward performs one hop of e-cube routing over HTTP.
+func (cn *clusterNode) forward(ctx context.Context, path string, body []byte, hops int, visited []int, next int) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cn.m.URL(next)+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(hopHeader, strconv.Itoa(hops))
+	req.Header.Set(pathHeader, joinInts(visited))
+	return cn.fwd.Do(req)
+}
+
+// clusterMeta builds the response's shard metadata (nil outside cluster
+// mode).
+func (s *Server) clusterMeta(key string, r *http.Request) *ClusterInfo {
+	cn := s.cluster
+	if cn == nil {
+		return nil
+	}
+	hops, _ := forwardState(r)
+	return &ClusterInfo{Shard: cn.m.Self(), Owner: cn.m.Owner(key), Hops: hops}
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func joinInts(xs []int) string {
+	var b strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	return b.String()
+}
+
+// CanonicalPlanKey is the canonical plan-cache key of a request — the
+// string both the LRU and cluster ownership hash over. Exported so the
+// cluster-aware client can compute owner affinity with the server's exact
+// canonicalization.
+func CanonicalPlanKey(r *PlanRequest) string { return r.cacheKey() }

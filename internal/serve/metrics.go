@@ -107,6 +107,14 @@ type metrics struct {
 	walBytes           atomic.Int64
 	compactions        atomic.Int64
 
+	// cluster-mode instruments (stay zero in single-daemon mode).
+	forwardsSent       atomic.Int64
+	forwardsReceived   atomic.Int64
+	forwardErrors      atomic.Int64
+	forwardBudgetStops atomic.Int64
+	forwardHops        atomic.Int64
+	probeFailures      atomic.Int64
+
 	endpoints map[string]*endpointMetrics // fixed at construction
 }
 
@@ -133,6 +141,13 @@ type EndpointSnapshot struct {
 	Latency HistogramSnapshot
 }
 
+// PeerHealth is one peer's probed liveness as rendered in /metrics.
+type PeerHealth struct {
+	ID               int
+	Alive            bool
+	ConsecutiveFails int
+}
+
 // Snapshot is the full metrics state at one instant, used both by the
 // /metrics renderer and by tests asserting exact counter values.
 type Snapshot struct {
@@ -151,7 +166,29 @@ type Snapshot struct {
 	WALErrors          int64
 	WALBytes           int64
 	Compactions        int64
-	Endpoints          map[string]EndpointSnapshot
+
+	// Cluster-mode accounting (ClusterN == 0 in single-daemon mode).
+	ForwardsSent       int64
+	ForwardsReceived   int64
+	ForwardErrors      int64
+	ForwardBudgetStops int64
+	ForwardHops        int64
+	ProbeFailures      int64
+	ClusterSelf        int
+	ClusterN           int
+	ClusterDim         int
+	ClusterPeers       []PeerHealth
+
+	// Go runtime health, sampled at snapshot time.
+	Goroutines          int
+	HeapAllocBytes      int64
+	HeapSysBytes        int64
+	GCPauseTotalSeconds float64
+	GCRuns              int64
+	GoVersion           string
+	Module              string
+
+	Endpoints map[string]EndpointSnapshot
 }
 
 func (m *metrics) snapshot() Snapshot {
@@ -171,6 +208,12 @@ func (m *metrics) snapshot() Snapshot {
 		WALErrors:          m.walErrors.Load(),
 		WALBytes:           m.walBytes.Load(),
 		Compactions:        m.compactions.Load(),
+		ForwardsSent:       m.forwardsSent.Load(),
+		ForwardsReceived:   m.forwardsReceived.Load(),
+		ForwardErrors:      m.forwardErrors.Load(),
+		ForwardBudgetStops: m.forwardBudgetStops.Load(),
+		ForwardHops:        m.forwardHops.Load(),
+		ProbeFailures:      m.probeFailures.Load(),
 		Endpoints:          make(map[string]EndpointSnapshot, len(m.endpoints)),
 	}
 	for name, em := range m.endpoints {
@@ -205,6 +248,34 @@ func (s Snapshot) render(w io.Writer) {
 	gauge("loopmapd_inflight_plans", "Plan computations currently admitted.", s.InflightPlans)
 	gauge("loopmapd_cache_bytes", "Estimated bytes held by the plan cache.", s.CacheBytes)
 	gauge("loopmapd_cache_entries", "Entries held by the plan cache.", s.CacheEntries)
+
+	// Go runtime health.
+	gauge("loopmapd_goroutines", "Live goroutines.", int64(s.Goroutines))
+	gauge("loopmapd_heap_alloc_bytes", "Bytes of allocated heap objects.", s.HeapAllocBytes)
+	gauge("loopmapd_heap_sys_bytes", "Heap memory obtained from the OS.", s.HeapSysBytes)
+	counter("loopmapd_gc_runs_total", "Completed GC cycles.", s.GCRuns)
+	fmt.Fprintf(w, "# HELP loopmapd_gc_pause_seconds_total Cumulative GC stop-the-world pause time.\n# TYPE loopmapd_gc_pause_seconds_total counter\nloopmapd_gc_pause_seconds_total %g\n", s.GCPauseTotalSeconds)
+	fmt.Fprintf(w, "# HELP loopmapd_build_info Build metadata (value is always 1).\n# TYPE loopmapd_build_info gauge\nloopmapd_build_info{go_version=%q,module=%q} 1\n", s.GoVersion, s.Module)
+
+	if s.ClusterN > 0 {
+		gauge("loopmapd_cluster_size", "Shards in the static peer list.", int64(s.ClusterN))
+		gauge("loopmapd_cluster_dim", "Hypercube dimension (forwarding hop budget).", int64(s.ClusterDim))
+		gauge("loopmapd_cluster_self", "This daemon's shard ID.", int64(s.ClusterSelf))
+		counter("loopmapd_cluster_forwards_sent_total", "Requests forwarded one hop toward their owner shard.", s.ForwardsSent)
+		counter("loopmapd_cluster_forwards_received_total", "Forwarded requests received from peer shards.", s.ForwardsReceived)
+		counter("loopmapd_cluster_forward_errors_total", "Forward attempts that failed and fell back to serving locally.", s.ForwardErrors)
+		counter("loopmapd_cluster_forward_budget_stops_total", "Forwards refused at the hop budget or on a routing loop.", s.ForwardBudgetStops)
+		counter("loopmapd_cluster_forward_hops_total", "Total e-cube hops traversed by requests this shard served.", s.ForwardHops)
+		counter("loopmapd_cluster_probe_failures_total", "Failed peer health probes.", s.ProbeFailures)
+		fmt.Fprintf(w, "# HELP loopmapd_cluster_peer_alive Peer liveness by shard ID (1 alive, 0 dead).\n# TYPE loopmapd_cluster_peer_alive gauge\n")
+		for _, p := range s.ClusterPeers {
+			v := 0
+			if p.Alive {
+				v = 1
+			}
+			fmt.Fprintf(w, "loopmapd_cluster_peer_alive{shard=\"%d\"} %d\n", p.ID, v)
+		}
+	}
 
 	names := make([]string, 0, len(s.Endpoints))
 	for n := range s.Endpoints {

@@ -245,10 +245,14 @@ func (s *Server) maybeCompact() {
 	}()
 }
 
-// Close waits for background store maintenance and closes the durable
-// store (a no-op without one). In-flight HTTP requests are the listener's
-// concern; call this after the listener has drained.
+// Close stops the cluster health prober, waits for background store
+// maintenance, and closes the durable store (each a no-op when the
+// feature is off). In-flight HTTP requests are the listener's concern;
+// call this after the listener has drained.
 func (s *Server) Close() error {
+	if s.cluster != nil {
+		s.cluster.stopProbing()
+	}
 	s.compactWG.Wait()
 	if s.store == nil {
 		return nil

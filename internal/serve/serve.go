@@ -24,6 +24,8 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -118,7 +120,7 @@ func (c Config) withDefaults() Config {
 
 // endpoints instrumented individually in /metrics.
 var endpointNames = []string{
-	"/v1/plan", "/v1/simulate", "/v1/spmd", "/v1/kernels",
+	"/v1/plan", "/v1/simulate", "/v1/spmd", "/v1/kernels", "/v1/cluster",
 	"/healthz", "/readyz", "/metrics",
 }
 
@@ -138,6 +140,10 @@ type Server struct {
 	store      *persist.Store
 	compacting atomic.Bool
 	compactWG  sync.WaitGroup
+
+	// cluster is the sharded-serving state, attached by EnableCluster
+	// before the handler serves traffic (nil in single-daemon mode).
+	cluster *clusterNode
 }
 
 // New builds a Server with the given configuration.
@@ -183,6 +189,14 @@ func (s *Server) draining() bool {
 	}
 }
 
+// buildModule is the main module path stamped into loopmapd_build_info.
+var buildModule = func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Path != "" {
+		return bi.Main.Path
+	}
+	return "unknown"
+}()
+
 // Metrics returns a point-in-time snapshot of every instrument (tests
 // assert on it; /metrics renders it).
 func (s *Server) Metrics() Snapshot {
@@ -193,7 +207,29 @@ func (s *Server) Metrics() Snapshot {
 	if s.store != nil {
 		s.metrics.walBytes.Store(s.store.WALBytes())
 	}
-	return s.metrics.snapshot()
+	snap := s.metrics.snapshot()
+
+	snap.Goroutines = runtime.NumGoroutine()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	snap.HeapAllocBytes = int64(ms.HeapAlloc)
+	snap.HeapSysBytes = int64(ms.HeapSys)
+	snap.GCPauseTotalSeconds = float64(ms.PauseTotalNs) / 1e9
+	snap.GCRuns = int64(ms.NumGC)
+	snap.GoVersion = runtime.Version()
+	snap.Module = buildModule
+
+	if cn := s.cluster; cn != nil {
+		snap.ClusterSelf = cn.m.Self()
+		snap.ClusterN = cn.m.N()
+		snap.ClusterDim = cn.m.Dim()
+		for _, p := range cn.m.Snapshot() {
+			snap.ClusterPeers = append(snap.ClusterPeers, PeerHealth{
+				ID: p.ID, Alive: p.Alive, ConsecutiveFails: p.ConsecutiveFails,
+			})
+		}
+	}
+	return snap
 }
 
 // --- request plumbing ---
@@ -456,7 +492,7 @@ func (s *Server) basePlan(ctx context.Context, req *PlanRequest) (*loopmap.Plan,
 		s.metrics.cacheHits.Add(1)
 		return p, CacheHit, nil
 	}
-	v, err, shared := s.flight.do(key, func() (any, error) {
+	v, err, shared := s.flight.do(ctx, key, func() (any, error) {
 		// Double-check under the flight: a prior leader may have populated
 		// the cache between this request's lookup and its arrival here.
 		if p, ok := s.cache.get(key); ok {
@@ -541,16 +577,27 @@ type PlanResponse struct {
 
 	Cache   CacheOutcome `json:"cache"`
 	Summary string       `json:"summary"`
+	// Cluster is the shard metadata (cluster mode only).
+	Cluster *ClusterInfo `json:"cluster,omitempty"`
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: reading body: %w", err))
+		return
+	}
 	var req PlanRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSONBytes(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	if err := s.validatePlanRequest(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := req.cacheKey()
+	if s.maybeForward(w, r, "/v1/plan", key, body) {
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
@@ -578,6 +625,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		Procs:        p.Procs(),
 		Cache:        outcome,
 		Summary:      p.Summary(),
+		Cluster:      s.clusterMeta(key, r),
 	}
 	if p.Mapping != nil {
 		ms := mapping.Evaluate(p.TIG, p.Mapping)
@@ -740,6 +788,8 @@ type SimulateResponse struct {
 
 	Cache CacheOutcome    `json:"cache"`
 	Trace json.RawMessage `json:"trace,omitempty"`
+	// Cluster is the shard metadata (cluster mode only).
+	Cluster *ClusterInfo `json:"cluster,omitempty"`
 }
 
 // DegradedInfo summarizes a degraded-cube remap.
@@ -756,8 +806,13 @@ type DegradedInfo struct {
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: reading body: %w", err))
+		return
+	}
 	var req SimulateRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSONBytes(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -773,6 +828,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	engine, err := req.engine()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Simulation shards by the base-plan key: the owner's cache holds the
+	// expensive partitioning, and every simulate variant remaps it.
+	key := req.PlanRequest.cacheKey()
+	if s.maybeForward(w, r, "/v1/simulate", key, body) {
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
@@ -824,6 +885,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		ReplayTime:     stats.ReplayTime,
 		Degraded:       degraded,
 		Cache:          outcome,
+		Cluster:        s.clusterMeta(key, r),
 	}
 	if req.Sequential {
 		seq, err := p.SimulateSequential(params)
@@ -970,6 +1032,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // decodeJSON strictly decodes one JSON object from the request body.
 func decodeJSON(r *http.Request, v any) error {
 	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: bad request body: %w", err)
+	}
+	return nil
+}
+
+// decodeJSONBytes strictly decodes one JSON object from a pre-read body
+// (the forwarding path needs the raw bytes to relay).
+func decodeJSONBytes(b []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("serve: bad request body: %w", err)

@@ -1,6 +1,9 @@
 package serve
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // flightGroup deduplicates concurrent function calls by key: the first
 // caller (the leader) runs fn, every concurrent caller with the same key
@@ -20,15 +23,26 @@ type flightCall struct {
 // do invokes fn once per concurrent set of callers sharing key. The
 // returned bool reports whether this caller shared another caller's result
 // (true) or ran fn itself (false).
-func (g *flightGroup) do(key string, fn func() (any, error)) (any, error, bool) {
+//
+// A follower whose ctx expires while coalesced abandons the wait and gets
+// its own context error; the leader's computation is untouched — it
+// finishes under the leader's context and every remaining waiter still
+// shares the result. (The leader itself ignores ctx here: fn is expected
+// to honor the leader's context internally, and cancelling a leader with
+// live followers would poison the herd.)
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (any, error)) (any, error, bool) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = map[string]*flightCall{}
 	}
 	if c, ok := g.m[key]; ok {
 		g.mu.Unlock()
-		<-c.done
-		return c.val, c.err, true
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
 	}
 	c := &flightCall{done: make(chan struct{})}
 	g.m[key] = c
