@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short bench bench-json fuzz experiments cover clean serve serve-smoke chaos crash cluster
+.PHONY: all build vet test race short bench bench-json fuzz experiments cover clean serve serve-smoke chaos crash cluster loadtest
 
 all: build vet test
 
@@ -26,9 +26,17 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable benchmark results (ns/op, allocs, and the custom paper
-# metrics) for regression tracking.
+# metrics) for regression tracking, plus the serving-path load-test
+# artifact (latency percentiles and saturation throughput per workload).
 bench-json:
 	$(GO) run ./cmd/benchjson -benchtime 1x -o BENCH_1.json
+	$(GO) run ./cmd/loadtest -duration 2s -conc 16 -seed 1 -o BENCH_6.json
+
+# Seeded load generator against an in-process daemon: every workload,
+# human-readable summary. Point it elsewhere with
+# `go run ./cmd/loadtest -target http://host:8080`.
+loadtest:
+	$(GO) run ./cmd/loadtest -duration 2s -conc 16 -seed 1
 
 # Ten seconds each of parser, full-pipeline, and WAL-replay fuzzing
 # beyond the checked-in seeds.

@@ -103,6 +103,15 @@ type Config struct {
 	// admitting a half-open probe (default 2s).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+
+	// Revalidate enables the ETag cache on Plan: responses are remembered
+	// with their strong ETag, repeats carry If-None-Match, and a 304
+	// answers from the local copy — no response body on the wire. The
+	// daemon's ETags are pure functions of the request, so entries stay
+	// valid across server restarts. RevalidateCap bounds the cache
+	// (default 256 entries).
+	Revalidate    bool
+	RevalidateCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +136,9 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 2 * time.Second
 	}
+	if c.RevalidateCap <= 0 {
+		c.RevalidateCap = 256
+	}
 	return c
 }
 
@@ -140,6 +152,8 @@ type ClientStats struct {
 
 	Hedges    int64 // duplicate requests launched by hedging
 	HedgeWins int64 // calls answered by the hedge, not the primary
+
+	Revalidations int64 // Plan calls answered 304 from the local ETag cache
 
 	RetryAfterHonored int64 // waits driven by a server Retry-After hint
 
@@ -162,22 +176,28 @@ type Client struct {
 	cfg     Config
 	base    string
 	breaker *breaker
+	reval   *revalCache // nil unless Config.Revalidate
 
 	requests, attempts, retries atomic.Int64
 	successes, failures         atomic.Int64
 	hedges, hedgeWins           atomic.Int64
 	retryAfterHonored           atomic.Int64
 	breakerRejects              atomic.Int64
+	revalidations               atomic.Int64
 }
 
 // New builds a Client for the daemon at cfg.BaseURL.
 func New(cfg Config) *Client {
 	cfg = cfg.withDefaults()
-	return &Client{
+	c := &Client{
 		cfg:     cfg,
 		base:    strings.TrimRight(cfg.BaseURL, "/"),
 		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 	}
+	if cfg.Revalidate {
+		c.reval = newRevalCache(cfg.RevalidateCap)
+	}
+	return c
 }
 
 // BaseURL is the normalized daemon root this client talks to.
@@ -194,6 +214,7 @@ func (c *Client) Stats() ClientStats {
 		Failures:          c.failures.Load(),
 		Hedges:            c.hedges.Load(),
 		HedgeWins:         c.hedgeWins.Load(),
+		Revalidations:     c.revalidations.Load(),
 		RetryAfterHonored: c.retryAfterHonored.Load(),
 		BreakerOpens:      opens,
 		BreakerRejects:    c.breakerRejects.Load(),
@@ -203,11 +224,53 @@ func (c *Client) Stats() ClientStats {
 
 // Plan requests a plan for a built-in kernel. Hedged when HedgeDelay is
 // set: plans are cached server-side, so a duplicate is usually a cheap
-// cache hit.
+// cache hit. With Config.Revalidate, a remembered response's ETag rides
+// along as If-None-Match and a 304 answers from the local copy.
 func (c *Client) Plan(ctx context.Context, req *PlanRequest) (*PlanResponse, error) {
+	if c.reval == nil {
+		var out PlanResponse
+		if err := c.doJSON(ctx, http.MethodPost, "/v1/plan", req, &out, true); err != nil {
+			return nil, err
+		}
+		return &out, nil
+	}
+	key := serve.CanonicalResponseKey(req)
+	var inm string
+	if e, ok := c.reval.get(key); ok {
+		inm = e.etag
+	}
 	var out PlanResponse
-	if err := c.doJSON(ctx, http.MethodPost, "/v1/plan", req, &out, true); err != nil {
+	etag, notModified, err := c.exchange(ctx, http.MethodPost, "/v1/plan", req, &out, true, inm)
+	if err != nil {
 		return nil, err
+	}
+	if notModified {
+		c.revalidations.Add(1)
+		e, ok := c.reval.get(key)
+		if !ok {
+			// The entry was evicted between the lookup and the 304; retry
+			// without a validator rather than failing a healthy exchange.
+			return c.planFresh(ctx, req)
+		}
+		r := e.resp // copy; the cached response stays immutable
+		r.Cache = CacheHit
+		return &r, nil
+	}
+	if etag != "" {
+		c.reval.put(key, etag, out)
+	}
+	return &out, nil
+}
+
+// planFresh is Plan without a validator — the revalidation fallback.
+func (c *Client) planFresh(ctx context.Context, req *PlanRequest) (*PlanResponse, error) {
+	var out PlanResponse
+	etag, _, err := c.exchange(ctx, http.MethodPost, "/v1/plan", req, &out, true, "")
+	if err != nil {
+		return nil, err
+	}
+	if etag != "" {
+		c.reval.put(serve.CanonicalResponseKey(req), etag, out)
 	}
 	return &out, nil
 }
@@ -275,18 +338,27 @@ func (c *Client) Ready(ctx context.Context) error {
 type httpResult struct {
 	status     int
 	retryAfter time.Duration
+	etag       string
 	body       []byte
 }
 
 // doJSON runs one API call through the breaker + retry + hedging stack.
 func (c *Client) doJSON(ctx context.Context, method, path string, in, out any, hedgeable bool) error {
+	_, _, err := c.exchange(ctx, method, path, in, out, hedgeable, "")
+	return err
+}
+
+// exchange is doJSON plus conditional-request support: inm rides along as
+// If-None-Match, the response's ETag is returned, and a 304 reports
+// notModified=true with out left untouched.
+func (c *Client) exchange(ctx context.Context, method, path string, in, out any, hedgeable bool, inm string) (etag string, notModified bool, err error) {
 	c.requests.Add(1)
 	var body []byte
 	if in != nil {
 		var err error
 		if body, err = json.Marshal(in); err != nil {
 			c.failures.Add(1)
-			return fmt.Errorf("client: encoding request: %w", err)
+			return "", false, fmt.Errorf("client: encoding request: %w", err)
 		}
 	}
 
@@ -296,12 +368,12 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any, h
 			c.breakerRejects.Add(1)
 			c.failures.Add(1)
 			if lastErr != nil {
-				return fmt.Errorf("%w (last failure: %v)", err, lastErr)
+				return "", false, fmt.Errorf("%w (last failure: %v)", err, lastErr)
 			}
-			return err
+			return "", false, err
 		}
 		c.attempts.Add(1)
-		res, err := c.attempt(ctx, method, path, body, hedgeable)
+		res, err := c.attempt(ctx, method, path, body, hedgeable, inm)
 
 		// Classify. A 4xx means the server is healthy and we are wrong:
 		// success for the breaker, terminal for the caller. 503 is the
@@ -315,6 +387,12 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any, h
 			c.breaker.record(false)
 			lastErr = fmt.Errorf("client: %s %s: %w", method, path, err)
 			retryable = true
+		case res.status == http.StatusNotModified:
+			// Only possible when we sent a validator: the server vouches our
+			// copy is current. A success in every sense.
+			c.breaker.record(true)
+			c.successes.Add(1)
+			return res.etag, true, nil
 		case res.status == http.StatusServiceUnavailable:
 			c.breaker.record(false)
 			lastErr = apiErrorFrom(res)
@@ -323,11 +401,11 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any, h
 		case res.status >= 500:
 			c.breaker.record(false)
 			c.failures.Add(1)
-			return apiErrorFrom(res)
+			return "", false, apiErrorFrom(res)
 		case res.status >= 300:
 			c.breaker.record(true)
 			c.failures.Add(1)
-			return apiErrorFrom(res)
+			return "", false, apiErrorFrom(res)
 		default:
 			if out != nil {
 				if err := json.Unmarshal(res.body, out); err != nil {
@@ -335,17 +413,17 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any, h
 					// load: terminal, and a breaker failure.
 					c.breaker.record(false)
 					c.failures.Add(1)
-					return fmt.Errorf("client: %s %s: decoding %d-byte response: %w", method, path, len(res.body), err)
+					return "", false, fmt.Errorf("client: %s %s: decoding %d-byte response: %w", method, path, len(res.body), err)
 				}
 			}
 			c.breaker.record(true)
 			c.successes.Add(1)
-			return nil
+			return res.etag, false, nil
 		}
 
 		if !retryable || attempt >= c.cfg.MaxRetries {
 			c.failures.Add(1)
-			return lastErr
+			return "", false, lastErr
 		}
 		wait := c.backoff(attempt, retryAfter)
 		if retryAfter > 0 {
@@ -356,7 +434,7 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any, h
 		// budget asleep.
 		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < wait {
 			c.failures.Add(1)
-			return fmt.Errorf("client: deadline too close to retry (%w): %w", context.DeadlineExceeded, lastErr)
+			return "", false, fmt.Errorf("client: deadline too close to retry (%w): %w", context.DeadlineExceeded, lastErr)
 		}
 		c.retries.Add(1)
 		t := time.NewTimer(wait)
@@ -364,7 +442,7 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any, h
 		case <-ctx.Done():
 			t.Stop()
 			c.failures.Add(1)
-			return fmt.Errorf("client: %w (last failure: %v)", ctx.Err(), lastErr)
+			return "", false, fmt.Errorf("client: %w (last failure: %v)", ctx.Err(), lastErr)
 		case <-t.C:
 		}
 	}
@@ -385,9 +463,9 @@ func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
 }
 
 // attempt performs one (possibly hedged) exchange.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, hedgeable bool) (*httpResult, error) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, hedgeable bool, inm string) (*httpResult, error) {
 	if !hedgeable || c.cfg.HedgeDelay <= 0 {
-		return c.roundTrip(ctx, method, path, body)
+		return c.roundTrip(ctx, method, path, body, inm)
 	}
 
 	type outcome struct {
@@ -400,7 +478,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	ch := make(chan outcome, 2)
 	launch := func(hedged bool) {
 		go func() {
-			res, err := c.roundTrip(hctx, method, path, body)
+			res, err := c.roundTrip(hctx, method, path, body, inm)
 			ch <- outcome{res, err, hedged}
 		}()
 	}
@@ -438,7 +516,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 }
 
 // roundTrip is one HTTP exchange with the body fully read.
-func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) (*httpResult, error) {
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte, inm string) (*httpResult, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -449,6 +527,9 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
 	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
@@ -462,6 +543,7 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 	return &httpResult{
 		status:     resp.StatusCode,
 		retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		etag:       resp.Header.Get("ETag"),
 		body:       data,
 	}, nil
 }

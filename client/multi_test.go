@@ -19,20 +19,22 @@ import (
 // under the current alive set) and /v1/cluster with the live membership
 // table — enough surface for the Multi's routing to be observable.
 type fakeShards struct {
-	mu    sync.Mutex
-	urls  []string
-	alive []bool
-	hits  []int // /v1/plan requests served, per shard
-	tss   []*httptest.Server
+	mu      sync.Mutex
+	urls    []string
+	alive   []bool
+	hits    []int // /v1/plan requests served, per shard
+	batches []int // /v1/batch requests served, per shard
+	tss     []*httptest.Server
 }
 
 func newFakeShards(t *testing.T, n int) *fakeShards {
 	t.Helper()
 	f := &fakeShards{
-		urls:  make([]string, n),
-		alive: make([]bool, n),
-		hits:  make([]int, n),
-		tss:   make([]*httptest.Server, n),
+		urls:    make([]string, n),
+		alive:   make([]bool, n),
+		hits:    make([]int, n),
+		batches: make([]int, n),
+		tss:     make([]*httptest.Server, n),
 	}
 	for i := 0; i < n; i++ {
 		i := i
@@ -55,6 +57,33 @@ func newFakeShards(t *testing.T, n int) *fakeShards {
 				Cache:   CacheMiss,
 				Cluster: &ClusterInfo{Shard: i, Owner: owner, Hops: 0},
 			})
+		})
+		mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+			var req BatchRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, "bad request", http.StatusBadRequest)
+				return
+			}
+			f.mu.Lock()
+			f.batches[i]++
+			f.mu.Unlock()
+			out := BatchResponse{Results: make([]BatchItemResult, len(req.Items))}
+			for j, it := range req.Items {
+				if it.Plan == nil {
+					out.Results[j] = BatchItemResult{Status: http.StatusBadRequest, Error: "plan only"}
+					continue
+				}
+				// A real daemon attaches no cluster metadata to batch items;
+				// the fake does, so tests can see which shard served what.
+				body, _ := json.Marshal(PlanResponse{
+					Kernel:  it.Plan.Kernel,
+					Size:    it.Plan.Size,
+					Cache:   CacheMiss,
+					Cluster: &ClusterInfo{Shard: i},
+				})
+				out.Results[j] = BatchItemResult{Status: http.StatusOK, Body: body}
+			}
+			json.NewEncoder(w).Encode(out)
 		})
 		mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
 			f.mu.Lock()

@@ -7,7 +7,8 @@
 //
 //	benchjson [-bench regexp] [-benchtime 1x] [-count 1] [-o BENCH_1.json]
 //
-// The output file holds a single JSON document:
+// The output file holds a single JSON document in the shared
+// internal/benchparse schema:
 //
 //	{
 //	  "go": "go1.22.x",
@@ -21,27 +22,14 @@ package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
-	"runtime"
 	"strconv"
-	"strings"
+
+	"repro/internal/benchparse"
 )
-
-// result is one parsed benchmark line.
-type result struct {
-	Name    string             `json:"name"`
-	Runs    int64              `json:"runs"`
-	Metrics map[string]float64 `json:"metrics"`
-}
-
-type document struct {
-	Go         string   `json:"go"`
-	Benchmarks []result `json:"benchmarks"`
-}
 
 func main() {
 	var (
@@ -65,14 +53,14 @@ func main() {
 		fail(err)
 	}
 
-	doc := document{Go: runtime.Version()}
+	doc := benchparse.New()
 	sc := bufio.NewScanner(stdout)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line)
-		if r, ok := parseLine(line); ok {
-			doc.Benchmarks = append(doc.Benchmarks, r)
+		if r, ok := benchparse.ParseLine(line); ok {
+			doc.Add(r)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -85,43 +73,10 @@ func main() {
 		fail(fmt.Errorf("no benchmark lines matched %q", *bench))
 	}
 
-	data, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		fail(err)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := doc.WriteFile(*out); err != nil {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
-}
-
-// parseLine parses one `go test -bench` output line, e.g.
-//
-//	BenchmarkFoo/bar-8   1000   1234 ns/op   56 B/op   7 allocs/op   9.0 widgets
-//
-// into a result; the unit of each "<value> <unit>" pair becomes a metric key.
-func parseLine(line string) (result, bool) {
-	if !strings.HasPrefix(line, "Benchmark") {
-		return result{}, false
-	}
-	fields := strings.Fields(line)
-	if len(fields) < 4 {
-		return result{}, false
-	}
-	runs, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return result{}, false
-	}
-	r := result{Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return result{}, false
-		}
-		r.Metrics[fields[i+1]] = v
-	}
-	return r, len(r.Metrics) > 0
 }
 
 func fail(err error) {

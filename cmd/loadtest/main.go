@@ -1,0 +1,401 @@
+// Command loadtest is the seeded load generator for loopmapd: it drives
+// the daemon's plan-serving path through the public client (client.Multi,
+// so cluster targets work too) and reports latency percentiles and
+// throughput per workload, machine-readable in the shared
+// internal/benchparse schema.
+//
+// Workloads:
+//
+//	hit-heavy:  a small fixed key population — after one warm pass every
+//	            request rides the encoded-response fast path
+//	miss-heavy: a churning key stream — almost every request computes
+//	single:     the mixed key population, one request per round trip
+//	batch:      the same population through /v1/batch, -batch items per
+//	            round trip (compare its rps against single's)
+//	mixed:      80% population hits, 20% fresh keys
+//	all:        every workload above, sequentially (the BENCH_6 suite)
+//
+// With no -target the daemon runs in-process on a loopback listener, so
+// the tool is self-contained: `go run ./cmd/loadtest -o BENCH_6.json`.
+// Rate 0 is closed-loop (saturation throughput: -conc workers back to
+// back); -rate > 0 is open-loop with seeded exponential interarrivals,
+// and latency then includes queueing delay, as an arriving request would
+// see it.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+	"repro/internal/benchparse"
+	"repro/internal/serve"
+)
+
+type options struct {
+	targets  string
+	workload string
+	duration time.Duration
+	rate     float64
+	conc     int
+	batch    int
+	keys     int
+	seed     int64
+	out      string
+}
+
+func main() {
+	var opt options
+	flag.StringVar(&opt.targets, "target", "", "comma-separated daemon base URLs (empty: run one in-process)")
+	flag.StringVar(&opt.workload, "workload", "all", "hit-heavy | miss-heavy | single | batch | mixed | all")
+	flag.DurationVar(&opt.duration, "duration", 2*time.Second, "measured run length per workload")
+	flag.Float64Var(&opt.rate, "rate", 0, "offered load in requests/s (0: closed-loop saturation)")
+	flag.IntVar(&opt.conc, "conc", 32, "concurrent workers")
+	flag.IntVar(&opt.batch, "batch", 16, "items per /v1/batch round trip in the batch workload")
+	flag.IntVar(&opt.keys, "keys", 48, "distinct keys in the fixed population")
+	flag.Int64Var(&opt.seed, "seed", 1, "deterministic workload seed")
+	flag.StringVar(&opt.out, "o", "", "write results as benchparse JSON to this file")
+	flag.Parse()
+
+	endpoints := splitTargets(opt.targets)
+	if len(endpoints) == 0 {
+		url, stop, err := selfHost()
+		if err != nil {
+			fail(err)
+		}
+		defer stop()
+		endpoints = []string{url}
+	}
+	m, err := client.NewMulti(client.MultiConfig{Endpoints: endpoints})
+	if err != nil {
+		fail(err)
+	}
+	ctx := context.Background()
+	if err := m.Ready(ctx); err != nil {
+		fail(fmt.Errorf("target not ready: %w", err))
+	}
+
+	workloads := []string{"hit-heavy", "miss-heavy", "single", "batch", "mixed"}
+	if opt.workload != "all" {
+		workloads = []string{opt.workload}
+	}
+	doc := benchparse.New()
+	for _, w := range workloads {
+		res, err := runWorkload(ctx, m, w, opt)
+		if err != nil {
+			fail(fmt.Errorf("workload %s: %w", w, err))
+		}
+		res.print(os.Stdout)
+		doc.Add(res.record())
+	}
+	if opt.out != "" {
+		if err := doc.WriteFile(opt.out); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "loadtest: wrote %d workloads to %s\n", len(doc.Benchmarks), opt.out)
+	}
+}
+
+func splitTargets(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// selfHost boots an in-process daemon on a loopback listener.
+func selfHost() (url string, stop func(), err error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: serve.New(serve.Config{}).Handler()}
+	go srv.Serve(l)
+	return "http://" + l.Addr().String(), func() { srv.Close() }, nil
+}
+
+// freshKeys hands out distinct canonical keys across all workers: each
+// take() enumerates the next point of an ~8000-key space (sizes within
+// the daemon's default MaxKernelSize, merge factors, aux toggles, cube
+// dims), so a miss-heavy stream stays miss-heavy for a whole run.
+type freshKeys struct{ n atomic.Int64 }
+
+func (f *freshKeys) take() *client.PlanRequest {
+	idx := f.n.Add(1)
+	size := 16 + idx%113
+	idx /= 113
+	kernel := []string{"l1", "matmul"}[idx%2]
+	idx /= 2
+	merge := 1 + idx%6
+	idx /= 6
+	noAux := idx%2 == 1
+	idx /= 2
+	d := 2 + int(idx%3)
+	return &client.PlanRequest{
+		Kernel: kernel, Size: size, CubeDim: &d,
+		MergeFactor: merge, NoAux: noAux,
+	}
+}
+
+// genFor builds a workload's request generator. Each call to the
+// returned function yields the next request batch (size 1 except for the
+// batch workload) from one worker's deterministic stream.
+func genFor(workload string, opt options, worker int, fresh *freshKeys) func() []*client.PlanRequest {
+	rng := rand.New(rand.NewSource(opt.seed + int64(worker)*7919))
+	kernels := []string{"l1", "matmul"}
+	population := func() *client.PlanRequest {
+		d := 2 + rng.Intn(3)
+		return &client.PlanRequest{
+			Kernel:  kernels[rng.Intn(len(kernels))],
+			Size:    int64(4 + rng.Intn(opt.keys/2)),
+			CubeDim: &d,
+		}
+	}
+	one := func(f func() *client.PlanRequest) func() []*client.PlanRequest {
+		return func() []*client.PlanRequest { return []*client.PlanRequest{f()} }
+	}
+	switch workload {
+	case "hit-heavy":
+		return one(population)
+	case "miss-heavy":
+		return one(fresh.take)
+	case "single":
+		return one(population)
+	case "batch":
+		return func() []*client.PlanRequest {
+			out := make([]*client.PlanRequest, opt.batch)
+			for i := range out {
+				out[i] = population()
+			}
+			return out
+		}
+	case "mixed":
+		return one(func() *client.PlanRequest {
+			if rng.Float64() < 0.8 {
+				return population()
+			}
+			return fresh.take()
+		})
+	}
+	return nil
+}
+
+// result is one workload's measurements.
+type result struct {
+	workload  string
+	elapsed   time.Duration
+	requests  int64 // plan responses received (batch items count individually)
+	trips     int64 // HTTP round trips
+	errors    int64
+	hits      int64 // responses served from a cache (hit or shared)
+	latencies []time.Duration
+}
+
+func runWorkload(ctx context.Context, m *client.Multi, workload string, opt options) (*result, error) {
+	fresh := &freshKeys{}
+	if genFor(workload, opt, 0, fresh) == nil {
+		return nil, fmt.Errorf("unknown workload %q", workload)
+	}
+
+	// Warm pass for the hit-heavy workload: the measured run should see
+	// the steady state, not the one-time fill.
+	if workload == "hit-heavy" {
+		warm := genFor(workload, opt, 0, fresh)
+		for i := 0; i < opt.keys*2; i++ {
+			if _, err := m.Plan(ctx, warm()[0]); err != nil {
+				return nil, fmt.Errorf("warming: %w", err)
+			}
+		}
+	}
+
+	res := &result{workload: workload}
+	var mu sync.Mutex
+	var requests, trips, errors, hits atomic.Int64
+
+	// Open-loop arrivals: one dispatcher stamps scheduled times on a
+	// channel; worker latency is measured from the scheduled arrival, so
+	// queueing under overload shows up in the percentiles. Closed loop
+	// (rate 0) measures pure service time.
+	var arrivals chan time.Time
+	stop := make(chan struct{})
+	if opt.rate > 0 {
+		arrivals = make(chan time.Time, opt.conc*4)
+		arrival := rand.New(rand.NewSource(opt.seed ^ 0x5eed))
+		go func() {
+			defer close(arrivals)
+			next := time.Now()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				interval := time.Duration(arrival.ExpFloat64() * float64(time.Second) / opt.rate)
+				next = next.Add(interval)
+				time.Sleep(time.Until(next))
+				select {
+				case arrivals <- next:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	deadline := start.Add(opt.duration)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.conc; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gen := genFor(workload, opt, w, fresh)
+			var local []time.Duration
+			for {
+				var from time.Time
+				if arrivals != nil {
+					t, ok := <-arrivals
+					if !ok {
+						break
+					}
+					from = t
+				} else {
+					if time.Now().After(deadline) {
+						break
+					}
+					from = time.Now()
+				}
+				reqs := gen()
+				trips.Add(1)
+				if len(reqs) == 1 {
+					pr, err := m.Plan(ctx, reqs[0])
+					if err != nil {
+						errors.Add(1)
+					} else {
+						requests.Add(1)
+						if pr.Cache != client.CacheMiss {
+							hits.Add(1)
+						}
+					}
+				} else {
+					// Raw envelope: decoding 16 response bodies per trip would
+					// burn generator CPU (shared with a self-hosted daemon) and
+					// measure the client, not the daemon. One sampled item per
+					// trip keeps the hit ratio honest.
+					items := make([]client.BatchItem, len(reqs))
+					for i, pr := range reqs {
+						items[i] = client.BatchItem{Plan: pr}
+					}
+					br, err := m.Batch(ctx, &client.BatchRequest{Items: items})
+					if err != nil {
+						errors.Add(int64(len(reqs)))
+					} else {
+						sampled := false
+						for i := range br.Results {
+							if br.Results[i].Status != http.StatusOK {
+								errors.Add(1)
+								continue
+							}
+							requests.Add(1)
+							if !sampled {
+								sampled = true
+								var pr client.PlanResponse
+								if json.Unmarshal(br.Results[i].Body, &pr) == nil && pr.Cache != client.CacheMiss {
+									hits.Add(int64(len(br.Results)))
+								}
+							}
+						}
+					}
+				}
+				local = append(local, time.Since(from))
+				if arrivals == nil && time.Now().After(deadline) {
+					break
+				}
+			}
+			mu.Lock()
+			res.latencies = append(res.latencies, local...)
+			mu.Unlock()
+		}()
+	}
+	if arrivals != nil {
+		time.Sleep(opt.duration)
+		close(stop)
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	res.requests = requests.Load()
+	res.trips = trips.Load()
+	res.errors = errors.Load()
+	res.hits = hits.Load()
+	if res.requests == 0 {
+		return nil, fmt.Errorf("no request succeeded (%d errors)", res.errors)
+	}
+	return res, nil
+}
+
+// pct returns the p-th percentile of the sorted latency set.
+func pct(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p / 100 * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func (r *result) sorted() []time.Duration {
+	s := append([]time.Duration(nil), r.latencies...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+func (r *result) rps() float64 { return float64(r.requests) / r.elapsed.Seconds() }
+
+func (r *result) print(w *os.File) {
+	s := r.sorted()
+	fmt.Fprintf(w, "%-10s  %8.0f req/s  %7d req  %4d err  hit %4.1f%%  p50 %s  p95 %s  p99 %s\n",
+		r.workload, r.rps(), r.requests, r.errors,
+		100*float64(r.hits)/float64(r.requests),
+		pct(s, 50).Round(time.Microsecond), pct(s, 95).Round(time.Microsecond),
+		pct(s, 99).Round(time.Microsecond))
+}
+
+// record renders the result in the benchparse schema, one pseudo
+// benchmark per workload.
+func (r *result) record() benchparse.Result {
+	s := r.sorted()
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return benchparse.Result{
+		Name: "Loadtest/" + r.workload,
+		Runs: r.requests,
+		Metrics: map[string]float64{
+			"rps":       r.rps(),
+			"trips":     float64(r.trips),
+			"errors":    float64(r.errors),
+			"hit-ratio": float64(r.hits) / float64(r.requests),
+			"p50-ms":    ms(pct(s, 50)),
+			"p95-ms":    ms(pct(s, 95)),
+			"p99-ms":    ms(pct(s, 99)),
+			"max-ms":    ms(pct(s, 100)),
+		},
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "loadtest:", err)
+	os.Exit(1)
+}

@@ -45,6 +45,10 @@ func main() {
 	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown grace period")
 	stateDir := flag.String("state-dir", "", "durable plan store directory: the cache warm-starts from it and survives crashes (empty = ephemeral)")
 	fsync := flag.String("fsync", "interval", "WAL durability policy: always, interval, never")
+	groupCommit := flag.Bool("group-commit", false, "batch fsync=always WAL appends into group commits (one fsync per window)")
+	groupWindow := flag.Duration("group-window", 0, "group-commit gather window (0 = 1ms default)")
+	respCacheMB := flag.Int64("resp-cache-mb", 16, "encoded-response cache budget in MiB (negative disables)")
+	maxBatch := flag.Int("max-batch", 0, "largest /v1/batch item count accepted (0 = 256 default)")
 	peers := flag.String("peers", "", "comma-separated shard base URLs, self included — enables cluster mode")
 	shardID := flag.Int("shard-id", 0, "this daemon's shard ID: its index in -peers and its hypercube address")
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "cluster peer health-probe period")
@@ -62,6 +66,10 @@ func main() {
 		MaxKernelSize:  *maxSize,
 		StateDir:       *stateDir,
 		Fsync:          *fsync,
+		GroupCommit:    *groupCommit,
+		GroupWindow:    *groupWindow,
+		RespCacheBytes: respCacheBytes(*respCacheMB),
+		MaxBatchItems:  *maxBatch,
 		Logger:         logger,
 	})
 	rs, err := srv.Recover(context.Background())
@@ -125,6 +133,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// respCacheBytes maps the -resp-cache-mb flag onto the Config encoding
+// (0 = default, negative = disabled).
+func respCacheBytes(mb int64) int64 {
+	if mb < 0 {
+		return -1
+	}
+	return mb << 20
 }
 
 // withPprof optionally mounts net/http/pprof in front of the API

@@ -1,0 +1,75 @@
+// Package benchparse is the shared vocabulary for the repository's
+// machine-readable benchmark artifacts (BENCH_*.json): a parser for `go
+// test -bench` output lines and the JSON document both cmd/benchjson and
+// cmd/loadtest emit, so every artifact has one schema regardless of
+// whether the numbers came from testing.B or a load generator.
+package benchparse
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements: Go's standard metrics (ns/op,
+// B/op, allocs/op) and any custom "<value> <unit>" pairs, keyed by unit.
+type Result struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Document is a BENCH_*.json file: the toolchain that produced it and
+// the results.
+type Document struct {
+	Go         string   `json:"go"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// New returns an empty document stamped with the running toolchain.
+func New() Document {
+	return Document{Go: runtime.Version()}
+}
+
+// Add appends one result.
+func (d *Document) Add(r Result) { d.Benchmarks = append(d.Benchmarks, r) }
+
+// WriteFile writes the document as indented JSON.
+func (d *Document) WriteFile(path string) error {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ParseLine parses one `go test -bench` output line, e.g.
+//
+//	BenchmarkFoo/bar-8   1000   1234 ns/op   56 B/op   7 allocs/op   9.0 widgets
+//
+// into a Result; the unit of each "<value> <unit>" pair becomes a metric
+// key. Non-benchmark lines report ok=false.
+func ParseLine(line string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}

@@ -1,0 +1,59 @@
+package benchparse
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	r, ok := ParseLine("BenchmarkFoo/bar-8   1000   1234 ns/op   56 B/op   7 allocs/op   9.5 widgets")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if r.Name != "BenchmarkFoo/bar-8" || r.Runs != 1000 {
+		t.Fatalf("parsed %+v", r)
+	}
+	want := map[string]float64{"ns/op": 1234, "B/op": 56, "allocs/op": 7, "widgets": 9.5}
+	for k, v := range want {
+		if r.Metrics[k] != v {
+			t.Fatalf("metric %q = %v, want %v", k, r.Metrics[k], v)
+		}
+	}
+
+	for _, bad := range []string{
+		"ok  \trepro\t0.5s",
+		"PASS",
+		"BenchmarkShort 12",
+		"Benchmark x 1 ns/op",
+		"BenchmarkOddFields 10 12",
+	} {
+		if _, ok := ParseLine(bad); ok {
+			t.Fatalf("line %q parsed but should not", bad)
+		}
+	}
+}
+
+func TestDocumentRoundTrip(t *testing.T) {
+	d := New()
+	if d.Go == "" {
+		t.Fatal("document carries no toolchain version")
+	}
+	d.Add(Result{Name: "BenchmarkX", Runs: 3, Metrics: map[string]float64{"rps": 42}})
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := d.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Document
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Benchmarks) != 1 || back.Benchmarks[0].Metrics["rps"] != 42 {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+}

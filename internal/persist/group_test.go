@@ -1,0 +1,198 @@
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGroupCommitDurableAndCoalesced: 32 concurrent appenders under
+// group commit all come back durable, and the committer coalesces them
+// into strictly fewer fsync groups than appends.
+func TestGroupCommitDurableAndCoalesced(t *testing.T) {
+	dir := t.TempDir()
+	var groups, grouped atomic.Int64
+	s, _, _ := openOrFatal(t, dir, Options{
+		Fsync:       FsyncAlways,
+		GroupCommit: true,
+		GroupWindow: 2 * time.Millisecond,
+		OnGroupCommit: func(records, bytes int) {
+			groups.Add(1)
+			grouped.Add(int64(records))
+		},
+	})
+
+	const writers = 32
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.Append(Record{
+				Key:   fmt.Sprintf("k%02d", i),
+				Value: []byte(fmt.Sprintf("v%02d", i)),
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := grouped.Load(); got != writers {
+		t.Fatalf("group commits accounted for %d records, want %d", got, writers)
+	}
+	if g := groups.Load(); g >= writers {
+		t.Fatalf("committed %d groups for %d appends: no coalescing happened", g, writers)
+	}
+
+	_, recs, stats := openOrFatal(t, dir, Options{})
+	if stats.TailErr != nil || stats.DroppedTailBytes != 0 {
+		t.Fatalf("group-committed log reported tail damage: %+v", stats)
+	}
+	seen := map[string]string{}
+	for _, r := range recs {
+		seen[r.Key] = string(r.Value)
+	}
+	if len(seen) != writers {
+		t.Fatalf("replayed %d distinct records, want %d", len(seen), writers)
+	}
+	for i := 0; i < writers; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		if seen[k] != fmt.Sprintf("v%02d", i) {
+			t.Fatalf("record %s = %q after replay", k, seen[k])
+		}
+	}
+}
+
+// TestGroupCommitSizeBoundCutsWindow: a pending group larger than
+// GroupMaxBytes commits without waiting out an absurdly long window.
+func TestGroupCommitSizeBoundCutsWindow(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := openOrFatal(t, dir, Options{
+		Fsync:         FsyncAlways,
+		GroupCommit:   true,
+		GroupWindow:   time.Minute, // only the size bound can save us
+		GroupMaxBytes: 64,
+	})
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := s.Append(Record{Key: fmt.Sprintf("k%d", i), Value: bytes.Repeat([]byte{byte(i)}, 64)}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("size-bounded group took %v, the window was never cut short", elapsed)
+	}
+}
+
+// TestGroupCommitCloseDrains: Close must flush pending appends (their
+// waiters get an outcome, not a hang) and reject appends arriving after.
+func TestGroupCommitCloseDrains(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := openOrFatal(t, dir, Options{
+		Fsync:       FsyncAlways,
+		GroupCommit: true,
+		GroupWindow: 50 * time.Millisecond, // long: Close arrives mid-window
+	})
+	const n = 4
+	var wg sync.WaitGroup
+	acked := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			acked[i] = s.Append(Record{Key: fmt.Sprintf("k%d", i), Value: []byte("v")}) == nil
+		}(i)
+	}
+	time.Sleep(5 * time.Millisecond) // let the appends enqueue
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if err := s.Append(Record{Key: "late", Value: []byte("v")}); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+
+	_, recs, _ := openOrFatal(t, dir, Options{})
+	durable := map[string]bool{}
+	for _, r := range recs {
+		durable[r.Key] = true
+	}
+	for i, ok := range acked {
+		if ok && !durable[fmt.Sprintf("k%d", i)] {
+			t.Fatalf("append %d was acknowledged but is not durable after Close", i)
+		}
+	}
+}
+
+// TestGroupCommitOffByPolicy: GroupCommit under a non-always policy is a
+// plain buffered append — no committer goroutine, no behavior change.
+func TestGroupCommitOffByPolicy(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := openOrFatal(t, dir, Options{
+		Fsync:       FsyncNever,
+		GroupCommit: true,
+	})
+	if s.groupMode() {
+		t.Fatal("group mode active under FsyncNever")
+	}
+	if err := s.Append(Record{Key: "k", Value: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, _ := openOrFatal(t, dir, Options{})
+	if len(recs) != 1 || recs[0].Key != "k" {
+		t.Fatalf("replayed %+v, want the single record", recs)
+	}
+}
+
+// The acceptance comparison: fsync=always append throughput under 32
+// concurrent writers, with and without group commit. Group commit pays
+// one fsync per group instead of one per record.
+func benchmarkAppendParallel(b *testing.B, group bool) {
+	dir := b.TempDir()
+	s, _, _, err := Open(dir, Options{
+		Fsync:       FsyncAlways,
+		GroupCommit: group,
+		GroupWindow: 500 * time.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := bytes.Repeat([]byte("x"), 128)
+	b.SetParallelism(32)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if err := s.Append(Record{Key: fmt.Sprintf("bench-%d", i), Value: val}); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkWALAppendAlwaysGrouped(b *testing.B)   { benchmarkAppendParallel(b, true) }
+func BenchmarkWALAppendAlwaysUngrouped(b *testing.B) { benchmarkAppendParallel(b, false) }

@@ -1,0 +1,243 @@
+// POST /v1/batch: many plan/simulate requests in one round trip.
+//
+// The wins over N single requests are (1) one HTTP exchange, (2) shared
+// base-plan work — items are grouped by their canonical base-plan key and
+// each group runs on one worker, so the first item computes (or finds)
+// the partitioning and its siblings remap it from cache without ever
+// racing it through singleflight, and (3) the encoded-response fast path
+// applies per item. Items fail independently: a bad or timed-out item
+// carries its own status in the envelope and never poisons its siblings.
+//
+// In cluster mode a batch is served where it lands — the daemon does not
+// split a batch across peers (client.Multi groups items by owner and
+// sends one batch per shard instead), so items carry no cluster metadata.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/pool"
+)
+
+// BatchItem is one request in a batch: exactly one of Plan or Simulate.
+type BatchItem struct {
+	Plan     *PlanRequest     `json:"plan,omitempty"`
+	Simulate *SimulateRequest `json:"simulate,omitempty"`
+}
+
+// BatchRequest is the JSON body of /v1/batch. TimeoutMS bounds the whole
+// batch; per-item timeout_ms fields are ignored (one deadline, one
+// envelope).
+type BatchRequest struct {
+	Items     []BatchItem `json:"items"`
+	TimeoutMS int64       `json:"timeout_ms,omitempty"`
+}
+
+// BatchItemResult is one item's outcome. Status is the HTTP status the
+// item would have earned as a single request; Body is its exact response
+// body (modulo the cluster metadata a forwarded single request would
+// carry); ETag is set for plan items so clients can revalidate later.
+type BatchItemResult struct {
+	Status int             `json:"status"`
+	Error  string          `json:"error,omitempty"`
+	ETag   string          `json:"etag,omitempty"`
+	Body   json.RawMessage `json:"body,omitempty"`
+}
+
+// BatchResponse is the /v1/batch envelope. The envelope itself is 200
+// whenever the batch was well-formed; failures live in the items.
+type BatchResponse struct {
+	Results []BatchItemResult `json:"results"`
+}
+
+// baseKey returns the canonical base-plan key grouping this item.
+func (it *BatchItem) baseKey() string {
+	if it.Plan != nil {
+		return it.Plan.cacheKey()
+	}
+	return it.Simulate.PlanRequest.cacheKey()
+}
+
+// frameBody renders a frame into a standalone response body (no trailing
+// newline — it embeds as a json.RawMessage).
+func frameBody(f *respFrame, outcome CacheOutcome) json.RawMessage {
+	b := make([]byte, 0, len(f.prefix)+len(outcome)+12)
+	b = append(b, f.prefix...)
+	b = append(b, `,"cache":"`...)
+	b = append(b, outcome...)
+	b = append(b, '"', '}')
+	return b
+}
+
+func errResult(err error) BatchItemResult {
+	return BatchItemResult{Status: errStatus(err), Error: err.Error()}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: reading body: %w", err))
+		return
+	}
+	var req BatchRequest
+	if err := decodeJSONBytes(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("serve: empty batch"))
+		return
+	}
+	if len(req.Items) > s.cfg.MaxBatchItems {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: batch of %d exceeds the maximum %d", len(req.Items), s.cfg.MaxBatchItems))
+		return
+	}
+	s.metrics.batchSize.observe(float64(len(req.Items)))
+	s.metrics.batchItems.Add(int64(len(req.Items)))
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	// Group items by base-plan key, preserving arrival order inside each
+	// group. Malformed items are answered immediately and never grouped.
+	results := make([]BatchItemResult, len(req.Items))
+	groups := map[string][]int{}
+	var order []string
+	for i := range req.Items {
+		it := &req.Items[i]
+		if (it.Plan == nil) == (it.Simulate == nil) {
+			results[i] = BatchItemResult{
+				Status: http.StatusBadRequest,
+				Error:  "serve: batch item needs exactly one of plan, simulate",
+			}
+			continue
+		}
+		if it.Plan != nil {
+			if err := s.validatePlanRequest(it.Plan); err != nil {
+				results[i] = BatchItemResult{Status: http.StatusBadRequest, Error: err.Error()}
+				continue
+			}
+		} else if err := s.validatePlanRequest(&it.Simulate.PlanRequest); err != nil {
+			results[i] = BatchItemResult{Status: http.StatusBadRequest, Error: err.Error()}
+			continue
+		}
+		k := it.baseKey()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+
+	// One worker per group: siblings share the group's base plan through
+	// the cache strictly after the first item lands it, and distinct
+	// groups fan out across the pool. Plan computation itself stays under
+	// the admission gate inside basePlan.
+	pool.Run(len(order), s.cfg.MaxInflight, func(g int) {
+		for _, i := range groups[order[g]] {
+			results[i] = s.batchItem(ctx, &req.Items[i])
+		}
+	})
+
+	buf := getBuf()
+	defer putBuf(buf)
+	encodeBatchResponse(buf, results)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+// encodeBatchResponse renders the envelope by hand: the item bodies are
+// already encoded JSON, and routing them through json.Marshal again
+// would re-scan every body byte — the dominant cost of a hit-heavy
+// batch. Output is byte-identical to json.Marshal(BatchResponse) plus
+// the trailing newline writeJSON would have added.
+func encodeBatchResponse(buf *bytes.Buffer, results []BatchItemResult) {
+	buf.WriteString(`{"results":[`)
+	for i := range results {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		r := &results[i]
+		buf.WriteString(`{"status":`)
+		buf.Write(strconv.AppendInt(nil, int64(r.Status), 10))
+		if r.Error != "" {
+			buf.WriteString(`,"error":`)
+			writeJSONString(buf, r.Error)
+		}
+		if r.ETag != "" {
+			buf.WriteString(`,"etag":`)
+			writeJSONString(buf, r.ETag)
+		}
+		if len(r.Body) > 0 {
+			buf.WriteString(`,"body":`)
+			buf.Write(r.Body)
+		}
+		buf.WriteByte('}')
+	}
+	buf.WriteString("]}\n")
+}
+
+// writeJSONString appends one JSON-encoded string. Error and ETag text
+// can carry quotes (ETags are quoted by definition), so this goes
+// through the real encoder; these fields are tiny.
+func writeJSONString(buf *bytes.Buffer, s string) {
+	b, _ := json.Marshal(s)
+	buf.Write(b)
+}
+
+// batchItem serves one validated item under the batch context.
+func (s *Server) batchItem(ctx context.Context, it *BatchItem) BatchItemResult {
+	if err := ctx.Err(); err != nil {
+		return errResult(err)
+	}
+	if it.Plan != nil {
+		f, outcome, _, err := s.planFrame(ctx, it.Plan)
+		if err != nil {
+			return errResult(err)
+		}
+		return BatchItemResult{
+			Status: http.StatusOK,
+			ETag:   f.etag,
+			Body:   frameBody(f, outcome),
+		}
+	}
+
+	sreq := it.Simulate
+	params, err := sreq.params()
+	if err != nil {
+		return BatchItemResult{Status: http.StatusBadRequest, Error: err.Error()}
+	}
+	engine, err := sreq.engine()
+	if err != nil {
+		return BatchItemResult{Status: http.StatusBadRequest, Error: err.Error()}
+	}
+	p, outcome, err := s.mappedPlan(ctx, &sreq.PlanRequest)
+	if err != nil {
+		return errResult(err)
+	}
+	resp, err := runSimulate(ctx, sreq, p, params, engine)
+	if err != nil {
+		return errResult(err)
+	}
+	resp.Cache = outcome
+	buf := getBuf()
+	defer putBuf(buf)
+	enc := json.NewEncoder(buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(resp); err != nil {
+		return errResult(err)
+	}
+	raw := bytes.TrimRight(buf.Bytes(), "\n")
+	return BatchItemResult{
+		Status: http.StatusOK,
+		Body:   json.RawMessage(append([]byte(nil), raw...)),
+	}
+}

@@ -197,7 +197,7 @@ func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, path, key 
 		return false
 	}
 	next := cn.m.NextHop(owner)
-	resp, err := cn.forward(r.Context(), path, body, hops+1, append(visited, self), next)
+	resp, err := cn.forward(r.Context(), path, body, hops+1, append(visited, self), next, r.Header.Get("If-None-Match"))
 	if err != nil {
 		s.metrics.forwardErrors.Add(1)
 		// Unreachable peer: mark it dead now instead of waiting out the
@@ -215,14 +215,18 @@ func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, path, key 
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		w.Header().Set("Retry-After", ra)
 	}
+	if et := resp.Header.Get("ETag"); et != "" {
+		w.Header().Set("ETag", et)
+	}
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
 	s.metrics.forwardsSent.Add(1)
 	return true
 }
 
-// forward performs one hop of e-cube routing over HTTP.
-func (cn *clusterNode) forward(ctx context.Context, path string, body []byte, hops int, visited []int, next int) (*http.Response, error) {
+// forward performs one hop of e-cube routing over HTTP. inm relays the
+// client's If-None-Match so the owner can answer 304 end to end.
+func (cn *clusterNode) forward(ctx context.Context, path string, body []byte, hops int, visited []int, next int, inm string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cn.m.URL(next)+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -230,6 +234,9 @@ func (cn *clusterNode) forward(ctx context.Context, path string, body []byte, ho
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(hopHeader, strconv.Itoa(hops))
 	req.Header.Set(pathHeader, joinInts(visited))
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
 	return cn.fwd.Do(req)
 }
 

@@ -141,7 +141,11 @@ func TestClusterHopBudgetAndLoopDetection(t *testing.T) {
 	}
 
 	// A request whose visited path already contains this shard is a loop:
-	// break it locally.
+	// break it locally. A different cube_dim keeps it out of the encoded-
+	// response cache the budget-stopped request just warmed — a frame hit
+	// would (correctly) answer before the forwarding logic under test runs.
+	dim2 := 2
+	req.CubeDim = &dim2
 	_, pr2 := postPlan(t, tss[0].URL, req, map[string]string{hopHeader: "1", pathHeader: "0"})
 	if pr2.Cluster.Shard != 0 {
 		t.Fatalf("looped request served by shard %d, want local 0", pr2.Cluster.Shard)

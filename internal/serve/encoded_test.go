@@ -1,0 +1,291 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	loopmap "repro"
+)
+
+func TestEncodedHitAndETag304(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	body := `{"kernel": "l1", "size": 8, "cube_dim": 3}`
+
+	resp1, out1 := postJSON(t, ts.URL+"/v1/plan", body)
+	etag := resp1.Header.Get("ETag")
+	if etag == "" || !strings.HasPrefix(etag, `"p`) {
+		t.Fatalf("miss response carries no strong ETag: %q", etag)
+	}
+	if !bytes.Contains(out1, []byte(`"cache":"miss"`)) {
+		t.Fatalf("first response: %s", out1)
+	}
+
+	resp2, out2 := postJSON(t, ts.URL+"/v1/plan", body)
+	if got := resp2.Header.Get("ETag"); got != etag {
+		t.Fatalf("hit ETag %q != miss ETag %q", got, etag)
+	}
+	// Byte-identical modulo the cache outcome: the hit is the cached frame
+	// with a different suffix patched in.
+	want := bytes.Replace(out1, []byte(`"cache":"miss"`), []byte(`"cache":"hit"`), 1)
+	if !bytes.Equal(out2, want) {
+		t.Fatalf("hit differs from miss beyond the cache field:\n%s\nvs\n%s", out2, want)
+	}
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/plan", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("If-None-Match", etag)
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match with matching tag: status %d, want 304", resp3.StatusCode)
+	}
+	if b, _ := io.ReadAll(resp3.Body); len(b) != 0 {
+		t.Fatalf("304 carried a body: %s", b)
+	}
+	if got := resp3.Header.Get("ETag"); got != etag {
+		t.Fatalf("304 ETag %q, want %q", got, etag)
+	}
+
+	// A stale tag revalidates to a full 200.
+	req2, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/plan", strings.NewReader(body))
+	req2.Header.Set("If-None-Match", `"stale"`)
+	resp4, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp4.Body.Close()
+	if resp4.StatusCode != http.StatusOK {
+		t.Fatalf("stale If-None-Match: status %d, want 200", resp4.StatusCode)
+	}
+
+	m := s.Metrics()
+	if m.EncodedHits < 2 {
+		t.Fatalf("encoded hits = %d, want >= 2", m.EncodedHits)
+	}
+	if m.NotModified != 1 {
+		t.Fatalf("304s = %d, want 1", m.NotModified)
+	}
+	if m.RespCacheCount != 1 || m.RespCacheBytes <= 0 {
+		t.Fatalf("resp cache entries=%d bytes=%d, want 1 entry with positive bytes",
+			m.RespCacheCount, m.RespCacheBytes)
+	}
+	if m.EncodedBytes <= 0 || m.BytesServed < m.EncodedBytes {
+		t.Fatalf("bytes served=%d encoded=%d: accounting is off", m.BytesServed, m.EncodedBytes)
+	}
+}
+
+// The ETag is a pure function of the request — two independent daemons
+// (a restart, in effect) agree on it, so client revalidation survives a
+// cold start.
+func TestETagStableAcrossRestarts(t *testing.T) {
+	body := `{"kernel": "matmul", "size": 8, "cube_dim": 3}`
+	var tags [2]string
+	for i := range tags {
+		_, ts := newTestServer(t, Config{})
+		resp, _ := postJSON(t, ts.URL+"/v1/plan", body)
+		tags[i] = resp.Header.Get("ETag")
+	}
+	if tags[0] == "" || tags[0] != tags[1] {
+		t.Fatalf("ETags across restarts: %q vs %q", tags[0], tags[1])
+	}
+}
+
+func TestEtagMatch(t *testing.T) {
+	for _, tc := range []struct {
+		header string
+		want   bool
+	}{
+		{`"p01"`, true},
+		{`*`, true},
+		{`"other", "p01"`, true},
+		{`"other"`, false},
+		{``, false},
+	} {
+		if got := etagMatch(tc.header, `"p01"`); got != tc.want {
+			t.Errorf("etagMatch(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}
+
+func TestRespCacheEviction(t *testing.T) {
+	c := newRespCache(600)
+	big := &respFrame{prefix: bytes.Repeat([]byte("x"), 200), etag: `"p"`}
+	c.put("a", big)
+	c.put("b", big)
+	c.get("a") // a is now most recently used
+	c.put("c", big)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("newest entry c was evicted")
+	}
+	if b, n := c.stats(); n != 2 || b > 600+int64(big.size()) {
+		t.Fatalf("stats after eviction: %d entries, %d bytes", n, b)
+	}
+}
+
+func (f *respFrame) size() int { return len(f.prefix) + len(f.etag) }
+
+// The satellite-1 assertion: the encoded hit path allocates a small
+// fraction of what rebuilding and re-marshaling the response (the old hit
+// path) costs.
+func TestHitPathAllocDrop(t *testing.T) {
+	s := New(Config{})
+	body := `{"kernel": "l1", "size": 8, "cube_dim": 3}`
+	warm := httptest.NewServer(s.Handler())
+	defer warm.Close()
+	postJSON(t, warm.URL+"/v1/plan", body) // populate both caches
+
+	var req PlanRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	p, _, err := s.mappedPlan(ctx, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hit := testing.AllocsPerRun(100, func() {
+		rec := httptest.NewRecorder()
+		hr, _ := http.NewRequest(http.MethodPost, "/v1/plan", strings.NewReader(body))
+		s.handlePlan(rec, hr)
+	})
+	legacy := testing.AllocsPerRun(100, func() {
+		rec := httptest.NewRecorder()
+		hr, _ := http.NewRequest(http.MethodPost, "/v1/plan", strings.NewReader(body))
+		var r2 PlanRequest
+		_ = json.Unmarshal([]byte(body), &r2)
+		p2, _ := p.RemapOpts(r2.cubeDim(), loopmap.MapOptions{Exclusive: r2.Exclusive})
+		writeJSON(rec, http.StatusOK, buildPlanResponse(&r2, p2))
+		_ = hr
+	})
+	if hit*2 >= legacy {
+		t.Fatalf("encoded hit path allocates %.0f/op vs legacy %.0f/op: want < half", hit, legacy)
+	}
+	t.Logf("allocs/op: encoded hit %.0f, legacy rebuild %.0f", hit, legacy)
+}
+
+// discardResponse is a reusable ResponseWriter for benchmarks: header
+// map allocated once, writes discarded. The harness must not dominate
+// the handler being measured.
+type discardResponse struct {
+	h    http.Header
+	code int
+	n    int
+}
+
+func (d *discardResponse) Header() http.Header { return d.h }
+func (d *discardResponse) Write(b []byte) (int, error) {
+	d.n += len(b)
+	return len(b), nil
+}
+func (d *discardResponse) WriteHeader(c int) { d.code = c }
+
+// benchRequest builds one reusable request whose body can be rewound.
+func benchRequest(b *testing.B, body string) (*http.Request, *strings.Reader) {
+	b.Helper()
+	rd := strings.NewReader(body)
+	hr, err := http.NewRequest(http.MethodPost, "/v1/plan", io.NopCloser(rd))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return hr, rd
+}
+
+// BenchmarkHitPathEncoded measures the full handler on a warm encoded
+// cache; BenchmarkHitPathLegacy reconstructs the pre-frame hit path
+// (remap + response build + marshal) for comparison. The acceptance bar
+// is >= 5x lower ns/op for the encoded path.
+func BenchmarkHitPathEncoded(b *testing.B) {
+	s := New(Config{})
+	body := `{"kernel": "l1", "size": 8, "cube_dim": 3}`
+	warm := httptest.NewServer(s.Handler())
+	defer warm.Close()
+	if _, err := http.Post(warm.URL+"/v1/plan", "application/json", strings.NewReader(body)); err != nil {
+		b.Fatal(err)
+	}
+	hr, rd := benchRequest(b, body)
+	rec := &discardResponse{h: http.Header{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(body)
+		rec.code = 0
+		s.handlePlan(rec, hr)
+		if rec.code != http.StatusOK {
+			b.Fatalf("status %d", rec.code)
+		}
+	}
+}
+
+// BenchmarkHitPathLegacy reproduces the pre-frame hit handler end to
+// end: read body, strict decode, validate, plan-cache lookup, remap onto
+// the cube, build the response struct, and marshal it — what every hit
+// paid before the encoded cache existed.
+func BenchmarkHitPathLegacy(b *testing.B) {
+	s := New(Config{RespCacheBytes: -1})
+	body := `{"kernel": "l1", "size": 8, "cube_dim": 3}`
+	var warm PlanRequest
+	if err := json.Unmarshal([]byte(body), &warm); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := s.basePlan(context.Background(), &warm); err != nil {
+		b.Fatal(err)
+	}
+	_, rd := benchRequest(b, body)
+	rec := &discardResponse{h: http.Header{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(body)
+		raw, err := io.ReadAll(rd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var r2 PlanRequest
+		if err := decodeJSONBytes(raw, &r2); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.validatePlanRequest(&r2); err != nil {
+			b.Fatal(err)
+		}
+		p2, _, err := s.mappedPlan(context.Background(), &r2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp := buildPlanResponse(&r2, p2)
+		resp.Cache = CacheHit
+		out, err := json.Marshal(resp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec.Write(out)
+	}
+}
+
+func BenchmarkRespFrameWrite(b *testing.B) {
+	s := New(Config{})
+	f := newRespFrame([]byte(fmt.Sprintf(`{"kernel":"l1","pad":%q}`+"\n", bytes.Repeat([]byte("x"), 256))))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		hr, _ := http.NewRequest(http.MethodPost, "/v1/plan", nil)
+		s.writeFrame(rec, hr, f, CacheHit, "k", true)
+	}
+}

@@ -16,22 +16,27 @@ import (
 // latencyBuckets are the per-endpoint histogram upper bounds, in seconds.
 var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
 
-// histogram is a fixed-bucket latency histogram.
+// sizeBuckets are the upper bounds for count-shaped histograms (batch
+// sizes, WAL group-commit sizes).
+var sizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// histogram is a fixed-bucket histogram.
 type histogram struct {
-	mu     sync.Mutex
-	counts []int64 // one per bucket, plus the +Inf overflow at the end
-	sum    float64
-	total  int64
+	buckets []float64
+	mu      sync.Mutex
+	counts  []int64 // one per bucket, plus the +Inf overflow at the end
+	sum     float64
+	total   int64
 }
 
-func newHistogram() *histogram {
-	return &histogram{counts: make([]int64, len(latencyBuckets)+1)}
+func newHistogram(buckets []float64) *histogram {
+	return &histogram{buckets: buckets, counts: make([]int64, len(buckets)+1)}
 }
 
 func (h *histogram) observe(v float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	i := sort.SearchFloat64s(latencyBuckets, v)
+	i := sort.SearchFloat64s(h.buckets, v)
 	h.counts[i]++
 	h.sum += v
 	h.total++
@@ -39,8 +44,10 @@ func (h *histogram) observe(v float64) {
 
 // HistogramSnapshot is a histogram's state at one instant.
 type HistogramSnapshot struct {
-	// Cumulative[i] counts observations ≤ latencyBuckets[i]; the final
-	// entry is the total count (the +Inf bucket).
+	// Buckets are the upper bounds; Cumulative[i] counts observations ≤
+	// Buckets[i]. The final Cumulative entry is the total count (the +Inf
+	// bucket).
+	Buckets    []float64
 	Cumulative []int64
 	Sum        float64
 	Count      int64
@@ -55,7 +62,7 @@ func (h *histogram) snapshot() HistogramSnapshot {
 		run += c
 		cum[i] = run
 	}
-	return HistogramSnapshot{Cumulative: cum, Sum: h.sum, Count: h.total}
+	return HistogramSnapshot{Buckets: h.buckets, Cumulative: cum, Sum: h.sum, Count: h.total}
 }
 
 // statusCounters counts responses per HTTP status code.
@@ -107,6 +114,17 @@ type metrics struct {
 	walBytes           atomic.Int64
 	compactions        atomic.Int64
 
+	// zero-copy and batching instruments.
+	encodedHits     atomic.Int64 // responses served whole from the encoded cache
+	notModified     atomic.Int64 // 304s answered by an If-None-Match ETag match
+	bytesServed     atomic.Int64 // response body bytes, all endpoints
+	encodedBytes    atomic.Int64 // response body bytes served from encoded frames
+	batchItems      atomic.Int64 // items carried by /v1/batch requests
+	respCacheBytes  atomic.Int64
+	respCacheCount  atomic.Int64
+	batchSize       *histogram // items per /v1/batch request
+	groupCommitSize *histogram // records per WAL group commit
+
 	// cluster-mode instruments (stay zero in single-daemon mode).
 	forwardsSent       atomic.Int64
 	forwardsReceived   atomic.Int64
@@ -119,9 +137,13 @@ type metrics struct {
 }
 
 func newMetrics(endpoints []string) *metrics {
-	m := &metrics{endpoints: make(map[string]*endpointMetrics, len(endpoints))}
+	m := &metrics{
+		endpoints:       make(map[string]*endpointMetrics, len(endpoints)),
+		batchSize:       newHistogram(sizeBuckets),
+		groupCommitSize: newHistogram(sizeBuckets),
+	}
 	for _, e := range endpoints {
-		m.endpoints[e] = &endpointMetrics{latency: newHistogram()}
+		m.endpoints[e] = &endpointMetrics{latency: newHistogram(latencyBuckets)}
 	}
 	return m
 }
@@ -167,6 +189,17 @@ type Snapshot struct {
 	WALBytes           int64
 	Compactions        int64
 
+	// Zero-copy and batching accounting.
+	EncodedHits     int64
+	NotModified     int64
+	BytesServed     int64
+	EncodedBytes    int64
+	BatchItems      int64
+	RespCacheBytes  int64
+	RespCacheCount  int64
+	BatchSize       HistogramSnapshot
+	GroupCommitSize HistogramSnapshot
+
 	// Cluster-mode accounting (ClusterN == 0 in single-daemon mode).
 	ForwardsSent       int64
 	ForwardsReceived   int64
@@ -208,6 +241,15 @@ func (m *metrics) snapshot() Snapshot {
 		WALErrors:          m.walErrors.Load(),
 		WALBytes:           m.walBytes.Load(),
 		Compactions:        m.compactions.Load(),
+		EncodedHits:        m.encodedHits.Load(),
+		NotModified:        m.notModified.Load(),
+		BytesServed:        m.bytesServed.Load(),
+		EncodedBytes:       m.encodedBytes.Load(),
+		BatchItems:         m.batchItems.Load(),
+		RespCacheBytes:     m.respCacheBytes.Load(),
+		RespCacheCount:     m.respCacheCount.Load(),
+		BatchSize:          m.batchSize.snapshot(),
+		GroupCommitSize:    m.groupCommitSize.snapshot(),
 		ForwardsSent:       m.forwardsSent.Load(),
 		ForwardsReceived:   m.forwardsReceived.Load(),
 		ForwardErrors:      m.forwardErrors.Load(),
@@ -248,6 +290,17 @@ func (s Snapshot) render(w io.Writer) {
 	gauge("loopmapd_inflight_plans", "Plan computations currently admitted.", s.InflightPlans)
 	gauge("loopmapd_cache_bytes", "Estimated bytes held by the plan cache.", s.CacheBytes)
 	gauge("loopmapd_cache_entries", "Entries held by the plan cache.", s.CacheEntries)
+
+	// Zero-copy and batching.
+	counter("loopmapd_encoded_hits_total", "Responses served whole from the encoded-response cache.", s.EncodedHits)
+	counter("loopmapd_304_total", "Conditional requests answered 304 Not Modified by an ETag match.", s.NotModified)
+	counter("loopmapd_response_bytes_total", "Response body bytes served across all endpoints.", s.BytesServed)
+	counter("loopmapd_encoded_bytes_total", "Response body bytes served from cached encoded frames.", s.EncodedBytes)
+	counter("loopmapd_batch_items_total", "Items carried by /v1/batch requests.", s.BatchItems)
+	gauge("loopmapd_resp_cache_bytes", "Bytes held by the encoded-response cache.", s.RespCacheBytes)
+	gauge("loopmapd_resp_cache_entries", "Entries held by the encoded-response cache.", s.RespCacheCount)
+	renderHistogram(w, "loopmapd_batch_size", "Items per /v1/batch request.", s.BatchSize)
+	renderHistogram(w, "loopmapd_wal_group_commit_size", "Records coalesced per WAL group commit.", s.GroupCommitSize)
 
 	// Go runtime health.
 	gauge("loopmapd_goroutines", "Live goroutines.", int64(s.Goroutines))
@@ -301,11 +354,23 @@ func (s Snapshot) render(w io.Writer) {
 		if h.Count == 0 {
 			continue
 		}
-		for i, ub := range latencyBuckets {
+		for i, ub := range h.Buckets {
 			fmt.Fprintf(w, "loopmapd_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", n, ub, h.Cumulative[i])
 		}
 		fmt.Fprintf(w, "loopmapd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", n, h.Count)
 		fmt.Fprintf(w, "loopmapd_request_seconds_sum{endpoint=%q} %g\n", n, h.Sum)
 		fmt.Fprintf(w, "loopmapd_request_seconds_count{endpoint=%q} %d\n", n, h.Count)
 	}
+}
+
+// renderHistogram writes one unlabeled histogram in the exposition
+// format.
+func renderHistogram(w io.Writer, name, help string, h HistogramSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for i, ub := range h.Buckets {
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, ub, h.Cumulative[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
 }

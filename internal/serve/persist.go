@@ -119,8 +119,13 @@ func (s *Server) Recover(ctx context.Context) (RecoveryStats, error) {
 		return rs, err
 	}
 	store, recs, replay, err := persist.Open(s.cfg.StateDir, persist.Options{
-		Fsync:    policy,
-		Interval: s.cfg.FsyncEvery,
+		Fsync:       policy,
+		Interval:    s.cfg.FsyncEvery,
+		GroupCommit: s.cfg.GroupCommit,
+		GroupWindow: s.cfg.GroupWindow,
+		OnGroupCommit: func(records, bytes int) {
+			s.metrics.groupCommitSize.observe(float64(records))
+		},
 	})
 	if err != nil {
 		return rs, fmt.Errorf("serve: opening state dir %s: %w", s.cfg.StateDir, err)

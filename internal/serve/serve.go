@@ -27,7 +27,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
-	"strings"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,6 +77,18 @@ type Config struct {
 	// WALMaxBytes triggers background compaction once the WAL outgrows it
 	// (default 4 MiB).
 	WALMaxBytes int64
+	// GroupCommit coalesces concurrent fsync=always WAL appends into one
+	// write+fsync (see persist.Options.GroupCommit); GroupWindow is the
+	// accumulation window (default 1ms). No effect under other policies.
+	GroupCommit bool
+	GroupWindow time.Duration
+	// RespCacheBytes is the encoded-response cache budget (default
+	// 16 MiB). Fully-encoded /v1/plan responses are cached here so a hit
+	// is a single buffer write; 0 uses the default, negative disables.
+	RespCacheBytes int64
+	// MaxBatchItems caps the items one /v1/batch request may carry
+	// (default 256).
+	MaxBatchItems int
 	// Logger receives structured request logs; nil discards them.
 	Logger *slog.Logger
 }
@@ -112,6 +124,12 @@ func (c Config) withDefaults() Config {
 	if c.WALMaxBytes <= 0 {
 		c.WALMaxBytes = 4 << 20
 	}
+	if c.RespCacheBytes == 0 {
+		c.RespCacheBytes = 16 << 20
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -120,14 +138,15 @@ func (c Config) withDefaults() Config {
 
 // endpoints instrumented individually in /metrics.
 var endpointNames = []string{
-	"/v1/plan", "/v1/simulate", "/v1/spmd", "/v1/kernels", "/v1/cluster",
-	"/healthz", "/readyz", "/metrics",
+	"/v1/plan", "/v1/simulate", "/v1/spmd", "/v1/kernels", "/v1/batch",
+	"/v1/cluster", "/healthz", "/readyz", "/metrics",
 }
 
 // Server is the daemon's handler set and shared state.
 type Server struct {
 	cfg     Config
 	cache   *planCache
+	resp    *respCache // encoded /v1/plan responses (nil when disabled)
 	flight  flightGroup
 	gate    *pool.Gate
 	metrics *metrics
@@ -157,8 +176,12 @@ func New(cfg Config) *Server {
 		drain:   make(chan struct{}),
 		mux:     http.NewServeMux(),
 	}
+	if cfg.RespCacheBytes > 0 {
+		s.resp = newRespCache(cfg.RespCacheBytes)
+	}
 	s.mux.HandleFunc("POST /v1/plan", s.instrument("/v1/plan", s.handlePlan))
 	s.mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
+	s.mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
 	s.mux.HandleFunc("POST /v1/spmd", s.instrument("/v1/spmd", s.handleSPMD))
 	s.mux.HandleFunc("GET /v1/kernels", s.instrument("/v1/kernels", s.handleKernels))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
@@ -203,6 +226,11 @@ func (s *Server) Metrics() Snapshot {
 	b, n := s.cache.stats()
 	s.metrics.cacheBytes.Store(b)
 	s.metrics.cacheEntries.Store(int64(n))
+	if s.resp != nil {
+		rb, rn := s.resp.stats()
+		s.metrics.respCacheBytes.Store(rb)
+		s.metrics.respCacheCount.Store(int64(rn))
+	}
 	s.metrics.inflightPlans.Store(int64(s.gate.InFlight()))
 	if s.store != nil {
 		s.metrics.walBytes.Store(s.store.WALBytes())
@@ -234,13 +262,14 @@ func (s *Server) Metrics() Snapshot {
 
 // --- request plumbing ---
 
-// statusWriter records the response code for logging and metrics, and
-// whether anything was written — the panic middleware can only substitute
-// a 500 while the response is still untouched.
+// statusWriter records the response code and byte count for logging and
+// metrics, and whether anything was written — the panic middleware can
+// only substitute a 500 while the response is still untouched.
 type statusWriter struct {
 	http.ResponseWriter
 	code  int
 	wrote bool
+	bytes int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -251,7 +280,9 @@ func (w *statusWriter) WriteHeader(code int) {
 
 func (w *statusWriter) Write(b []byte) (int, error) {
 	w.wrote = true
-	return w.ResponseWriter.Write(b)
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // instrument wraps a handler with body limits, panic recovery,
@@ -283,6 +314,7 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		}()
 		elapsed := time.Since(start)
 		s.metrics.observe(endpoint, sw.code, elapsed.Seconds())
+		s.metrics.bytesServed.Add(sw.bytes)
 		s.cfg.Logger.Info("request",
 			"method", r.Method,
 			"path", r.URL.Path,
@@ -299,12 +331,21 @@ type apiError struct {
 	Code  int    `json:"code"`
 }
 
+// writeJSON encodes v into a pooled buffer and ships it in one Write —
+// no per-response encoder garbage, no partial writes interleaved with
+// header state.
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf := getBuf()
+	defer putBuf(buf)
+	enc := json.NewEncoder(buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
 // ErrOverloaded marks admission-gate saturation: the caller should back
@@ -417,7 +458,16 @@ func (r *PlanRequest) planOptions() loopmap.PlanOptions {
 // (SearchBound 0 → 2, MergeFactor 0 → 1), so every spelling of the same
 // computation shares one cache line. The cube dimension is deliberately
 // absent — one cached partitioning serves every cube through Plan.Remap.
+// Built with strconv, not fmt — this runs on the hot hit path — but the
+// string is byte-identical to the historical fmt rendering, so persisted
+// records keyed by older daemons replay cleanly.
 func (r *PlanRequest) cacheKey() string {
+	return string(r.appendCacheKey(make([]byte, 0, 96)))
+}
+
+// appendCacheKey renders the canonical key into b — the hit path builds
+// the base and encoded keys in one buffer without intermediate strings.
+func (r *PlanRequest) appendCacheKey(b []byte) []byte {
 	bound := r.SearchBound
 	if !r.SearchPi {
 		bound = 0
@@ -428,10 +478,28 @@ func (r *PlanRequest) cacheKey() string {
 	if merge < 1 {
 		merge = 1
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "kernel=%s|size=%d|pi=%v|search=%t|bound=%d|merge=%d|noaux=%t|choice=%d",
-		r.Kernel, r.Size, r.Pi, r.SearchPi, bound, merge, r.NoAux, r.GroupingChoice)
-	return b.String()
+	b = append(b, "kernel="...)
+	b = append(b, r.Kernel...)
+	b = append(b, "|size="...)
+	b = strconv.AppendInt(b, r.Size, 10)
+	b = append(b, "|pi=["...)
+	for i, v := range r.Pi {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = strconv.AppendInt(b, v, 10)
+	}
+	b = append(b, "]|search="...)
+	b = strconv.AppendBool(b, r.SearchPi)
+	b = append(b, "|bound="...)
+	b = strconv.AppendInt(b, bound, 10)
+	b = append(b, "|merge="...)
+	b = strconv.AppendInt(b, merge, 10)
+	b = append(b, "|noaux="...)
+	b = strconv.AppendBool(b, r.NoAux)
+	b = append(b, "|choice="...)
+	b = strconv.AppendInt(b, int64(r.GroupingChoice), 10)
+	return b
 }
 
 // requestContext derives the request's working context from its deadline
@@ -575,40 +643,21 @@ type PlanResponse struct {
 	MinLoad     int64 `json:"min_load,omitempty"`
 	MaxLoad     int64 `json:"max_load,omitempty"`
 
-	Cache   CacheOutcome `json:"cache"`
-	Summary string       `json:"summary"`
+	Summary string `json:"summary"`
+	// Cache and Cluster are the per-request metadata: absent from the
+	// cached frame (the invariant encode leaves them zero) and patched in
+	// as a suffix by writeFrame. They sit last so the patch is a pure
+	// append.
+	Cache CacheOutcome `json:"cache,omitempty"`
 	// Cluster is the shard metadata (cluster mode only).
 	Cluster *ClusterInfo `json:"cluster,omitempty"`
 }
 
-func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(r.Body)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: reading body: %w", err))
-		return
-	}
-	var req PlanRequest
-	if err := decodeJSONBytes(body, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	if err := s.validatePlanRequest(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	key := req.cacheKey()
-	if s.maybeForward(w, r, "/v1/plan", key, body) {
-		return
-	}
-	ctx, cancel := s.requestContext(r, req.TimeoutMS)
-	defer cancel()
-
-	p, outcome, err := s.mappedPlan(ctx, &req)
-	if err != nil {
-		writeError(w, errStatus(err), err)
-		return
-	}
-	resp := PlanResponse{
+// buildPlanResponse fills the invariant part of a plan response — every
+// field that is a pure function of (request, plan). Cache and Cluster
+// stay zero; writeFrame patches them per request.
+func buildPlanResponse(req *PlanRequest, p *loopmap.Plan) *PlanResponse {
+	resp := &PlanResponse{
 		Kernel:       req.Kernel,
 		Size:         req.Size,
 		Pi:           p.Schedule.Pi,
@@ -623,9 +672,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		MaxOutDegree: p.TIG.MaxOutDegree(),
 		CubeDim:      req.cubeDim(),
 		Procs:        p.Procs(),
-		Cache:        outcome,
 		Summary:      p.Summary(),
-		Cluster:      s.clusterMeta(key, r),
 	}
 	if p.Mapping != nil {
 		ms := mapping.Evaluate(p.TIG, p.Mapping)
@@ -634,7 +681,102 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		resp.MinLoad = ms.MinLoad
 		resp.MaxLoad = ms.MaxLoad
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+// encodePlanFrame is the single encoder for the plan response shape:
+// invariant response → JSON bytes → frame. Every /v1/plan and batched
+// plan item goes through here exactly once per distinct (key, cube,
+// exclusive) while the frame stays cached.
+func encodePlanFrame(req *PlanRequest, p *loopmap.Plan) (*respFrame, error) {
+	buf := getBuf()
+	defer putBuf(buf)
+	enc := json.NewEncoder(buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(buildPlanResponse(req, p)); err != nil {
+		return nil, err
+	}
+	return newRespFrame(buf.Bytes()), nil
+}
+
+// planFrame returns the encoded frame for a request: response-cache hit,
+// or plan pipeline + one encode on miss. The returned CacheOutcome is
+// what the patched-in "cache" field should report.
+func (s *Server) planFrame(ctx context.Context, req *PlanRequest) (*respFrame, CacheOutcome, bool, error) {
+	ekey := req.encodedKey()
+	if s.resp != nil {
+		if f, ok := s.resp.get(ekey); ok {
+			s.metrics.encodedHits.Add(1)
+			s.metrics.cacheHits.Add(1)
+			return f, CacheHit, true, nil
+		}
+	}
+	p, outcome, err := s.mappedPlan(ctx, req)
+	if err != nil {
+		return nil, outcome, false, err
+	}
+	f, err := encodePlanFrame(req, p)
+	if err != nil {
+		return nil, outcome, false, err
+	}
+	if s.resp != nil {
+		s.resp.put(ekey, f)
+	}
+	return f, outcome, false, nil
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	bodyBuf := getBuf()
+	defer putBuf(bodyBuf)
+	if _, err := bodyBuf.ReadFrom(r.Body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: reading body: %w", err))
+		return
+	}
+	body := bodyBuf.Bytes()
+	var req PlanRequest
+	if err := decodeJSONBytes(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Fast path before validation: a frame cached under an identical
+	// canonical key can only have been produced by a request that already
+	// passed validation, so the hit needs no re-check (and no forward —
+	// serving a pure-function response locally is always correct). The
+	// base and encoded keys share one build buffer, and the lookup indexes
+	// the cache with the bytes directly — the key string is only
+	// materialized off the fast path (or for cluster metadata).
+	kb := req.appendCacheKey(make([]byte, 0, 128))
+	baseLen := len(kb)
+	if s.resp != nil {
+		kb = req.appendEncodedSuffix(kb)
+		if f, ok := s.resp.getBytes(kb); ok {
+			s.metrics.encodedHits.Add(1)
+			s.metrics.cacheHits.Add(1)
+			hitKey := ""
+			if s.cluster != nil {
+				hitKey = string(kb[:baseLen])
+			}
+			s.writeFrame(w, r, f, CacheHit, hitKey, true)
+			return
+		}
+	}
+	key := string(kb[:baseLen])
+	if err := s.validatePlanRequest(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.maybeForward(w, r, "/v1/plan", key, body) {
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	f, outcome, encoded, err := s.planFrame(ctx, &req)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	s.writeFrame(w, r, f, outcome, key, encoded)
 }
 
 // --- /v1/simulate ---
@@ -844,12 +986,26 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errStatus(err), err)
 		return
 	}
+	resp, err := runSimulate(ctx, &req, p, params, engine)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	resp.Cache = outcome
+	resp.Cluster = s.clusterMeta(key, r)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runSimulate executes the simulation half of a (possibly batched)
+// simulate request against its mapped plan: degraded remap, the engine
+// run, the optional sequential baseline, and the optional trace. Cache
+// and Cluster are left for the caller.
+func runSimulate(ctx context.Context, req *SimulateRequest, p *loopmap.Plan, params machine.Params, engine loopmap.SimEngine) (*SimulateResponse, error) {
 	var degraded *DegradedInfo
 	if len(req.FailedNodes) > 0 {
 		dp, dstats, err := p.RemapDegraded(req.FailedNodes)
 		if err != nil {
-			writeError(w, errStatus(err), err)
-			return
+			return nil, err
 		}
 		p = dp
 		degraded = &DegradedInfo{
@@ -869,10 +1025,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	stats, err := p.SimulateCtx(ctx, params, opt)
 	if err != nil {
-		writeError(w, errStatus(err), err)
-		return
+		return nil, err
 	}
-	resp := SimulateResponse{
+	resp := &SimulateResponse{
 		Makespan:       stats.Makespan,
 		Messages:       stats.Messages,
 		Words:          stats.Words,
@@ -884,14 +1039,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		CheckpointTime: stats.CheckpointTime,
 		ReplayTime:     stats.ReplayTime,
 		Degraded:       degraded,
-		Cache:          outcome,
-		Cluster:        s.clusterMeta(key, r),
 	}
 	if req.Sequential {
 		seq, err := p.SimulateSequential(params)
 		if err != nil {
-			writeError(w, errStatus(err), err)
-			return
+			return nil, err
 		}
 		resp.SequentialMakespan = seq.Makespan
 		if stats.Makespan > 0 {
@@ -901,12 +1053,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if req.Trace {
 		var buf bytes.Buffer
 		if err := trace.Chrome(&buf, stats); err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
+			return nil, err
 		}
 		resp.Trace = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 // --- /v1/spmd ---

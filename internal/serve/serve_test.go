@@ -139,8 +139,10 @@ func TestConcurrentIdenticalRequestsComputeOnce(t *testing.T) {
 
 func TestCacheEviction(t *testing.T) {
 	// A one-byte budget keeps only the newest plan: the second distinct
-	// request evicts the first, and repeating the first misses again.
-	s, ts := newTestServer(t, Config{CacheBytes: 1})
+	// request evicts the first, and repeating the first misses again. The
+	// encoded-response cache is disabled — it would (correctly) answer the
+	// repeat without consulting the plan LRU under test here.
+	s, ts := newTestServer(t, Config{CacheBytes: 1, RespCacheBytes: -1})
 	a := `{"kernel": "l1", "size": 6, "cube_dim": 2}`
 	b := `{"kernel": "l1", "size": 7, "cube_dim": 2}`
 
