@@ -69,10 +69,12 @@ chaos:
 crash:
 	$(GO) run ./cmd/crashtest -requests 64 -seed 1
 
-# Cluster kill/rehome chaos harness: boot 4 sharded daemons, drive mixed
-# load through the cluster-aware client, SIGKILL the busiest shard, and
-# assert the dead shard's keyspace rehomes warm onto the survivors with
-# every acknowledged response re-served byte-identically.
+# Cluster elasticity/kill chaos harness: boot 3 sharded daemons with an
+# admin token, drive mixed load through the cluster-aware client, join a
+# 4th shard under live traffic (asserting only its keyspace moves), then
+# SIGKILL the busiest shard and assert its keyspace serves warm from the
+# replicas — zero recomputations, every acknowledged response re-served
+# byte-identically.
 cluster:
 	$(GO) run ./cmd/clustertest -requests 48 -seed 1
 

@@ -1,0 +1,34 @@
+package api
+
+import "encoding/json"
+
+// BatchItem is one request in a batch: exactly one of Plan or Simulate.
+type BatchItem struct {
+	Plan     *PlanRequest     `json:"plan,omitempty"`
+	Simulate *SimulateRequest `json:"simulate,omitempty"`
+}
+
+// BatchRequest is the JSON body of /v1/batch. TimeoutMS bounds the whole
+// batch; per-item timeout_ms fields are ignored (one deadline, one
+// envelope).
+type BatchRequest struct {
+	Items     []BatchItem `json:"items"`
+	TimeoutMS int64       `json:"timeout_ms,omitempty"`
+}
+
+// BatchItemResult is one item's outcome. Status is the HTTP status the
+// item would have earned as a single request; Body is its exact response
+// body (modulo the cluster metadata a forwarded single request would
+// carry); ETag is set for plan items so clients can revalidate later.
+type BatchItemResult struct {
+	Status int             `json:"status"`
+	Error  string          `json:"error,omitempty"`
+	ETag   string          `json:"etag,omitempty"`
+	Body   json.RawMessage `json:"body,omitempty"`
+}
+
+// BatchResponse is the /v1/batch envelope. The envelope itself is 200
+// whenever the batch was well-formed; failures live in the items.
+type BatchResponse struct {
+	Results []BatchItemResult `json:"results"`
+}

@@ -12,17 +12,17 @@ import (
 	"net/http"
 	"sync"
 
+	"repro/api"
 	"repro/internal/cluster"
-	"repro/internal/serve"
 )
 
 // Batch wire types are aliases of the daemon's: one definition, one
 // contract.
 type (
-	BatchRequest    = serve.BatchRequest
-	BatchItem       = serve.BatchItem
-	BatchItemResult = serve.BatchItemResult
-	BatchResponse   = serve.BatchResponse
+	BatchRequest    = api.BatchRequest
+	BatchItem       = api.BatchItem
+	BatchItemResult = api.BatchItemResult
+	BatchResponse   = api.BatchResponse
 )
 
 // PlanResult is one plan's outcome within a batch.
@@ -126,9 +126,9 @@ func (m *Multi) Batch(ctx context.Context, req *BatchRequest) (*BatchResponse, e
 	key := ""
 	if len(req.Items) > 0 {
 		if it := req.Items[0]; it.Plan != nil {
-			key = serve.CanonicalPlanKey(it.Plan)
+			key = api.CanonicalPlanKey(it.Plan)
 		} else if it.Simulate != nil {
-			key = serve.CanonicalPlanKey(&it.Simulate.PlanRequest)
+			key = api.CanonicalPlanKey(&it.Simulate.PlanRequest)
 		}
 	}
 	var out *BatchResponse
@@ -142,18 +142,19 @@ func (m *Multi) Batch(ctx context.Context, req *BatchRequest) (*BatchResponse, e
 	return out, err
 }
 
-// batchGroups partitions item indexes by the owner shard of their plan
-// key under the current routing view. With no learned map everything
-// lands in one group under owner -1 (the daemon serves a batch where it
-// lands and never splits it, so a wrong guess costs locality, not
-// correctness).
+// batchGroups partitions item indexes by the serving-owner shard of
+// their plan key under the current routing view (the same ServingOwner
+// walk order() uses, so a sub-batch and its route agree). With no
+// learned map everything lands in one group under owner -1 (the daemon
+// serves a batch where it lands and never splits it, so a wrong guess
+// costs locality, not correctness).
 func (m *Multi) batchGroups(keys []string) map[int][]int {
 	groups := map[int][]int{}
 	v := m.view.Load()
 	for i, k := range keys {
 		owner := -1
-		if v != nil && len(v.alive) > 0 {
-			owner = cluster.Owner(k, v.alive)
+		if v != nil && len(v.active) > 0 {
+			owner = cluster.ServingOwner(k, v.active, func(id int) bool { return v.alive[id] })
 		}
 		groups[owner] = append(groups[owner], i)
 	}
@@ -170,7 +171,7 @@ func (m *Multi) PlanBatch(ctx context.Context, reqs []*PlanRequest) ([]PlanResul
 	}
 	keys := make([]string, len(reqs))
 	for i, r := range reqs {
-		keys[i] = serve.CanonicalPlanKey(r)
+		keys[i] = api.CanonicalPlanKey(r)
 	}
 	results := make([]PlanResult, len(reqs))
 	err := m.batchCall(ctx, keys, func(c *Client, idxs []int) error {
@@ -198,7 +199,7 @@ func (m *Multi) SimulateBatch(ctx context.Context, reqs []*SimulateRequest) ([]S
 	}
 	keys := make([]string, len(reqs))
 	for i, r := range reqs {
-		keys[i] = serve.CanonicalPlanKey(&r.PlanRequest)
+		keys[i] = api.CanonicalPlanKey(&r.PlanRequest)
 	}
 	results := make([]SimulateResult, len(reqs))
 	err := m.batchCall(ctx, keys, func(c *Client, idxs []int) error {

@@ -31,34 +31,35 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/api"
 	"repro/internal/cluster"
-	"repro/internal/serve"
 )
 
-// Aliases of the daemon's wire types: one definition, one contract.
+// Aliases of the daemon's wire types (the api package): one definition,
+// one contract.
 type (
-	PlanRequest      = serve.PlanRequest
-	PlanResponse     = serve.PlanResponse
-	SimulateRequest  = serve.SimulateRequest
-	SimulateResponse = serve.SimulateResponse
-	FaultSpec        = serve.FaultSpec
-	NodeCrashSpec    = serve.NodeCrashSpec
-	LinkFailureSpec  = serve.LinkFailureSpec
-	DegradedInfo     = serve.DegradedInfo
-	SPMDRequest      = serve.SPMDRequest
-	SPMDResponse     = serve.SPMDResponse
-	KernelInfo       = serve.KernelInfo
-	CacheOutcome     = serve.CacheOutcome
-	ClusterInfo      = serve.ClusterInfo
-	ClusterStatus    = serve.ClusterStatus
+	PlanRequest      = api.PlanRequest
+	PlanResponse     = api.PlanResponse
+	SimulateRequest  = api.SimulateRequest
+	SimulateResponse = api.SimulateResponse
+	FaultSpec        = api.FaultSpec
+	NodeCrashSpec    = api.NodeCrashSpec
+	LinkFailureSpec  = api.LinkFailureSpec
+	DegradedInfo     = api.DegradedInfo
+	SPMDRequest      = api.SPMDRequest
+	SPMDResponse     = api.SPMDResponse
+	KernelInfo       = api.KernelInfo
+	CacheOutcome     = api.CacheOutcome
+	ClusterInfo      = api.ClusterInfo
+	ClusterStatus    = api.ClusterStatus
 	PeerStatus       = cluster.PeerStatus
 )
 
 // Cache outcomes, re-exported for switch statements on PlanResponse.Cache.
 const (
-	CacheHit    = serve.CacheHit
-	CacheMiss   = serve.CacheMiss
-	CacheShared = serve.CacheShared
+	CacheHit    = api.CacheHit
+	CacheMiss   = api.CacheMiss
+	CacheShared = api.CacheShared
 )
 
 // APIError is a non-2xx response from the daemon, decoded from its JSON
@@ -166,6 +167,10 @@ type ClientStats struct {
 	OwnerRouted  int64 // calls sent straight to the key's owner shard
 	Failovers    int64 // attempts moved to another endpoint after a failure
 	MapRefreshes int64 // shard-map fetches from /v1/cluster
+	// EpochRefreshes counts map refreshes triggered by a response whose
+	// map epoch disagreed with the local view (joins, leaves, deaths
+	// learned from ordinary traffic).
+	EpochRefreshes int64
 	// PerEndpoint breaks the counters down by endpoint base URL on a
 	// Multi (nil otherwise).
 	PerEndpoint map[string]ClientStats
@@ -234,7 +239,7 @@ func (c *Client) Plan(ctx context.Context, req *PlanRequest) (*PlanResponse, err
 		}
 		return &out, nil
 	}
-	key := serve.CanonicalResponseKey(req)
+	key := api.CanonicalResponseKey(req)
 	var inm string
 	if e, ok := c.reval.get(key); ok {
 		inm = e.etag
@@ -270,7 +275,7 @@ func (c *Client) planFresh(ctx context.Context, req *PlanRequest) (*PlanResponse
 		return nil, err
 	}
 	if etag != "" {
-		c.reval.put(serve.CanonicalResponseKey(req), etag, out)
+		c.reval.put(api.CanonicalResponseKey(req), etag, out)
 	}
 	return &out, nil
 }

@@ -4,12 +4,16 @@
 // the preferred one is down or its breaker is open.
 //
 // Routing mirrors the server exactly: the canonical plan-cache key
-// (serve.CanonicalPlanKey) is rendezvous-hashed over the alive shard set
-// from the last /v1/cluster snapshot. When the map is right, every call
-// lands on the shard that already holds the plan — zero forwarding hops.
-// When it is stale, the server's own forwarding corrects the route and
-// the client refreshes its map after any failover, so affinity degrades
-// to extra hops, never to an error.
+// (api.CanonicalPlanKey) is rendezvous-hashed over the active shard set
+// from the last /v1/cluster snapshot, then redirected along the Gray
+// ring to the standby when the primary is down — the same ServingOwner
+// walk the daemons use, so a failover lands on the shard already holding
+// the replicas. The view is epoch-versioned: every plan response carries
+// the serving shard's map epoch, and a mismatch against the local view
+// triggers a refresh — the client learns about joins, leaves, and deaths
+// from ordinary traffic, not only after its own failovers. Endpoints are
+// elastic too: a shard URL learned from the map that isn't in the
+// configured endpoint list gets a client on the fly.
 package client
 
 import (
@@ -21,8 +25,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/api"
 	"repro/internal/cluster"
-	"repro/internal/serve"
 )
 
 // MultiConfig tunes a Multi. Config (minus BaseURL, which Endpoints
@@ -39,24 +43,30 @@ type MultiConfig struct {
 
 // shardMap is one immutable snapshot of the cluster's ownership view.
 type shardMap struct {
-	alive      []int       // alive shard IDs, sorted
-	endpointOf map[int]int // shard ID → index into Multi.clients
+	epoch      uint64       // cluster-map epoch this view was built from
+	active     []int        // state-up shard IDs (HRW candidates), sorted
+	alive      map[int]bool // probed liveness by shard ID
+	endpointOf map[int]int  // shard ID → index into Multi.clients
 }
 
 // Multi is a cluster-aware loopmapd client. It is safe for concurrent
 // use.
 type Multi struct {
-	clients []*Client
-	view    atomic.Pointer[shardMap]
+	cfg     Config // per-endpoint tuning, reused for learned endpoints
+	mu      sync.RWMutex
+	clients []*Client // grows when the map reveals new shard URLs
+
+	view atomic.Pointer[shardMap]
 	// noCluster latches when /v1/cluster 404s: a single-daemon
 	// deployment, so stop asking.
 	noCluster atomic.Bool
 	cursor    atomic.Uint64 // round-robin start for non-affine calls
 	refreshMu sync.Mutex
 
-	ownerRouted  atomic.Int64
-	failovers    atomic.Int64
-	mapRefreshes atomic.Int64
+	ownerRouted    atomic.Int64
+	failovers      atomic.Int64
+	mapRefreshes   atomic.Int64
+	epochRefreshes atomic.Int64
 }
 
 // NewMulti builds a Multi over the given endpoints.
@@ -64,7 +74,7 @@ func NewMulti(cfg MultiConfig) (*Multi, error) {
 	if len(cfg.Endpoints) == 0 {
 		return nil, errors.New("client: NewMulti requires at least one endpoint")
 	}
-	m := &Multi{clients: make([]*Client, len(cfg.Endpoints))}
+	m := &Multi{cfg: cfg.Config, clients: make([]*Client, len(cfg.Endpoints))}
 	seen := make(map[string]bool, len(cfg.Endpoints))
 	for i, url := range cfg.Endpoints {
 		c := cfg.Config
@@ -79,26 +89,43 @@ func NewMulti(cfg MultiConfig) (*Multi, error) {
 	return m, nil
 }
 
-// Endpoints returns the normalized endpoint base URLs, in config order.
+// snapshotClients returns the current client list; indexes into it stay
+// valid forever (the list only appends).
+func (m *Multi) snapshotClients() []*Client {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.clients
+}
+
+// client returns the endpoint client at index i.
+func (m *Multi) client(i int) *Client {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.clients[i]
+}
+
+// Endpoints returns the normalized endpoint base URLs — configured ones
+// first, then any learned from the cluster map — in index order.
 func (m *Multi) Endpoints() []string {
-	out := make([]string, len(m.clients))
-	for i, c := range m.clients {
+	clients := m.snapshotClients()
+	out := make([]string, len(clients))
+	for i, c := range clients {
 		out[i] = c.BaseURL()
 	}
 	return out
 }
 
 // order returns endpoint indexes in preference order for a call keyed by
-// key, and whether the first entry is the key's owner shard. With no key
-// or no learned map, it is plain round-robin.
+// key, and whether the first entry is the key's serving owner. With no
+// key or no learned map, it is plain round-robin.
 func (m *Multi) order(key string) (idxs []int, affine bool) {
-	n := len(m.clients)
+	n := len(m.snapshotClients())
 	seen := make([]bool, n)
 	idxs = make([]int, 0, n)
 	if key != "" {
-		if v := m.view.Load(); v != nil && len(v.alive) > 0 {
-			owner := cluster.Owner(key, v.alive)
-			if i, ok := v.endpointOf[owner]; ok {
+		if v := m.view.Load(); v != nil && len(v.active) > 0 {
+			owner := cluster.ServingOwner(key, v.active, func(id int) bool { return v.alive[id] })
+			if i, ok := v.endpointOf[owner]; ok && i < n {
 				idxs = append(idxs, i)
 				seen[i] = true
 				affine = true
@@ -130,13 +157,14 @@ func (m *Multi) call(ctx context.Context, key string, fn func(*Client) error) er
 		if rank > 0 {
 			m.failovers.Add(1)
 		}
-		err := fn(m.clients[i])
+		c := m.client(i)
+		err := fn(c)
 		if err == nil {
 			if affine && rank == 0 {
 				m.ownerRouted.Add(1)
 			}
 			if rank > 0 || (m.view.Load() == nil && !m.noCluster.Load()) {
-				m.refresh(ctx, m.clients[i])
+				m.refresh(ctx, c)
 			}
 			return nil
 		}
@@ -153,6 +181,21 @@ func (m *Multi) call(ctx context.Context, key string, fn func(*Client) error) er
 	return lastErr
 }
 
+// noteEpoch compares a response's map epoch against the local view and
+// refreshes the map from the shard that answered on any mismatch — the
+// cheap path by which joins, leaves, and deaths reach the client.
+func (m *Multi) noteEpoch(ctx context.Context, ci *ClusterInfo, c *Client) {
+	if ci == nil || ci.Epoch == 0 {
+		return
+	}
+	v := m.view.Load()
+	if v != nil && v.epoch == ci.Epoch {
+		return
+	}
+	m.epochRefreshes.Add(1)
+	m.refresh(ctx, c)
+}
+
 // refresh re-learns the shard map from one endpoint's /v1/cluster. A 404
 // latches single-daemon mode; any other failure keeps the current view.
 func (m *Multi) refresh(ctx context.Context, c *Client) {
@@ -167,46 +210,61 @@ func (m *Multi) refresh(ctx context.Context, c *Client) {
 	m.adopt(st)
 }
 
-// adopt installs a membership snapshot as the routing view.
+// adopt installs a membership snapshot as the routing view, creating
+// clients for shard URLs the configured endpoint list doesn't know.
 func (m *Multi) adopt(st *ClusterStatus) {
 	m.refreshMu.Lock()
 	defer m.refreshMu.Unlock()
-	v := &shardMap{endpointOf: make(map[int]int, len(st.Shards))}
+	v := &shardMap{
+		epoch:      st.Epoch,
+		alive:      make(map[int]bool, len(st.Shards)),
+		endpointOf: make(map[int]int, len(st.Shards)),
+	}
 	for _, sh := range st.Shards {
-		if i, ok := m.endpointIndex(sh.URL); ok {
-			v.endpointOf[sh.ID] = i
-		}
-		if sh.Alive {
-			v.alive = append(v.alive, sh.ID)
+		v.endpointOf[sh.ID] = m.endpointIndex(sh.URL)
+		v.alive[sh.ID] = sh.Alive
+		// Pre-epoch daemons omit State; treating their whole roster as
+		// active reproduces the old alive-set routing.
+		if sh.State == "" || sh.State == cluster.StateUp {
+			v.active = append(v.active, sh.ID)
 		}
 	}
 	m.view.Store(v)
 	m.mapRefreshes.Add(1)
 }
 
-// endpointIndex matches a shard's advertised URL to a configured
-// endpoint by normalized base URL.
-func (m *Multi) endpointIndex(url string) (int, bool) {
+// endpointIndex matches a shard's advertised URL to an endpoint client,
+// creating one when the URL is new (a shard that joined after NewMulti).
+func (m *Multi) endpointIndex(url string) int {
 	url = strings.TrimRight(url, "/")
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for i, c := range m.clients {
 		if c.BaseURL() == url {
-			return i, true
+			return i
 		}
 	}
-	return 0, false
+	cfg := m.cfg
+	cfg.BaseURL = url
+	m.clients = append(m.clients, New(cfg))
+	return len(m.clients) - 1
 }
 
-// Plan requests a plan, routed to the key's owner shard when the map is
-// known.
+// Plan requests a plan, routed to the key's serving owner when the map
+// is known.
 func (m *Multi) Plan(ctx context.Context, req *PlanRequest) (*PlanResponse, error) {
 	var out *PlanResponse
-	err := m.call(ctx, serve.CanonicalPlanKey(req), func(c *Client) error {
+	var served *Client
+	err := m.call(ctx, api.CanonicalPlanKey(req), func(c *Client) error {
 		r, err := c.Plan(ctx, req)
 		if err == nil {
-			out = r
+			out, served = r, c
 		}
 		return err
 	})
+	if err == nil && out != nil {
+		m.noteEpoch(ctx, out.Cluster, served)
+	}
 	return out, err
 }
 
@@ -214,13 +272,17 @@ func (m *Multi) Plan(ctx context.Context, req *PlanRequest) (*PlanResponse, erro
 // request's key (the simulation reuses the owner's cached plan).
 func (m *Multi) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateResponse, error) {
 	var out *SimulateResponse
-	err := m.call(ctx, serve.CanonicalPlanKey(&req.PlanRequest), func(c *Client) error {
+	var served *Client
+	err := m.call(ctx, api.CanonicalPlanKey(&req.PlanRequest), func(c *Client) error {
 		r, err := c.Simulate(ctx, req)
 		if err == nil {
-			out = r
+			out, served = r, c
 		}
 		return err
 	})
+	if err == nil && out != nil {
+		m.noteEpoch(ctx, out.Cluster, served)
+	}
 	return out, err
 }
 
@@ -271,7 +333,7 @@ func (m *Multi) ClusterStatus(ctx context.Context) (*ClusterStatus, error) {
 // Ready returns nil iff at least one endpoint is accepting traffic.
 func (m *Multi) Ready(ctx context.Context) error {
 	var lastErr error
-	for _, c := range m.clients {
+	for _, c := range m.snapshotClients() {
 		if err := c.Ready(ctx); err == nil {
 			return nil
 		} else {
@@ -283,7 +345,7 @@ func (m *Multi) Ready(ctx context.Context) error {
 
 // ReadyAll returns nil iff every endpoint is accepting traffic.
 func (m *Multi) ReadyAll(ctx context.Context) error {
-	for _, c := range m.clients {
+	for _, c := range m.snapshotClients() {
 		if err := c.Ready(ctx); err != nil {
 			return fmt.Errorf("client: endpoint %s not ready: %w", c.BaseURL(), err)
 		}
@@ -294,13 +356,15 @@ func (m *Multi) ReadyAll(ctx context.Context) error {
 // Stats aggregates every endpoint's counters and attaches the
 // per-endpoint breakdown plus the Multi's own routing counters.
 func (m *Multi) Stats() ClientStats {
+	clients := m.snapshotClients()
 	agg := ClientStats{
-		OwnerRouted:  m.ownerRouted.Load(),
-		Failovers:    m.failovers.Load(),
-		MapRefreshes: m.mapRefreshes.Load(),
-		PerEndpoint:  make(map[string]ClientStats, len(m.clients)),
+		OwnerRouted:    m.ownerRouted.Load(),
+		Failovers:      m.failovers.Load(),
+		MapRefreshes:   m.mapRefreshes.Load(),
+		EpochRefreshes: m.epochRefreshes.Load(),
+		PerEndpoint:    make(map[string]ClientStats, len(clients)),
 	}
-	for _, c := range m.clients {
+	for _, c := range clients {
 		s := c.Stats()
 		agg.Requests += s.Requests
 		agg.Attempts += s.Attempts

@@ -49,7 +49,13 @@ func newFakeShards(t *testing.T, n int) *fakeShards {
 			key := serve.CanonicalPlanKey(&req)
 			f.mu.Lock()
 			f.hits[i]++
-			owner := cluster.Owner(key, f.aliveIDsLocked())
+			// Mirror the daemon: HRW primary over the full roster,
+			// redirected along the Gray ring while the primary is dead.
+			all := make([]int, n)
+			for id := range all {
+				all[id] = id
+			}
+			owner := cluster.ServingOwner(key, all, func(id int) bool { return f.alive[id] })
 			f.mu.Unlock()
 			json.NewEncoder(w).Encode(PlanResponse{
 				Kernel:  req.Kernel,
@@ -236,9 +242,11 @@ func TestMultiFailoverAndRehome(t *testing.T) {
 		t.Fatalf("map refreshes = %d, want ≥ 2 (initial + post-failover)", st.MapRefreshes)
 	}
 
-	// The refreshed map excludes the dead shard: the same key now routes
-	// straight to its rehomed owner with no further failovers.
-	rehomed := cluster.Owner(serve.CanonicalPlanKey(req), []int{0, 1})
+	// The refreshed map marks the dead shard down: the same key now
+	// routes straight to its Gray-ring standby — the shard holding its
+	// replicas — with no further failovers.
+	rehomed := cluster.ServingOwner(serve.CanonicalPlanKey(req), []int{0, 1, 2},
+		func(id int) bool { return id != victim })
 	before := m.Stats().Failovers
 	pr2, err := m.Plan(ctx, req)
 	if err != nil {

@@ -53,6 +53,9 @@ func main() {
 	shardID := flag.Int("shard-id", 0, "this daemon's shard ID: its index in -peers and its hypercube address")
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "cluster peer health-probe period")
 	failThreshold := flag.Int("fail-threshold", 3, "consecutive probe failures that mark a peer dead")
+	adminToken := flag.String("admin-token", "", "token gating /v1/admin/* (join, leave, drain, transfer); empty leaves admin endpoints unmounted")
+	joinSeed := flag.String("join", "", "base URL of a live cluster member to join dynamically (instead of -peers)")
+	advertise := flag.String("advertise", "", "this daemon's base URL as peers should reach it (required with -join)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	smoke := flag.Bool("smoke", false, "start on an ephemeral port, serve one self-issued /v1/plan request, and exit")
 	flag.Parse()
@@ -70,6 +73,7 @@ func main() {
 		GroupWindow:    *groupWindow,
 		RespCacheBytes: respCacheBytes(*respCacheMB),
 		MaxBatchItems:  *maxBatch,
+		AdminToken:     *adminToken,
 		Logger:         logger,
 	})
 	rs, err := srv.Recover(context.Background())
@@ -88,6 +92,15 @@ func main() {
 			"tail_err", fmt.Sprint(rs.TailErr),
 			"dur_ms", rs.Elapsed.Milliseconds(),
 		)
+	}
+
+	if *joinSeed != "" && *peers != "" {
+		fmt.Fprintln(os.Stderr, "loopmapd: -join and -peers are mutually exclusive")
+		os.Exit(1)
+	}
+	if *joinSeed != "" && *advertise == "" {
+		fmt.Fprintln(os.Stderr, "loopmapd: -join requires -advertise")
+		os.Exit(1)
 	}
 
 	if *peers != "" {
@@ -129,6 +142,28 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Dynamic join runs alongside the listener: the joiner must answer
+	// peer probes and gossip while it streams its keyspace from current
+	// owners, so the join protocol cannot complete before serving starts.
+	if *joinSeed != "" {
+		go func() {
+			if err := srv.JoinCluster(ctx, serve.JoinOptions{
+				SeedURL:       *joinSeed,
+				AdvertiseURL:  *advertise,
+				AdminToken:    *adminToken,
+				ProbeInterval: *probeInterval,
+				FailThreshold: *failThreshold,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			m := srv.ClusterMembership()
+			logger.Info("cluster mode", "shard", m.Self(), "n", m.N(), "dim", m.Dim())
+		}()
+	}
+
+
 	if err := serveUntil(ctx, srv, handler, ln, *drain, logger); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

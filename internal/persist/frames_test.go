@@ -1,0 +1,56 @@
+package persist
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestRecordStreamRoundtrip(t *testing.T) {
+	recs := []Record{
+		{Key: "b|kernel=matmul|size=64", Value: []byte(`{"kernel":"matmul","size":64}`)},
+		{Key: "f|kernel=matmul|size=64|cube=3|excl=false", Value: []byte(`{"plan":1}` + "\n")},
+		{Key: "empty-value", Value: nil},
+	}
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, recs); err != nil {
+		t.Fatalf("WriteRecords: %v", err)
+	}
+	got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatalf("ReadRecords: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Key != recs[i].Key {
+			t.Errorf("record %d key = %q, want %q", i, got[i].Key, recs[i].Key)
+		}
+		if len(recs[i].Value) > 0 && !reflect.DeepEqual(got[i].Value, recs[i].Value) {
+			t.Errorf("record %d value mismatch", i)
+		}
+	}
+}
+
+func TestRecordStreamTornTail(t *testing.T) {
+	recs := []Record{{Key: "a", Value: []byte("1")}, {Key: "b", Value: []byte("2")}}
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, recs); err != nil {
+		t.Fatalf("WriteRecords: %v", err)
+	}
+	torn := buf.Bytes()[:buf.Len()-3] // cut into the last frame
+	got, err := ReadRecords(bytes.NewReader(torn))
+	if err == nil {
+		t.Fatal("want an error for a torn stream")
+	}
+	if len(got) != 1 || got[0].Key != "a" {
+		t.Fatalf("want the one intact record, got %v", got)
+	}
+}
+
+func TestRecordStreamBadHeader(t *testing.T) {
+	if _, err := ReadRecords(bytes.NewReader([]byte("NOTMAGIC"))); err == nil {
+		t.Fatal("want an error for a bad header")
+	}
+}

@@ -23,46 +23,25 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/api"
 	"repro/internal/pool"
 )
 
-// BatchItem is one request in a batch: exactly one of Plan or Simulate.
-type BatchItem struct {
-	Plan     *PlanRequest     `json:"plan,omitempty"`
-	Simulate *SimulateRequest `json:"simulate,omitempty"`
-}
+// The batch wire types live in the api package; the serve names remain
+// as aliases.
+type (
+	BatchItem       = api.BatchItem
+	BatchRequest    = api.BatchRequest
+	BatchItemResult = api.BatchItemResult
+	BatchResponse   = api.BatchResponse
+)
 
-// BatchRequest is the JSON body of /v1/batch. TimeoutMS bounds the whole
-// batch; per-item timeout_ms fields are ignored (one deadline, one
-// envelope).
-type BatchRequest struct {
-	Items     []BatchItem `json:"items"`
-	TimeoutMS int64       `json:"timeout_ms,omitempty"`
-}
-
-// BatchItemResult is one item's outcome. Status is the HTTP status the
-// item would have earned as a single request; Body is its exact response
-// body (modulo the cluster metadata a forwarded single request would
-// carry); ETag is set for plan items so clients can revalidate later.
-type BatchItemResult struct {
-	Status int             `json:"status"`
-	Error  string          `json:"error,omitempty"`
-	ETag   string          `json:"etag,omitempty"`
-	Body   json.RawMessage `json:"body,omitempty"`
-}
-
-// BatchResponse is the /v1/batch envelope. The envelope itself is 200
-// whenever the batch was well-formed; failures live in the items.
-type BatchResponse struct {
-	Results []BatchItemResult `json:"results"`
-}
-
-// baseKey returns the canonical base-plan key grouping this item.
-func (it *BatchItem) baseKey() string {
+// batchBaseKey returns the canonical base-plan key grouping this item.
+func batchBaseKey(it *BatchItem) string {
 	if it.Plan != nil {
-		return it.Plan.cacheKey()
+		return it.Plan.Key()
 	}
-	return it.Simulate.PlanRequest.cacheKey()
+	return it.Simulate.PlanRequest.Key()
 }
 
 // frameBody renders a frame into a standalone response body (no trailing
@@ -129,7 +108,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			results[i] = BatchItemResult{Status: http.StatusBadRequest, Error: err.Error()}
 			continue
 		}
-		k := it.baseKey()
+		k := batchBaseKey(it)
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
 		}
@@ -211,11 +190,11 @@ func (s *Server) batchItem(ctx context.Context, it *BatchItem) BatchItemResult {
 	}
 
 	sreq := it.Simulate
-	params, err := sreq.params()
+	params, err := simParams(sreq)
 	if err != nil {
 		return BatchItemResult{Status: http.StatusBadRequest, Error: err.Error()}
 	}
-	engine, err := sreq.engine()
+	engine, err := simEngine(sreq)
 	if err != nil {
 		return BatchItemResult{Status: http.StatusBadRequest, Error: err.Error()}
 	}

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/api"
 	"repro/internal/cluster"
 )
 
@@ -34,7 +35,12 @@ type ClusterOptions struct {
 	// hypercube address.
 	SelfID int
 	// Peers lists every shard's base URL by shard ID, self included.
+	// Ignored when JoinMap is set.
 	Peers []string
+	// JoinMap, when non-nil, bootstraps membership from an adopted
+	// epoch-versioned cluster map instead of the static Peers list — the
+	// dynamic-join path, where SelfID is the ID the seed assigned.
+	JoinMap *cluster.Map
 	// ProbeInterval is the peer health-probe period (default 2s). A
 	// negative value disables background probing entirely — tests drive
 	// Membership.Tick by hand.
@@ -55,29 +61,42 @@ type clusterNode struct {
 	fwd  *http.Client
 	stop context.CancelFunc
 	done chan struct{}
+
+	// Replication machinery (replica.go): the async push queue toward
+	// Gray-ring standbys and the materialization queue that turns
+	// received replicas into live cache entries.
+	rep *replicator
 }
 
 // EnableCluster switches the server into cluster mode: it joins the
-// static peer list as shard SelfID, registers GET /v1/cluster, starts the
-// background health prober (unless ProbeInterval < 0), and makes
-// /v1/plan and /v1/simulate ownership-aware. Call it after New and before
-// serving traffic.
+// peer roster as shard SelfID, registers GET /v1/cluster and the
+// replica-push endpoint, starts the background health prober (unless
+// ProbeInterval < 0) and the replication workers, and makes /v1/plan and
+// /v1/simulate ownership-aware. Call it after New and before serving
+// traffic.
 func (s *Server) EnableCluster(opts ClusterOptions) error {
-	if s.cluster != nil {
+	if s.cnode() != nil {
 		return errors.New("serve: cluster already enabled")
 	}
 	interval := opts.ProbeInterval
 	if interval == 0 {
 		interval = 2 * time.Second
 	}
-	m, err := cluster.New(cluster.Config{
+	ccfg := cluster.Config{
 		Self:          opts.SelfID,
 		Peers:         opts.Peers,
 		ProbeInterval: interval,
 		ProbeTimeout:  opts.ProbeTimeout,
 		FailThreshold: opts.FailThreshold,
 		Prober:        opts.Prober,
-	})
+	}
+	var m *cluster.Membership
+	var err error
+	if opts.JoinMap != nil {
+		m, err = cluster.NewFromMap(ccfg, *opts.JoinMap)
+	} else {
+		m, err = cluster.New(ccfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -86,6 +105,7 @@ func (s *Server) EnableCluster(opts ClusterOptions) error {
 		fwd = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
 	}
 	cn := &clusterNode{m: m, fwd: fwd, done: make(chan struct{})}
+	cn.rep = newReplicator(s, cn)
 	if interval < 0 {
 		close(cn.done) // manual probing: nothing to stop
 	} else {
@@ -105,18 +125,20 @@ func (s *Server) EnableCluster(opts ClusterOptions) error {
 			}
 		}()
 	}
-	s.cluster = cn
+	s.clusterPtr.Store(cn)
 	s.mux.HandleFunc("GET /v1/cluster", s.instrument("/v1/cluster", s.handleClusterStatus))
+	s.mux.HandleFunc("POST /v1/replica", s.instrument("/v1/replica", s.requireInternal(s.handleReplica)))
 	return nil
 }
 
 // ClusterMembership exposes the membership table (nil when cluster mode
 // is off) for startup logging and tests.
 func (s *Server) ClusterMembership() *cluster.Membership {
-	if s.cluster == nil {
+	cn := s.cnode()
+	if cn == nil {
 		return nil
 	}
-	return s.cluster.m
+	return cn.m
 }
 
 // stopProbing halts the background prober and waits for it to exit.
@@ -127,33 +149,29 @@ func (cn *clusterNode) stopProbing() {
 	<-cn.done
 }
 
-// ClusterInfo is the per-response shard metadata attached to /v1/plan and
-// /v1/simulate responses in cluster mode: which shard computed the
-// response, which shard owns the key under the responder's membership
-// view, and how many forwarding hops the request took to get there.
-type ClusterInfo struct {
-	Shard int `json:"shard"`
-	Owner int `json:"owner"`
-	Hops  int `json:"hops"`
-}
-
-// ClusterStatus is the GET /v1/cluster response.
-type ClusterStatus struct {
-	Self int `json:"self"`
-	N    int `json:"n"`
-	// Dim is the hypercube dimension ⌈log₂N⌉ — also the forwarding hop
-	// budget.
-	Dim    int                  `json:"dim"`
-	Shards []cluster.PeerStatus `json:"shards"`
-}
+// ClusterInfo and ClusterStatus live in the api package; the serve names
+// remain as aliases.
+type (
+	ClusterInfo   = api.ClusterInfo
+	ClusterStatus = api.ClusterStatus
+)
 
 func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
-	cn := s.cluster
+	cn := s.cnode()
 	writeJSON(w, http.StatusOK, ClusterStatus{
 		Self:   cn.m.Self(),
 		N:      cn.m.N(),
 		Dim:    cn.m.Dim(),
+		Epoch:  cn.m.Epoch(),
+		Map:    cn.m.Map(),
 		Shards: cn.m.Snapshot(),
+		Stats: &api.ClusterNodeStats{
+			Computations:            s.metrics.planComputations.Load(),
+			ReplicasSent:            s.metrics.replicasSent.Load(),
+			ReplicasReceived:        s.metrics.replicasReceived.Load(),
+			ReplicaMaterializations: s.metrics.replicaMaterializations.Load(),
+			ReplicaQueue:            cn.rep.queueDepth(),
+		},
 	})
 }
 
@@ -176,7 +194,7 @@ func forwardState(r *http.Request) (hops int, visited []int) {
 // unreachable — falls back to serving locally, so forwarding can delay a
 // response but never lose one.
 func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, path, key string, body []byte) bool {
-	cn := s.cluster
+	cn := s.cnode()
 	if cn == nil {
 		return false
 	}
@@ -243,12 +261,12 @@ func (cn *clusterNode) forward(ctx context.Context, path string, body []byte, ho
 // clusterMeta builds the response's shard metadata (nil outside cluster
 // mode).
 func (s *Server) clusterMeta(key string, r *http.Request) *ClusterInfo {
-	cn := s.cluster
+	cn := s.cnode()
 	if cn == nil {
 		return nil
 	}
 	hops, _ := forwardState(r)
-	return &ClusterInfo{Shard: cn.m.Self(), Owner: cn.m.Owner(key), Hops: hops}
+	return &ClusterInfo{Shard: cn.m.Self(), Owner: cn.m.Owner(key), Hops: hops, Epoch: cn.m.Epoch()}
 }
 
 func containsInt(xs []int, x int) bool {
@@ -272,7 +290,6 @@ func joinInts(xs []int) string {
 }
 
 // CanonicalPlanKey is the canonical plan-cache key of a request — the
-// string both the LRU and cluster ownership hash over. Exported so the
-// cluster-aware client can compute owner affinity with the server's exact
-// canonicalization.
-func CanonicalPlanKey(r *PlanRequest) string { return r.cacheKey() }
+// string both the LRU and cluster ownership hash over. Kept as a serve
+// re-export of api.CanonicalPlanKey for existing callers.
+func CanonicalPlanKey(r *PlanRequest) string { return api.CanonicalPlanKey(r) }

@@ -20,9 +20,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net/http"
-	"strconv"
 	"strings"
 	"sync"
+
+	"repro/api"
 )
 
 // bufPool recycles response-encoding buffers across requests on every
@@ -152,32 +153,40 @@ func (c *respCache) put(key string, f *respFrame) {
 	}
 }
 
+// respDump is one cached frame reassembled into standalone encoded
+// bytes for replication and bulk transfer.
+type respDump struct {
+	key     string
+	encoded []byte
+}
+
+// dump reassembles every cached frame into its full invariant encoding
+// (prefix + "}\n" — exactly what newRespFrame will slice back apart),
+// most-recently-used first. The transfer path filters this by ownership.
+func (c *respCache) dump() []respDump {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]respDump, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*respEntry)
+		enc := make([]byte, 0, len(e.frame.prefix)+2)
+		enc = append(enc, e.frame.prefix...)
+		enc = append(enc, '}', '\n')
+		out = append(out, respDump{key: e.key, encoded: enc})
+	}
+	return out
+}
+
 func (c *respCache) stats() (bytes int64, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.bytes, c.ll.Len()
 }
 
-// encodedKey extends the base-plan cache key with the mapping knobs the
-// encoded response additionally depends on.
-func (r *PlanRequest) encodedKey() string {
-	return string(r.appendEncodedSuffix(r.appendCacheKey(make([]byte, 0, 128))))
-}
-
-// appendEncodedSuffix appends the mapping knobs to a rendered base key.
-func (r *PlanRequest) appendEncodedSuffix(b []byte) []byte {
-	b = append(b, "|cube="...)
-	b = strconv.AppendInt(b, int64(r.cubeDim()), 10)
-	b = append(b, "|excl="...)
-	b = strconv.AppendBool(b, r.Exclusive)
-	return b
-}
-
 // CanonicalResponseKey is the canonical key of a request's fully-encoded
-// response — the base-plan key plus the mapping knobs. Exported so the
-// client's ETag revalidation cache indexes with the server's exact
-// canonicalization.
-func CanonicalResponseKey(r *PlanRequest) string { return r.encodedKey() }
+// response — the base-plan key plus the mapping knobs. Kept as a serve
+// re-export of api.CanonicalResponseKey for existing callers.
+func CanonicalResponseKey(r *PlanRequest) string { return api.CanonicalResponseKey(r) }
 
 // writeFrame serves one response from a frame: ETag always set, an
 // If-None-Match match answered with an empty 304, and the cache/cluster
@@ -197,7 +206,7 @@ func (s *Server) writeFrame(w http.ResponseWriter, r *http.Request, f *respFrame
 	buf.WriteString(string(outcome))
 	buf.WriteByte('"')
 	if ci := s.clusterMeta(key, r); ci != nil {
-		fmt.Fprintf(buf, `,"cluster":{"shard":%d,"owner":%d,"hops":%d}`, ci.Shard, ci.Owner, ci.Hops)
+		fmt.Fprintf(buf, `,"cluster":{"shard":%d,"owner":%d,"hops":%d,"epoch":%d}`, ci.Shard, ci.Owner, ci.Hops, ci.Epoch)
 	}
 	buf.WriteString("}\n")
 	w.Header().Set("Content-Type", "application/json")

@@ -170,7 +170,7 @@ func TestHitPathAllocDrop(t *testing.T) {
 		hr, _ := http.NewRequest(http.MethodPost, "/v1/plan", strings.NewReader(body))
 		var r2 PlanRequest
 		_ = json.Unmarshal([]byte(body), &r2)
-		p2, _ := p.RemapOpts(r2.cubeDim(), loopmap.MapOptions{Exclusive: r2.Exclusive})
+		p2, _ := p.RemapOpts(r2.CubeDimOrDefault(), loopmap.MapOptions{Exclusive: r2.Exclusive})
 		writeJSON(rec, http.StatusOK, buildPlanResponse(&r2, p2))
 		_ = hr
 	})

@@ -133,6 +133,14 @@ type metrics struct {
 	forwardHops        atomic.Int64
 	probeFailures      atomic.Int64
 
+	// replication and elasticity instruments.
+	replicasSent            atomic.Int64 // records pushed to a standby
+	replicasReceived        atomic.Int64 // replica-push requests accepted
+	replicaErrors           atomic.Int64 // failed pushes (retried by the next compute, not here)
+	replicaDrops            atomic.Int64 // records dropped on a full replication queue
+	replicaMaterializations atomic.Int64 // replicated base plans computed into the local cache
+	transfersServed         atomic.Int64 // bulk keyspace transfers served to joiners
+
 	endpoints map[string]*endpointMetrics // fixed at construction
 }
 
@@ -207,6 +215,15 @@ type Snapshot struct {
 	ForwardBudgetStops int64
 	ForwardHops        int64
 	ProbeFailures      int64
+
+	// Replication and elasticity accounting.
+	ReplicasSent            int64
+	ReplicasReceived        int64
+	ReplicaErrors           int64
+	ReplicaDrops            int64
+	ReplicaMaterializations int64
+	TransfersServed         int64
+
 	ClusterSelf        int
 	ClusterN           int
 	ClusterDim         int
@@ -256,7 +273,15 @@ func (m *metrics) snapshot() Snapshot {
 		ForwardBudgetStops: m.forwardBudgetStops.Load(),
 		ForwardHops:        m.forwardHops.Load(),
 		ProbeFailures:      m.probeFailures.Load(),
-		Endpoints:          make(map[string]EndpointSnapshot, len(m.endpoints)),
+
+		ReplicasSent:            m.replicasSent.Load(),
+		ReplicasReceived:        m.replicasReceived.Load(),
+		ReplicaErrors:           m.replicaErrors.Load(),
+		ReplicaDrops:            m.replicaDrops.Load(),
+		ReplicaMaterializations: m.replicaMaterializations.Load(),
+		TransfersServed:         m.transfersServed.Load(),
+
+		Endpoints: make(map[string]EndpointSnapshot, len(m.endpoints)),
 	}
 	for name, em := range m.endpoints {
 		s.Endpoints[name] = EndpointSnapshot{
@@ -320,6 +345,12 @@ func (s Snapshot) render(w io.Writer) {
 		counter("loopmapd_cluster_forward_budget_stops_total", "Forwards refused at the hop budget or on a routing loop.", s.ForwardBudgetStops)
 		counter("loopmapd_cluster_forward_hops_total", "Total e-cube hops traversed by requests this shard served.", s.ForwardHops)
 		counter("loopmapd_cluster_probe_failures_total", "Failed peer health probes.", s.ProbeFailures)
+		counter("loopmapd_cluster_replicas_sent_total", "Records pushed to this shard's Gray-ring standby.", s.ReplicasSent)
+		counter("loopmapd_cluster_replicas_received_total", "Replica-push requests accepted from primaries.", s.ReplicasReceived)
+		counter("loopmapd_cluster_replica_errors_total", "Replica pushes that failed.", s.ReplicaErrors)
+		counter("loopmapd_cluster_replica_drops_total", "Replica records dropped on a full queue.", s.ReplicaDrops)
+		counter("loopmapd_cluster_replica_materializations_total", "Replicated base plans computed into the local cache.", s.ReplicaMaterializations)
+		counter("loopmapd_cluster_transfers_served_total", "Bulk keyspace transfers served to joining shards.", s.TransfersServed)
 		fmt.Fprintf(w, "# HELP loopmapd_cluster_peer_alive Peer liveness by shard ID (1 alive, 0 dead).\n# TYPE loopmapd_cluster_peer_alive gauge\n")
 		for _, p := range s.ClusterPeers {
 			v := 0

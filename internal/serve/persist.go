@@ -36,7 +36,7 @@ type storedRequest struct {
 
 // persistPayload renders the request's canonical planning fields as the
 // WAL record value.
-func (r *PlanRequest) persistPayload() []byte {
+func persistPayload(r *PlanRequest) []byte {
 	sr := storedRequest{
 		Kernel:         r.Kernel,
 		Size:           r.Size,
@@ -164,7 +164,7 @@ func (s *Server) Recover(ctx context.Context) (RecoveryStats, error) {
 			continue
 		}
 		req := sr.planRequest()
-		if req.cacheKey() != rec.Key {
+		if req.Key() != rec.Key {
 			// The record's key and payload disagree — a foreign or
 			// hand-edited store. Trust neither.
 			rs.Skipped++
@@ -187,7 +187,7 @@ func (s *Server) Recover(ctx context.Context) (RecoveryStats, error) {
 		if err != nil {
 			return
 		}
-		p, err := loopmap.NewPlanCtx(ctx, k, slots[i].req.planOptions())
+		p, err := loopmap.NewPlanCtx(ctx, k, planOptions(slots[i].req))
 		if err != nil {
 			return
 		}
@@ -255,8 +255,9 @@ func (s *Server) maybeCompact() {
 // feature is off). In-flight HTTP requests are the listener's concern;
 // call this after the listener has drained.
 func (s *Server) Close() error {
-	if s.cluster != nil {
-		s.cluster.stopProbing()
+	if cn := s.cnode(); cn != nil {
+		cn.stopProbing()
+		cn.stopReplication()
 	}
 	s.compactWG.Wait()
 	if s.store == nil {

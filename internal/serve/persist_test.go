@@ -118,12 +118,12 @@ func TestWarmRestartServesIdenticalPlans(t *testing.T) {
 	// Plan + Stats identity against fresh computation, per acceptance
 	// criterion: DeepEqual, not just summary equality.
 	req := &PlanRequest{Kernel: "matvec", Size: 12}
-	recovered, ok := s2.cache.get(req.cacheKey())
+	recovered, ok := s2.cache.get(req.Key())
 	if !ok {
 		t.Fatal("recovered matvec plan missing from cache")
 	}
 	k := loopmap.NewKernel("matvec", 12)
-	fresh, err := loopmap.NewPlan(k, req.planOptions())
+	fresh, err := loopmap.NewPlan(k, planOptions(req))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,18 +206,18 @@ func TestRecoverySkipsForeignRecords(t *testing.T) {
 		t.Fatal(err)
 	}
 	good := &PlanRequest{Kernel: "l1", Size: 8}
-	if err := store.Append(persist.Record{Key: good.cacheKey(), Value: good.persistPayload()}); err != nil {
+	if err := store.Append(persist.Record{Key: good.Key(), Value: persistPayload(good)}); err != nil {
 		t.Fatal(err)
 	}
 	if err := store.Append(persist.Record{Key: "junk-key", Value: []byte("not json")}); err != nil {
 		t.Fatal(err)
 	}
 	mismatched := &PlanRequest{Kernel: "matvec", Size: 8}
-	if err := store.Append(persist.Record{Key: "wrong-key", Value: mismatched.persistPayload()}); err != nil {
+	if err := store.Append(persist.Record{Key: "wrong-key", Value: persistPayload(mismatched)}); err != nil {
 		t.Fatal(err)
 	}
 	oversized := &PlanRequest{Kernel: "l1", Size: 4096}
-	if err := store.Append(persist.Record{Key: oversized.cacheKey(), Value: oversized.persistPayload()}); err != nil {
+	if err := store.Append(persist.Record{Key: oversized.Key(), Value: persistPayload(oversized)}); err != nil {
 		t.Fatal(err)
 	}
 	if err := store.Close(); err != nil {

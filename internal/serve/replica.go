@@ -1,0 +1,386 @@
+// Asynchronous replication: every durable plan a primary computes is
+// pushed to its Gray-ring standby, so a SIGKILLed shard's keyspace is
+// already warm on its neighbor (hinted handoff) and a failover serves
+// with zero recomputations.
+//
+// Two record kinds travel over POST /v1/replica, both as persist-framed
+// streams (the WAL wire format):
+//
+//	b|<base key>     the canonical storedRequest JSON — the same bytes
+//	                 the WAL holds. The receiver recomputes the plan
+//	                 through basePlan on a background worker, which also
+//	                 persists it locally; a standby's copy survives its
+//	                 own restarts.
+//	f|<response key> the fully-encoded response frame bytes. The
+//	                 receiver inserts them straight into the encoded-
+//	                 response cache — a failover hit is zero-copy too.
+//
+// Pushes are fire-and-forget off the request path: a bounded queue and
+// one worker per node, drops counted when the queue is full (the record
+// is still durable on the primary; the standby converges on the next
+// compute or transfer). Only the HRW primary for a key replicates it —
+// a standby materializing a replica never re-pushes, so there is no
+// replication chain.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/api"
+	"repro/internal/cluster"
+	"repro/internal/persist"
+)
+
+// Replica record-key prefixes: base-plan requests and encoded frames.
+const (
+	repBasePrefix  = "b|"
+	repFramePrefix = "f|"
+)
+
+// replicaQueueCap bounds each replication queue; a full queue drops the
+// newest record rather than stalling the serving path.
+const replicaQueueCap = 4096
+
+// pushItem is one record bound for a standby.
+type pushItem struct {
+	target int
+	rec    persist.Record
+}
+
+// replicator runs the push worker (primary side) and the materialization
+// worker (standby side) for one cluster node.
+type replicator struct {
+	s  *Server
+	cn *clusterNode
+
+	pushCh chan pushItem
+	matCh  chan *PlanRequest
+
+	// pending counts queued-but-unfinished work across both queues; a
+	// zero depth after traffic quiesces means every replica has landed.
+	pending atomic.Int64
+
+	client   *http.Client
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+func newReplicator(s *Server, cn *clusterNode) *replicator {
+	r := &replicator{
+		s:      s,
+		cn:     cn,
+		pushCh: make(chan pushItem, replicaQueueCap),
+		matCh:  make(chan *PlanRequest, replicaQueueCap),
+		client: &http.Client{Timeout: 10 * time.Second},
+		stopCh: make(chan struct{}),
+	}
+	r.wg.Add(3)
+	go r.pushLoop()
+	go r.materializeLoop()
+	go r.epochWatch()
+	return r
+}
+
+func (r *replicator) stop() {
+	r.stopOnce.Do(func() { close(r.stopCh) })
+	r.wg.Wait()
+}
+
+func (r *replicator) queueDepth() int64 { return r.pending.Load() }
+
+// enqueuePush queues one record toward a standby, dropping on overflow.
+func (r *replicator) enqueuePush(target int, rec persist.Record) {
+	r.pending.Add(1)
+	select {
+	case r.pushCh <- pushItem{target: target, rec: rec}:
+	default:
+		r.pending.Add(-1)
+		r.s.metrics.replicaDrops.Add(1)
+	}
+}
+
+// pushLoop drains the push queue, coalescing consecutive records for the
+// same standby into one framed POST.
+func (r *replicator) pushLoop() {
+	defer r.wg.Done()
+	for {
+		var first pushItem
+		select {
+		case <-r.stopCh:
+			return
+		case first = <-r.pushCh:
+		}
+		batch := []persist.Record{first.rec}
+	drain:
+		for len(batch) < 64 {
+			select {
+			case it := <-r.pushCh:
+				if it.target != first.target {
+					// Different standby: ship what we have and requeue.
+					r.push(first.target, batch)
+					r.pending.Add(int64(-len(batch)))
+					first, batch = it, []persist.Record{it.rec}
+					continue drain
+				}
+				batch = append(batch, it.rec)
+			default:
+				break drain
+			}
+		}
+		r.push(first.target, batch)
+		r.pending.Add(int64(-len(batch)))
+	}
+}
+
+// push ships one framed batch to a standby. Failures are counted, never
+// retried here: the record is durable on the primary, and the standby
+// converges via the next compute or a bulk transfer.
+func (r *replicator) push(target int, recs []persist.Record) {
+	url := r.cn.m.URL(target)
+	if url == "" {
+		r.s.metrics.replicaErrors.Add(1)
+		return
+	}
+	buf := getBuf()
+	defer putBuf(buf)
+	if err := persist.WriteRecords(buf, recs); err != nil {
+		r.s.metrics.replicaErrors.Add(1)
+		return
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/replica", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		r.s.metrics.replicaErrors.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if tok := r.s.cfg.AdminToken; tok != "" {
+		req.Header.Set(api.AdminTokenHeader, tok)
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		r.s.metrics.replicaErrors.Add(1)
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		r.s.metrics.replicaErrors.Add(1)
+		return
+	}
+	r.s.metrics.replicasSent.Add(int64(len(recs)))
+}
+
+// enqueueMaterialize queues one replicated base request for local
+// computation, dropping on overflow.
+func (r *replicator) enqueueMaterialize(req *PlanRequest) {
+	r.pending.Add(1)
+	select {
+	case r.matCh <- req:
+	default:
+		r.pending.Add(-1)
+		r.s.metrics.replicaDrops.Add(1)
+	}
+}
+
+// materializeLoop computes replicated base plans into the local cache.
+// basePlan persists each one to the local WAL as a side effect, and —
+// because this node is not the key's HRW primary — never re-replicates.
+func (r *replicator) materializeLoop() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case req := <-r.matCh:
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			_, outcome, err := r.s.basePlan(ctx, req)
+			cancel()
+			if err == nil && outcome == CacheMiss {
+				r.s.metrics.replicaMaterializations.Add(1)
+			}
+			r.pending.Add(-1)
+		}
+	}
+}
+
+// epochWatch re-replicates this shard's keyspace whenever the cluster
+// map changes. A membership change (join, leave) can reassign a key's
+// Gray-ring standby, so records pushed under the old topology may sit on
+// a node that is no longer the failover target; one sweep per epoch bump
+// restores the invariant that every owned record is warm on its current
+// standby. Receivers skip records they already hold, so a redundant
+// sweep costs one coalesced push, not a recompute.
+func (r *replicator) epochWatch() {
+	defer r.wg.Done()
+	last := r.cn.m.Epoch()
+	t := time.NewTicker(200 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case <-t.C:
+			if e := r.cn.m.Epoch(); e != last {
+				last = e
+				r.sweepOwned()
+			}
+		}
+	}
+}
+
+// sweepOwned enqueues a replica push for every locally-held record this
+// shard currently owns: base plans from the plan cache, encoded frames
+// from the response cache.
+func (r *replicator) sweepOwned() {
+	pushed := 0
+	for _, rec := range r.s.cache.records() {
+		if target, ok := r.s.replicaTargetFor(rec.Key); ok {
+			r.enqueuePush(target, persist.Record{Key: repBasePrefix + rec.Key, Value: rec.Value})
+			pushed++
+		}
+	}
+	for _, d := range r.s.resp.dump() {
+		if target, ok := r.s.replicaTargetFor(frameBaseKey(d.key)); ok {
+			r.enqueuePush(target, persist.Record{Key: repFramePrefix + d.key, Value: d.encoded})
+			pushed++
+		}
+	}
+	if pushed > 0 {
+		r.s.cfg.Logger.Info("re-replicated keyspace after map change",
+			"epoch", r.cn.m.Epoch(), "records", pushed)
+	}
+}
+
+// replicateBase pushes one computed base plan's durable record to the
+// key's Gray-ring standby. Only the HRW primary pushes; everyone else
+// (standbys materializing replicas, non-owners serving under a stale
+// map) stays quiet.
+func (s *Server) replicateBase(key string, payload []byte) {
+	cn := s.cnode()
+	if cn == nil || payload == nil {
+		return
+	}
+	target, ok := s.replicaTargetFor(key)
+	if !ok {
+		return
+	}
+	cn.rep.enqueuePush(target, persist.Record{Key: repBasePrefix + key, Value: payload})
+}
+
+// replicateFrame pushes one freshly-encoded response frame to the base
+// key's standby, so a failover serves the zero-copy path too.
+func (s *Server) replicateFrame(req *PlanRequest, ekey string, f *respFrame) {
+	cn := s.cnode()
+	if cn == nil {
+		return
+	}
+	target, ok := s.replicaTargetFor(req.Key())
+	if !ok {
+		return
+	}
+	enc := make([]byte, 0, len(f.prefix)+2)
+	enc = append(enc, f.prefix...)
+	enc = append(enc, '}', '\n')
+	cn.rep.enqueuePush(target, persist.Record{Key: repFramePrefix + ekey, Value: enc})
+}
+
+// replicaTargetFor returns the standby to push key's records to, and
+// whether this node should push at all (it is the key's HRW primary and
+// a distinct standby exists).
+func (s *Server) replicaTargetFor(key string) (int, bool) {
+	m := s.cnode().m
+	active := m.ActiveIDs()
+	self := m.Self()
+	if len(active) < 2 || cluster.Owner(key, active) != self {
+		return -1, false
+	}
+	target := cluster.ReplicaFor(key, active)
+	if target < 0 || target == self {
+		return -1, false
+	}
+	return target, true
+}
+
+// handleReplica ingests a framed record stream pushed by a primary (or
+// streamed from a bulk transfer during join).
+func (s *Server) handleReplica(w http.ResponseWriter, r *http.Request) {
+	recs, err := persist.ReadRecords(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.replicasReceived.Add(int64(len(recs)))
+	s.ingestRecords(recs)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ingestRecords applies replica records locally: frames go straight into
+// the encoded-response cache; base requests queue for background
+// materialization (skipped when already cached). It returns the number
+// of records applied or queued.
+func (s *Server) ingestRecords(recs []persist.Record) int {
+	applied := 0
+	for _, rec := range recs {
+		switch {
+		case strings.HasPrefix(rec.Key, repFramePrefix):
+			s.resp.put(rec.Key[len(repFramePrefix):], newRespFrame(rec.Value))
+			applied++
+		case strings.HasPrefix(rec.Key, repBasePrefix):
+			key := rec.Key[len(repBasePrefix):]
+			if _, ok := s.cache.get(key); ok {
+				continue
+			}
+			var sr storedRequest
+			if err := json.Unmarshal(rec.Value, &sr); err != nil {
+				continue
+			}
+			req := sr.planRequest()
+			if req.Key() != key || s.validatePlanRequest(req) != nil {
+				continue
+			}
+			if cn := s.cnode(); cn != nil {
+				cn.rep.enqueueMaterialize(req)
+				applied++
+			}
+		}
+	}
+	return applied
+}
+
+// requireInternal gates node-to-node endpoints: when an admin token is
+// configured every peer push must carry it; without one the cluster is
+// trusted (the single-daemon-compatible default).
+func (s *Server) requireInternal(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if tok := s.cfg.AdminToken; tok != "" && !tokenMatch(r, tok) {
+			writeError(w, http.StatusForbidden, errForbidden)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// tokenMatch checks the admin token in constant time, accepting either
+// the dedicated header or an Authorization bearer.
+func tokenMatch(r *http.Request, want string) bool {
+	got := r.Header.Get(api.AdminTokenHeader)
+	if got == "" {
+		got = strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+	}
+	return subtle.ConstantTimeCompare([]byte(got), []byte(want)) == 1
+}
+
+// stopReplication halts the replication workers and waits for them.
+func (cn *clusterNode) stopReplication() {
+	if cn.rep != nil {
+		cn.rep.stop()
+	}
+}

@@ -33,11 +33,37 @@ import (
 	"time"
 
 	loopmap "repro"
+	"repro/api"
 	"repro/internal/machine"
 	"repro/internal/mapping"
 	"repro/internal/persist"
 	"repro/internal/pool"
 	"repro/internal/trace"
+)
+
+// The wire types live in the top-level api package — the stable contract
+// shared with the client. The aliases below keep every historical
+// serve.X reference compiling unchanged.
+type (
+	PlanRequest      = api.PlanRequest
+	PlanResponse     = api.PlanResponse
+	CacheOutcome     = api.CacheOutcome
+	SimulateRequest  = api.SimulateRequest
+	SimulateResponse = api.SimulateResponse
+	FaultSpec        = api.FaultSpec
+	NodeCrashSpec    = api.NodeCrashSpec
+	LinkFailureSpec  = api.LinkFailureSpec
+	DegradedInfo     = api.DegradedInfo
+	SPMDRequest      = api.SPMDRequest
+	SPMDResponse     = api.SPMDResponse
+	KernelInfo       = api.KernelInfo
+)
+
+// Cache outcome values, re-exported from api.
+const (
+	CacheHit    = api.CacheHit
+	CacheMiss   = api.CacheMiss
+	CacheShared = api.CacheShared
 )
 
 // Config tunes the daemon. The zero value gets production-ish defaults.
@@ -89,6 +115,10 @@ type Config struct {
 	// MaxBatchItems caps the items one /v1/batch request may carry
 	// (default 256).
 	MaxBatchItems int
+	// AdminToken gates the mutating /v1/admin/* endpoints (join, leave,
+	// drain, transfer). Empty leaves them unregistered — the mux answers
+	// a plain 404, byte-compatible with daemons predating the admin API.
+	AdminToken string
 	// Logger receives structured request logs; nil discards them.
 	Logger *slog.Logger
 }
@@ -139,7 +169,8 @@ func (c Config) withDefaults() Config {
 // endpoints instrumented individually in /metrics.
 var endpointNames = []string{
 	"/v1/plan", "/v1/simulate", "/v1/spmd", "/v1/kernels", "/v1/batch",
-	"/v1/cluster", "/healthz", "/readyz", "/metrics",
+	"/v1/cluster", "/v1/replica", "/v1/admin/join", "/v1/admin/leave",
+	"/v1/admin/drain", "/v1/admin/transfer", "/healthz", "/readyz", "/metrics",
 }
 
 // Server is the daemon's handler set and shared state.
@@ -160,10 +191,14 @@ type Server struct {
 	compacting atomic.Bool
 	compactWG  sync.WaitGroup
 
-	// cluster is the sharded-serving state, attached by EnableCluster
-	// before the handler serves traffic (nil in single-daemon mode).
-	cluster *clusterNode
+	// clusterPtr is the sharded-serving state, attached by EnableCluster
+	// (nil in single-daemon mode). Atomic because a dynamic join attaches
+	// it while the daemon is already serving probes and admin calls.
+	clusterPtr atomic.Pointer[clusterNode]
 }
+
+// cnode returns the cluster state (nil in single-daemon mode).
+func (s *Server) cnode() *clusterNode { return s.clusterPtr.Load() }
 
 // New builds a Server with the given configuration.
 func New(cfg Config) *Server {
@@ -187,6 +222,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	if cfg.AdminToken != "" {
+		s.mux.HandleFunc("POST /v1/admin/join", s.instrument("/v1/admin/join", s.requireAdmin(s.handleAdminJoin)))
+		s.mux.HandleFunc("POST /v1/admin/leave", s.instrument("/v1/admin/leave", s.requireAdmin(s.handleAdminLeave)))
+		s.mux.HandleFunc("POST /v1/admin/drain", s.instrument("/v1/admin/drain", s.requireAdmin(s.handleAdminDrain)))
+		s.mux.HandleFunc("POST /v1/admin/transfer", s.instrument("/v1/admin/transfer", s.requireAdmin(s.handleAdminTransfer)))
+	}
 	return s
 }
 
@@ -247,7 +288,7 @@ func (s *Server) Metrics() Snapshot {
 	snap.GoVersion = runtime.Version()
 	snap.Module = buildModule
 
-	if cn := s.cluster; cn != nil {
+	if cn := s.cnode(); cn != nil {
 		snap.ClusterSelf = cn.m.Self()
 		snap.ClusterN = cn.m.N()
 		snap.ClusterDim = cn.m.Dim()
@@ -296,6 +337,12 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		if cn := s.cnode(); cn != nil {
+			// Epoch gossip over ordinary traffic: every cluster-mode
+			// response advertises the responder's map version so clients
+			// detect membership changes without a failover.
+			sw.Header().Set(api.EpochHeader, strconv.FormatUint(cn.m.Epoch(), 10))
+		}
 		func() {
 			defer func() {
 				if rec := recover(); rec != nil {
@@ -387,38 +434,9 @@ func errStatus(err error) int {
 
 // --- the plan request and its canonical cache key ---
 
-// PlanRequest is the JSON body of /v1/plan and the planning half of
-// /v1/simulate.
-type PlanRequest struct {
-	Kernel string `json:"kernel"`
-	Size   int64  `json:"size"`
-	// CubeDim < 0 (or omitted as null) skips the mapping phase. The
-	// encoding uses a pointer so "absent" defaults to 3 (the paper's
-	// running example) rather than colliding with a meaningful 0.
-	CubeDim *int `json:"cube_dim"`
-	// Exclusive demands one block per node (fails with 400 when the cube
-	// is too small).
-	Exclusive bool `json:"exclusive,omitempty"`
-	// Pi pins the time function; SearchPi searches exhaustively with
-	// SearchBound.
-	Pi          []int64 `json:"pi,omitempty"`
-	SearchPi    bool    `json:"search_pi,omitempty"`
-	SearchBound int64   `json:"search_bound,omitempty"`
-	// Partition knobs (Algorithm 1).
-	MergeFactor    int64 `json:"merge_factor,omitempty"`
-	NoAux          bool  `json:"no_aux,omitempty"`
-	GroupingChoice int   `json:"grouping_choice,omitempty"`
-	// TimeoutMS bounds this request's total work.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-}
-
-// cubeDim resolves the requested cube dimension (default 3).
-func (r *PlanRequest) cubeDim() int {
-	if r.CubeDim == nil {
-		return 3
-	}
-	return *r.CubeDim
-}
+// The canonical cache key itself (PlanRequest.Key / AppendKey) lives in
+// the api package alongside the request type, so clients and shards
+// canonicalize byte-identically.
 
 // validate applies the daemon's admission limits and option validation.
 func (s *Server) validatePlanRequest(r *PlanRequest) error {
@@ -428,15 +446,15 @@ func (s *Server) validatePlanRequest(r *PlanRequest) error {
 	if r.Size < 1 || r.Size > s.cfg.MaxKernelSize {
 		return fmt.Errorf("serve: size %d out of range [1, %d]", r.Size, s.cfg.MaxKernelSize)
 	}
-	if d := r.cubeDim(); d > s.cfg.MaxCubeDim {
+	if d := r.CubeDimOrDefault(); d > s.cfg.MaxCubeDim {
 		return fmt.Errorf("serve: cube_dim %d exceeds the maximum %d", d, s.cfg.MaxCubeDim)
 	}
-	return r.planOptions().Validate()
+	return planOptions(r).Validate()
 }
 
 // planOptions converts the request's planning fields (cube dimension
 // excluded — base plans are cached unmapped).
-func (r *PlanRequest) planOptions() loopmap.PlanOptions {
+func planOptions(r *PlanRequest) loopmap.PlanOptions {
 	var pi loopmap.IntVec
 	if len(r.Pi) > 0 {
 		pi = loopmap.Vec(r.Pi...)
@@ -454,54 +472,6 @@ func (r *PlanRequest) planOptions() loopmap.PlanOptions {
 	}
 }
 
-// cacheKey canonicalizes the planning inputs: defaults are applied first
-// (SearchBound 0 → 2, MergeFactor 0 → 1), so every spelling of the same
-// computation shares one cache line. The cube dimension is deliberately
-// absent — one cached partitioning serves every cube through Plan.Remap.
-// Built with strconv, not fmt — this runs on the hot hit path — but the
-// string is byte-identical to the historical fmt rendering, so persisted
-// records keyed by older daemons replay cleanly.
-func (r *PlanRequest) cacheKey() string {
-	return string(r.appendCacheKey(make([]byte, 0, 96)))
-}
-
-// appendCacheKey renders the canonical key into b — the hit path builds
-// the base and encoded keys in one buffer without intermediate strings.
-func (r *PlanRequest) appendCacheKey(b []byte) []byte {
-	bound := r.SearchBound
-	if !r.SearchPi {
-		bound = 0
-	} else if bound <= 0 {
-		bound = 2
-	}
-	merge := r.MergeFactor
-	if merge < 1 {
-		merge = 1
-	}
-	b = append(b, "kernel="...)
-	b = append(b, r.Kernel...)
-	b = append(b, "|size="...)
-	b = strconv.AppendInt(b, r.Size, 10)
-	b = append(b, "|pi=["...)
-	for i, v := range r.Pi {
-		if i > 0 {
-			b = append(b, ' ')
-		}
-		b = strconv.AppendInt(b, v, 10)
-	}
-	b = append(b, "]|search="...)
-	b = strconv.AppendBool(b, r.SearchPi)
-	b = append(b, "|bound="...)
-	b = strconv.AppendInt(b, bound, 10)
-	b = append(b, "|merge="...)
-	b = strconv.AppendInt(b, merge, 10)
-	b = append(b, "|noaux="...)
-	b = strconv.AppendBool(b, r.NoAux)
-	b = append(b, "|choice="...)
-	b = strconv.AppendInt(b, int64(r.GroupingChoice), 10)
-	return b
-}
-
 // requestContext derives the request's working context from its deadline
 // fields.
 func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
@@ -514,18 +484,6 @@ func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Conte
 	}
 	return context.WithTimeout(r.Context(), d)
 }
-
-// CacheOutcome reports how a request's base plan was obtained.
-type CacheOutcome string
-
-const (
-	// CacheHit: served from the LRU.
-	CacheHit CacheOutcome = "hit"
-	// CacheMiss: this request computed the plan.
-	CacheMiss CacheOutcome = "miss"
-	// CacheShared: joined another request's in-flight computation.
-	CacheShared CacheOutcome = "shared"
-)
 
 // acquire admits the request through the gate, but queues for at most
 // AcquireTimeout: a saturated gate sheds load with ErrOverloaded (503 +
@@ -555,7 +513,7 @@ func (s *Server) acquire(ctx context.Context) error {
 // singleflight trade; the alternative (detached computation) would let an
 // abandoned request burn a gate slot with nobody waiting.
 func (s *Server) basePlan(ctx context.Context, req *PlanRequest) (*loopmap.Plan, CacheOutcome, error) {
-	key := req.cacheKey()
+	key := req.Key()
 	if p, ok := s.cache.get(key); ok {
 		s.metrics.cacheHits.Add(1)
 		return p, CacheHit, nil
@@ -580,18 +538,21 @@ func (s *Server) basePlan(ctx context.Context, req *PlanRequest) (*loopmap.Plan,
 			return nil, err
 		}
 		s.metrics.planComputations.Add(1)
-		p, err := loopmap.NewPlanCtx(ctx, k, req.planOptions())
+		p, err := loopmap.NewPlanCtx(ctx, k, planOptions(req))
 		if err != nil {
 			return nil, err
 		}
 		var payload []byte
-		if s.store != nil {
-			payload = req.persistPayload()
+		if s.store != nil || s.cnode() != nil {
+			// Cluster mode needs the canonical payload even without a
+			// local store: it is the replication and transfer currency.
+			payload = persistPayload(req)
 		}
 		if ev := s.cache.put(key, p, payload); ev > 0 {
 			s.metrics.cacheEvictions.Add(int64(ev))
 		}
 		s.persistPlan(key, payload)
+		s.replicateBase(key, payload)
 		return p, nil
 	})
 	if err != nil {
@@ -611,7 +572,7 @@ func (s *Server) mappedPlan(ctx context.Context, req *PlanRequest) (*loopmap.Pla
 	if err != nil {
 		return nil, outcome, err
 	}
-	p, err := base.RemapOpts(req.cubeDim(), loopmap.MapOptions{Exclusive: req.Exclusive})
+	p, err := base.RemapOpts(req.CubeDimOrDefault(), loopmap.MapOptions{Exclusive: req.Exclusive})
 	if err != nil {
 		return nil, outcome, err
 	}
@@ -619,39 +580,6 @@ func (s *Server) mappedPlan(ctx context.Context, req *PlanRequest) (*loopmap.Pla
 }
 
 // --- /v1/plan ---
-
-// PlanResponse summarizes a plan.
-type PlanResponse struct {
-	Kernel     string  `json:"kernel"`
-	Size       int64   `json:"size"`
-	Pi         []int64 `json:"pi"`
-	Steps      int64   `json:"steps"`
-	Iterations int     `json:"iterations"`
-
-	Blocks       int   `json:"blocks"`
-	MaxBlock     int   `json:"max_block"`
-	GroupSizeR   int64 `json:"group_size_r"`
-	Beta         int   `json:"beta"`
-	TIGEdges     int   `json:"tig_edges"`
-	TIGTraffic   int64 `json:"tig_traffic"`
-	MaxOutDegree int   `json:"max_out_degree"`
-
-	CubeDim     int   `json:"cube_dim"`
-	Procs       int   `json:"procs"`
-	HopWeight   int64 `json:"hop_weight,omitempty"`
-	MaxDilation int   `json:"max_dilation,omitempty"`
-	MinLoad     int64 `json:"min_load,omitempty"`
-	MaxLoad     int64 `json:"max_load,omitempty"`
-
-	Summary string `json:"summary"`
-	// Cache and Cluster are the per-request metadata: absent from the
-	// cached frame (the invariant encode leaves them zero) and patched in
-	// as a suffix by writeFrame. They sit last so the patch is a pure
-	// append.
-	Cache CacheOutcome `json:"cache,omitempty"`
-	// Cluster is the shard metadata (cluster mode only).
-	Cluster *ClusterInfo `json:"cluster,omitempty"`
-}
 
 // buildPlanResponse fills the invariant part of a plan response — every
 // field that is a pure function of (request, plan). Cache and Cluster
@@ -670,7 +598,7 @@ func buildPlanResponse(req *PlanRequest, p *loopmap.Plan) *PlanResponse {
 		TIGEdges:     len(p.TIG.Edges),
 		TIGTraffic:   p.TIG.TotalTraffic(),
 		MaxOutDegree: p.TIG.MaxOutDegree(),
-		CubeDim:      req.cubeDim(),
+		CubeDim:      req.CubeDimOrDefault(),
 		Procs:        p.Procs(),
 		Summary:      p.Summary(),
 	}
@@ -703,7 +631,7 @@ func encodePlanFrame(req *PlanRequest, p *loopmap.Plan) (*respFrame, error) {
 // or plan pipeline + one encode on miss. The returned CacheOutcome is
 // what the patched-in "cache" field should report.
 func (s *Server) planFrame(ctx context.Context, req *PlanRequest) (*respFrame, CacheOutcome, bool, error) {
-	ekey := req.encodedKey()
+	ekey := req.ResponseKey()
 	if s.resp != nil {
 		if f, ok := s.resp.get(ekey); ok {
 			s.metrics.encodedHits.Add(1)
@@ -722,6 +650,7 @@ func (s *Server) planFrame(ctx context.Context, req *PlanRequest) (*respFrame, C
 	if s.resp != nil {
 		s.resp.put(ekey, f)
 	}
+	s.replicateFrame(req, ekey, f)
 	return f, outcome, false, nil
 }
 
@@ -745,15 +674,15 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	// base and encoded keys share one build buffer, and the lookup indexes
 	// the cache with the bytes directly — the key string is only
 	// materialized off the fast path (or for cluster metadata).
-	kb := req.appendCacheKey(make([]byte, 0, 128))
+	kb := req.AppendKey(make([]byte, 0, 128))
 	baseLen := len(kb)
 	if s.resp != nil {
-		kb = req.appendEncodedSuffix(kb)
+		kb = req.AppendResponseSuffix(kb)
 		if f, ok := s.resp.getBytes(kb); ok {
 			s.metrics.encodedHits.Add(1)
 			s.metrics.cacheHits.Add(1)
 			hitKey := ""
-			if s.cluster != nil {
+			if s.cnode() != nil {
 				hitKey = string(kb[:baseLen])
 			}
 			s.writeFrame(w, r, f, CacheHit, hitKey, true)
@@ -781,73 +710,8 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 
 // --- /v1/simulate ---
 
-// SimulateRequest extends PlanRequest with machine and engine knobs.
-type SimulateRequest struct {
-	PlanRequest
-	// Era selects a parameter preset: "1991" (default), "unit",
-	// "balanced" — or set explicit params.
-	Era    string   `json:"era,omitempty"`
-	TCalc  *float64 `json:"tcalc,omitempty"`
-	TStart *float64 `json:"tstart,omitempty"`
-	TComm  *float64 `json:"tcomm,omitempty"`
-	THop   *float64 `json:"thop,omitempty"`
-	// Engine: "block" (default — the Lemma-1 coarse engine) or "point".
-	Engine     string `json:"engine,omitempty"`
-	Aggregate  bool   `json:"aggregate,omitempty"`
-	Contention bool   `json:"contention,omitempty"`
-	// Sequential adds a single-processor run and the speedup ratio.
-	Sequential bool `json:"sequential,omitempty"`
-	// Trace embeds a Chrome trace-event timeline of the run.
-	Trace bool `json:"trace,omitempty"`
-	// Faults injects a deterministic fault schedule into the run
-	// (crashes, link failures, message loss with retransmission,
-	// checkpointing). Identical requests replay identically.
-	Faults *FaultSpec `json:"faults,omitempty"`
-	// FailedNodes simulates on a degraded cube: the named nodes are dead
-	// before the run starts, their blocks migrate to the nearest healthy
-	// survivors, and traffic reroutes over the surviving subcube.
-	// Requires a mapped plan (cube_dim ≥ 0).
-	FailedNodes []int `json:"failed_nodes,omitempty"`
-}
-
-// FaultSpec is the JSON encoding of a fault schedule.
-type FaultSpec struct {
-	// Seed fixes the loss RNG; equal seeds replay bit-identically.
-	Seed uint64 `json:"seed,omitempty"`
-	// LossProb is the per-message-attempt loss probability in [0, 1].
-	LossProb float64 `json:"loss_prob,omitempty"`
-	// Crashes kills nodes at simulated times.
-	Crashes []NodeCrashSpec `json:"crashes,omitempty"`
-	// LinkFailures degrades links at simulated times (requires a mapped
-	// plan, whose routes the failures intersect).
-	LinkFailures []LinkFailureSpec `json:"link_failures,omitempty"`
-	// MaxAttempts and Backoff tune retransmission (defaults 3 and 1
-	// t_start between the first retry pair, doubling per attempt).
-	MaxAttempts int     `json:"max_attempts,omitempty"`
-	Backoff     float64 `json:"backoff,omitempty"`
-	// CheckpointSteps checkpoints every N hyperplane steps at
-	// CheckpointCost per dirty processor; RestartCost is the takeover
-	// surcharge on a crash.
-	CheckpointSteps int     `json:"checkpoint_steps,omitempty"`
-	CheckpointCost  float64 `json:"checkpoint_cost,omitempty"`
-	RestartCost     float64 `json:"restart_cost,omitempty"`
-}
-
-// NodeCrashSpec is one node failure at a simulated time.
-type NodeCrashSpec struct {
-	Node int     `json:"node"`
-	T    float64 `json:"t"`
-}
-
-// LinkFailureSpec is one link failure at a simulated time.
-type LinkFailureSpec struct {
-	A int     `json:"a"`
-	B int     `json:"b"`
-	T float64 `json:"t"`
-}
-
-// schedule converts the JSON spec to the library's fault schedule.
-func (f *FaultSpec) schedule() *loopmap.FaultSchedule {
+// faultSchedule converts the JSON spec to the library's fault schedule.
+func faultSchedule(f *FaultSpec) *loopmap.FaultSchedule {
 	if f == nil {
 		return nil
 	}
@@ -870,7 +734,9 @@ func (f *FaultSpec) schedule() *loopmap.FaultSchedule {
 	return sch
 }
 
-func (r *SimulateRequest) params() (machine.Params, error) {
+// simParams resolves the request's machine-parameter preset and
+// overrides.
+func simParams(r *SimulateRequest) (machine.Params, error) {
 	var p machine.Params
 	switch r.Era {
 	case "", "1991":
@@ -897,7 +763,8 @@ func (r *SimulateRequest) params() (machine.Params, error) {
 	return p, p.Validate()
 }
 
-func (r *SimulateRequest) engine() (loopmap.SimEngine, error) {
+// simEngine resolves the request's engine selector.
+func simEngine(r *SimulateRequest) (loopmap.SimEngine, error) {
 	switch r.Engine {
 	case "", "block":
 		return loopmap.EngineBlock, nil
@@ -906,45 +773,6 @@ func (r *SimulateRequest) engine() (loopmap.SimEngine, error) {
 	default:
 		return 0, fmt.Errorf("serve: unknown engine %q (have block, point)", r.Engine)
 	}
-}
-
-// SimulateResponse reports the simulation accounting.
-type SimulateResponse struct {
-	Makespan     float64 `json:"makespan"`
-	Messages     int64   `json:"messages"`
-	Words        int64   `json:"words"`
-	MaxProcOps   int64   `json:"max_proc_ops"`
-	CriticalProc int     `json:"critical_proc"`
-	Procs        int     `json:"procs"`
-
-	SequentialMakespan float64 `json:"sequential_makespan,omitempty"`
-	Speedup            float64 `json:"speedup,omitempty"`
-
-	// Fault accounting, present only when a fault schedule ran.
-	Crashes        int     `json:"crashes,omitempty"`
-	Retransmits    int64   `json:"retransmits,omitempty"`
-	CheckpointTime float64 `json:"checkpoint_time,omitempty"`
-	ReplayTime     float64 `json:"replay_time,omitempty"`
-	// Degraded reports the pre-run remap a failed_nodes request forced.
-	Degraded *DegradedInfo `json:"degraded,omitempty"`
-
-	Cache CacheOutcome    `json:"cache"`
-	Trace json.RawMessage `json:"trace,omitempty"`
-	// Cluster is the shard metadata (cluster mode only).
-	Cluster *ClusterInfo `json:"cluster,omitempty"`
-}
-
-// DegradedInfo summarizes a degraded-cube remap.
-type DegradedInfo struct {
-	FailedNodes      []int `json:"failed_nodes"`
-	MigratedBlocks   int   `json:"migrated_blocks"`
-	MaxMigrationHops int   `json:"max_migration_hops"`
-	// ExtraHopWords can be negative: consolidating a dead node's blocks
-	// onto a neighbour makes their mutual edges local.
-	ExtraHopWords int64 `json:"extra_hop_words"`
-	// MakespanInflation is degraded/intact makespan under the reference
-	// era-1991 parameters.
-	MakespanInflation float64 `json:"makespan_inflation"`
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -962,19 +790,19 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	params, err := req.params()
+	params, err := simParams(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	engine, err := req.engine()
+	engine, err := simEngine(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	// Simulation shards by the base-plan key: the owner's cache holds the
 	// expensive partitioning, and every simulate variant remaps it.
-	key := req.PlanRequest.cacheKey()
+	key := req.PlanRequest.Key()
 	if s.maybeForward(w, r, "/v1/simulate", key, body) {
 		return
 	}
@@ -1021,7 +849,7 @@ func runSimulate(ctx context.Context, req *SimulateRequest, p *loopmap.Plan, par
 		Aggregate:      req.Aggregate,
 		LinkContention: req.Contention,
 		Timeline:       req.Trace,
-		Faults:         req.Faults.schedule(),
+		Faults:         faultSchedule(req.Faults),
 	}
 	stats, err := p.SimulateCtx(ctx, params, opt)
 	if err != nil {
@@ -1061,21 +889,6 @@ func runSimulate(ctx context.Context, req *SimulateRequest, p *loopmap.Plan, par
 }
 
 // --- /v1/spmd ---
-
-// SPMDRequest compiles loop-DSL source to a standalone parallel Go
-// program.
-type SPMDRequest struct {
-	Name      string `json:"name,omitempty"`
-	Source    string `json:"source"`
-	CubeDim   *int   `json:"cube_dim"`
-	Seed      uint64 `json:"seed,omitempty"`
-	TimeoutMS int64  `json:"timeout_ms,omitempty"`
-}
-
-// SPMDResponse carries the generated program.
-type SPMDResponse struct {
-	Source string `json:"source"`
-}
 
 func (s *Server) handleSPMD(w http.ResponseWriter, r *http.Request) {
 	var req SPMDRequest
@@ -1134,14 +947,6 @@ func (s *Server) handleSPMD(w http.ResponseWriter, r *http.Request) {
 }
 
 // --- /v1/kernels ---
-
-// KernelInfo describes one built-in kernel.
-type KernelInfo struct {
-	Name string  `json:"name"`
-	Dims int     `json:"dims"`
-	Deps int     `json:"deps"`
-	Pi   []int64 `json:"pi"`
-}
 
 func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 	names := loopmap.KernelNames()
