@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short bench bench-json fuzz experiments cover clean serve serve-smoke chaos crash cluster loadtest
+.PHONY: all build vet test race short bench bench-json fuzz experiments cover clean serve serve-smoke chaos crash cluster partition loadtest
 
 all: build vet test
 
@@ -31,6 +31,7 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchjson -benchtime 1x -o BENCH_1.json
 	$(GO) run ./cmd/loadtest -duration 2s -conc 16 -seed 1 -o BENCH_6.json
+	$(GO) run ./cmd/loadtest -duration 2s -conc 16 -seed 1 -workload batch -o BENCH_8.json
 
 # Seeded load generator against an in-process daemon: every workload,
 # human-readable summary. Point it elsewhere with
@@ -77,6 +78,15 @@ crash:
 # byte-identically.
 cluster:
 	$(GO) run ./cmd/clustertest -requests 48 -seed 1
+
+# Network-partition chaos harness under the race detector: an in-process
+# 4-shard cluster with every inter-shard connection routed through a
+# seeded TCP chaos fabric. Each cycle injects a partition / blackhole /
+# asymmetric cut / latency / reset, drives load, heals, and asserts zero
+# acked-plan loss, digest convergence on every owner↔standby pair, and
+# deadline-budgeted forwarding.
+partition:
+	$(GO) run -race ./cmd/partitiontest -shards 4 -cycles 6 -requests 24 -seed 1
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

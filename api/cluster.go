@@ -13,6 +13,13 @@ const EpochHeader = "X-Loopmap-Epoch"
 // Authorization: Bearer).
 const AdminTokenHeader = "X-Loopmap-Admin-Token"
 
+// DeadlineHeader carries a request's absolute deadline (unix
+// microseconds, UTC) across forwarding hops. The receiving shard clamps
+// its working context to it and rejects work whose deadline has already
+// passed — a partitioned or slow hop must not burn an owner's compute on
+// a response the client stopped waiting for.
+const DeadlineHeader = "X-Loopmap-Deadline"
+
 // ClusterInfo is the per-response shard metadata attached to /v1/plan and
 // /v1/simulate responses in cluster mode: which shard computed the
 // response, which shard should serve the key under the responder's

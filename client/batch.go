@@ -132,7 +132,7 @@ func (m *Multi) Batch(ctx context.Context, req *BatchRequest) (*BatchResponse, e
 		}
 	}
 	var out *BatchResponse
-	err := m.call(ctx, key, func(c *Client) error {
+	err := m.call(ctx, key, func(ctx context.Context, c *Client) error {
 		r, err := c.Batch(ctx, req)
 		if err == nil {
 			out = r
@@ -237,7 +237,7 @@ func (m *Multi) batchCall(ctx context.Context, keys []string,
 		wg.Add(1)
 		go func(routeKey string, idxs []int) {
 			defer wg.Done()
-			err := m.call(ctx, routeKey, func(c *Client) error { return fn(c, idxs) })
+			err := m.call(ctx, routeKey, func(_ context.Context, c *Client) error { return fn(c, idxs) })
 			if err != nil {
 				for _, i := range idxs {
 					fail(i, err)

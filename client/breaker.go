@@ -54,25 +54,29 @@ func newBreaker(threshold int, cooldown time.Duration) *breaker {
 
 // allow reports whether a request may proceed. In half-open it reserves
 // the probe slot, so every allow() must be paired with a record().
-func (b *breaker) allow() error {
+// probe is true when the admitted request IS the half-open probe: the
+// caller must send exactly one request for it (no hedging — a duplicate
+// would break the single-probe contract and double load on a daemon
+// that just came back).
+func (b *breaker) allow() (probe bool, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
-		return nil
+		return false, nil
 	case BreakerOpen:
 		if b.now().Sub(b.openedAt) < b.cooldown {
-			return ErrBreakerOpen
+			return false, ErrBreakerOpen
 		}
 		b.state = BreakerHalfOpen
 		b.probing = true
-		return nil
+		return true, nil
 	default: // half-open
 		if b.probing {
-			return ErrBreakerOpen
+			return false, ErrBreakerOpen
 		}
 		b.probing = true
-		return nil
+		return true, nil
 	}
 }
 

@@ -1,0 +1,63 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrBudgetExhausted is returned when a call's attempt budget (see
+// WithAttemptBudget) runs out before any endpoint answered. It is
+// terminal: the budget exists precisely to stop retrying.
+var ErrBudgetExhausted = errors.New("client: attempt budget exhausted")
+
+// attemptBudget caps the total HTTP attempts one logical request may
+// spend, shared across retries, endpoint failovers, and hedges. It rides
+// the context so a Multi's failover loop and each endpoint Client's
+// retry loop draw from the same pool — without it, worst-case cost is
+// multiplicative (endpoints × retries × hedges), which is exactly the
+// retry storm a partitioned cluster does not need.
+type attemptBudget struct{ n atomic.Int64 }
+
+// take consumes one attempt, reporting whether it was available. A nil
+// budget is unlimited.
+func (b *attemptBudget) take() bool {
+	if b == nil {
+		return true
+	}
+	if b.n.Add(-1) >= 0 {
+		return true
+	}
+	b.n.Add(1) // keep the counter parked at its floor
+	return false
+}
+
+// refund returns one attempt taken but never spent on the wire (e.g. a
+// breaker fail-fast).
+func (b *attemptBudget) refund() {
+	if b != nil {
+		b.n.Add(1)
+	}
+}
+
+type budgetKeyType struct{}
+
+var budgetKey budgetKeyType
+
+// WithAttemptBudget returns a context that caps the total HTTP attempts
+// — first tries, retries, failovers, and hedges combined — any client
+// call under it may spend. n <= 0 installs nothing.
+func WithAttemptBudget(ctx context.Context, n int) context.Context {
+	if n <= 0 {
+		return ctx
+	}
+	b := &attemptBudget{}
+	b.n.Store(int64(n))
+	return context.WithValue(ctx, budgetKey, b)
+}
+
+// budgetFrom extracts the attempt budget from ctx (nil = unlimited).
+func budgetFrom(ctx context.Context) *attemptBudget {
+	b, _ := ctx.Value(budgetKey).(*attemptBudget)
+	return b
+}

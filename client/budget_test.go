@@ -1,0 +1,173 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newFailingServer starts an always-503 endpoint that counts attempts
+// into calls and returns its base URL.
+func newFailingServer(t *testing.T, calls *atomic.Int64) string {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestHalfOpenProbeNeverHedges: the single half-open probe must be
+// exactly one request on the wire, even on a hedgeable call with a
+// HedgeDelay the slow probe exceeds — a duplicate would break the
+// breaker's one-probe contract and double load on a recovering daemon.
+func TestHalfOpenProbeNeverHedges(t *testing.T) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 3 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		// The probe answers well past HedgeDelay: a hedge, if launched,
+		// would land as an extra server call.
+		time.Sleep(80 * time.Millisecond)
+		fmt.Fprint(w, `{"kernel": "l1"}`)
+	})
+	c := newTestClient(t, h, func(cfg *Config) {
+		cfg.MaxRetries = 0
+		cfg.BreakerThreshold = 3
+		cfg.BreakerCooldown = time.Nanosecond // next call is the probe
+		cfg.HedgeDelay = 10 * time.Millisecond
+	})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Plan(ctx, planReq()); err == nil {
+			t.Fatalf("call %d unexpectedly succeeded", i)
+		}
+	}
+	if st := c.Stats(); st.BreakerState != BreakerOpen {
+		t.Fatalf("breaker not open after 3 failures: %+v", st)
+	}
+	before := calls.Load()
+	if _, err := c.Plan(ctx, planReq()); err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if got := calls.Load() - before; got != 1 {
+		t.Fatalf("half-open probe made %d server calls, want exactly 1", got)
+	}
+	st := c.Stats()
+	if st.Hedges != 0 {
+		t.Fatalf("probe hedged %d times, want 0", st.Hedges)
+	}
+	if st.BreakerState != BreakerClosed {
+		t.Fatalf("breaker after successful probe: %+v", st)
+	}
+
+	// With the breaker closed again, hedging resumes as configured.
+	before = calls.Load()
+	if _, err := c.Plan(ctx, planReq()); err != nil {
+		t.Fatalf("post-recovery call: %v", err)
+	}
+	if got := c.Stats().Hedges; got < 1 {
+		t.Fatalf("closed-breaker slow call hedged %d times, want >= 1", got)
+	}
+	_ = before
+}
+
+// TestAttemptBudgetBoundsRetries: a context budget caps wire attempts
+// below what MaxRetries alone would allow, and exhaustion is terminal.
+func TestAttemptBudgetBoundsRetries(t *testing.T) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	})
+	c := newTestClient(t, h, func(cfg *Config) {
+		cfg.MaxRetries = 10
+		cfg.BreakerThreshold = 100 // keep the breaker out of the way
+	})
+	ctx := WithAttemptBudget(context.Background(), 2)
+	_, err := c.Plan(ctx, planReq())
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want exactly the budget (2)", got)
+	}
+	if st := c.Stats(); st.BudgetExhausted != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestMultiRetryBudgetAcrossEndpoints: one logical Multi call spends at
+// most RetryBudget attempts across ALL endpoints — failover does not
+// reset the meter.
+func TestMultiRetryBudgetAcrossEndpoints(t *testing.T) {
+	var calls atomic.Int64
+	endpoints := make([]string, 3)
+	for i := range endpoints {
+		ts := newFailingServer(t, &calls)
+		endpoints[i] = ts
+	}
+	m, err := NewMulti(MultiConfig{
+		Endpoints: endpoints,
+		Config: Config{
+			MaxRetries:       10,
+			BaseBackoff:      time.Millisecond,
+			MaxBackoff:       2 * time.Millisecond,
+			BreakerThreshold: 100,
+		},
+		RetryBudget: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Plan(context.Background(), planReq())
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("cluster saw %d attempts, want exactly RetryBudget (4)", got)
+	}
+	st := m.Stats()
+	if st.BudgetExhausted < 1 {
+		t.Fatalf("aggregate BudgetExhausted = %d, want >= 1", st.BudgetExhausted)
+	}
+	if st.Attempts != 4 {
+		t.Fatalf("aggregate attempts = %d, want 4", st.Attempts)
+	}
+}
+
+// TestMultiRetryBudgetDisabled: a negative RetryBudget turns the cap
+// off; every endpoint's full retry loop runs.
+func TestMultiRetryBudgetDisabled(t *testing.T) {
+	var calls atomic.Int64
+	ts := newFailingServer(t, &calls)
+	m, err := NewMulti(MultiConfig{
+		Endpoints: []string{ts},
+		Config: Config{
+			MaxRetries:       3,
+			BaseBackoff:      time.Millisecond,
+			MaxBackoff:       2 * time.Millisecond,
+			BreakerThreshold: 100,
+		},
+		RetryBudget: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Plan(context.Background(), planReq()); err == nil {
+		t.Fatal("all-503 endpoint unexpectedly succeeded")
+	}
+	if got := calls.Load(); got != 4 { // 1 first try + MaxRetries
+		t.Fatalf("endpoint saw %d attempts, want 4 (no budget cap)", got)
+	}
+}

@@ -158,6 +158,10 @@ type ClientStats struct {
 
 	RetryAfterHonored int64 // waits driven by a server Retry-After hint
 
+	// BudgetExhausted counts calls terminated by an attempt budget
+	// (WithAttemptBudget / MultiConfig.RetryBudget) running dry.
+	BudgetExhausted int64
+
 	BreakerOpens   int64        // times the breaker tripped open
 	BreakerRejects int64        // calls failed fast with ErrBreakerOpen
 	BreakerState   BreakerState // current state
@@ -189,6 +193,7 @@ type Client struct {
 	retryAfterHonored           atomic.Int64
 	breakerRejects              atomic.Int64
 	revalidations               atomic.Int64
+	budgetExhausted             atomic.Int64
 }
 
 // New builds a Client for the daemon at cfg.BaseURL.
@@ -221,6 +226,7 @@ func (c *Client) Stats() ClientStats {
 		HedgeWins:         c.hedgeWins.Load(),
 		Revalidations:     c.revalidations.Load(),
 		RetryAfterHonored: c.retryAfterHonored.Load(),
+		BudgetExhausted:   c.budgetExhausted.Load(),
 		BreakerOpens:      opens,
 		BreakerRejects:    c.breakerRejects.Load(),
 		BreakerState:      state,
@@ -367,9 +373,22 @@ func (c *Client) exchange(ctx context.Context, method, path string, in, out any,
 		}
 	}
 
+	budget := budgetFrom(ctx)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		if err := c.breaker.allow(); err != nil {
+		// Budget before breaker: an exhausted budget must not consume the
+		// breaker's single half-open probe slot.
+		if !budget.take() {
+			c.budgetExhausted.Add(1)
+			c.failures.Add(1)
+			if lastErr != nil {
+				return "", false, fmt.Errorf("%w (last failure: %v)", ErrBudgetExhausted, lastErr)
+			}
+			return "", false, ErrBudgetExhausted
+		}
+		probe, err := c.breaker.allow()
+		if err != nil {
+			budget.refund() // a fail-fast rejection never hit the wire
 			c.breakerRejects.Add(1)
 			c.failures.Add(1)
 			if lastErr != nil {
@@ -378,7 +397,8 @@ func (c *Client) exchange(ctx context.Context, method, path string, in, out any,
 			return "", false, err
 		}
 		c.attempts.Add(1)
-		res, err := c.attempt(ctx, method, path, body, hedgeable, inm)
+		// A half-open probe must be exactly one request on the wire.
+		res, err := c.attempt(ctx, method, path, body, hedgeable && !probe, inm)
 
 		// Classify. A 4xx means the server is healthy and we are wrong:
 		// success for the breaker, terminal for the caller. 503 is the
@@ -491,12 +511,15 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	timer := time.NewTimer(c.cfg.HedgeDelay)
 	defer timer.Stop()
 
+	budget := budgetFrom(ctx)
 	pending, hedged := 1, false
 	var firstErr error
 	for {
 		select {
 		case <-timer.C:
-			if !hedged {
+			// A hedge is a whole extra request: it spends an attempt token
+			// too, and when the budget is dry the primary races alone.
+			if !hedged && budget.take() {
 				hedged = true
 				pending++
 				c.hedges.Add(1)

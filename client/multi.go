@@ -39,6 +39,13 @@ type MultiConfig struct {
 	// Config carries the per-endpoint tuning (retries, backoff, breaker,
 	// hedging, HTTPClient). Its BaseURL is ignored.
 	Config Config
+	// RetryBudget caps the total HTTP attempts one logical call may spend
+	// across all endpoints — retries, failovers, and hedges combined
+	// (default 8, negative disables). Per-endpoint MaxRetries bounds each
+	// endpoint's loop; this bounds the whole call, so a cluster-wide
+	// outage costs a fixed number of attempts instead of endpoints ×
+	// retries × hedges.
+	RetryBudget int
 }
 
 // shardMap is one immutable snapshot of the cluster's ownership view.
@@ -52,9 +59,10 @@ type shardMap struct {
 // Multi is a cluster-aware loopmapd client. It is safe for concurrent
 // use.
 type Multi struct {
-	cfg     Config // per-endpoint tuning, reused for learned endpoints
-	mu      sync.RWMutex
-	clients []*Client // grows when the map reveals new shard URLs
+	cfg         Config // per-endpoint tuning, reused for learned endpoints
+	retryBudget int    // attempt cap per logical call (0 = disabled)
+	mu          sync.RWMutex
+	clients     []*Client // grows when the map reveals new shard URLs
 
 	view atomic.Pointer[shardMap]
 	// noCluster latches when /v1/cluster 404s: a single-daemon
@@ -74,7 +82,14 @@ func NewMulti(cfg MultiConfig) (*Multi, error) {
 	if len(cfg.Endpoints) == 0 {
 		return nil, errors.New("client: NewMulti requires at least one endpoint")
 	}
-	m := &Multi{cfg: cfg.Config, clients: make([]*Client, len(cfg.Endpoints))}
+	budget := cfg.RetryBudget
+	if budget == 0 {
+		budget = 8
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	m := &Multi{cfg: cfg.Config, retryBudget: budget, clients: make([]*Client, len(cfg.Endpoints))}
 	seen := make(map[string]bool, len(cfg.Endpoints))
 	for i, url := range cfg.Endpoints {
 		c := cfg.Config
@@ -150,7 +165,13 @@ func (m *Multi) order(key string) (idxs []int, affine bool) {
 // 429/503 exhaustion) fails over. After any failover — or before the
 // shard map is first learned — the map is refreshed from the endpoint
 // that answered.
-func (m *Multi) call(ctx context.Context, key string, fn func(*Client) error) error {
+func (m *Multi) call(ctx context.Context, key string, fn func(context.Context, *Client) error) error {
+	// One attempt budget for the whole logical call: every endpoint's
+	// retry loop and every hedge draws from the same pool, so the
+	// worst-case wire cost is m.retryBudget, not endpoints × retries.
+	if m.retryBudget > 0 && budgetFrom(ctx) == nil {
+		ctx = WithAttemptBudget(ctx, m.retryBudget)
+	}
 	idxs, affine := m.order(key)
 	var lastErr error
 	for rank, i := range idxs {
@@ -158,7 +179,7 @@ func (m *Multi) call(ctx context.Context, key string, fn func(*Client) error) er
 			m.failovers.Add(1)
 		}
 		c := m.client(i)
-		err := fn(c)
+		err := fn(ctx, c)
 		if err == nil {
 			if affine && rank == 0 {
 				m.ownerRouted.Add(1)
@@ -174,6 +195,9 @@ func (m *Multi) call(ctx context.Context, key string, fn func(*Client) error) er
 			return err
 		}
 		lastErr = err
+		if errors.Is(err, ErrBudgetExhausted) {
+			break // nothing left to spend on the remaining endpoints
+		}
 		if ctx.Err() != nil {
 			break
 		}
@@ -255,7 +279,7 @@ func (m *Multi) endpointIndex(url string) int {
 func (m *Multi) Plan(ctx context.Context, req *PlanRequest) (*PlanResponse, error) {
 	var out *PlanResponse
 	var served *Client
-	err := m.call(ctx, api.CanonicalPlanKey(req), func(c *Client) error {
+	err := m.call(ctx, api.CanonicalPlanKey(req), func(ctx context.Context, c *Client) error {
 		r, err := c.Plan(ctx, req)
 		if err == nil {
 			out, served = r, c
@@ -273,7 +297,7 @@ func (m *Multi) Plan(ctx context.Context, req *PlanRequest) (*PlanResponse, erro
 func (m *Multi) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateResponse, error) {
 	var out *SimulateResponse
 	var served *Client
-	err := m.call(ctx, api.CanonicalPlanKey(&req.PlanRequest), func(c *Client) error {
+	err := m.call(ctx, api.CanonicalPlanKey(&req.PlanRequest), func(ctx context.Context, c *Client) error {
 		r, err := c.Simulate(ctx, req)
 		if err == nil {
 			out, served = r, c
@@ -290,7 +314,7 @@ func (m *Multi) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateRe
 // affinity).
 func (m *Multi) SPMD(ctx context.Context, req *SPMDRequest) (*SPMDResponse, error) {
 	var out *SPMDResponse
-	err := m.call(ctx, "", func(c *Client) error {
+	err := m.call(ctx, "", func(ctx context.Context, c *Client) error {
 		r, err := c.SPMD(ctx, req)
 		if err == nil {
 			out = r
@@ -303,7 +327,7 @@ func (m *Multi) SPMD(ctx context.Context, req *SPMDRequest) (*SPMDResponse, erro
 // Kernels lists built-in kernels from any available shard.
 func (m *Multi) Kernels(ctx context.Context) ([]KernelInfo, error) {
 	var out []KernelInfo
-	err := m.call(ctx, "", func(c *Client) error {
+	err := m.call(ctx, "", func(ctx context.Context, c *Client) error {
 		r, err := c.Kernels(ctx)
 		if err == nil {
 			out = r
@@ -317,7 +341,7 @@ func (m *Multi) Kernels(ctx context.Context) ([]KernelInfo, error) {
 // that answers, refreshing the routing map as a side effect.
 func (m *Multi) ClusterStatus(ctx context.Context) (*ClusterStatus, error) {
 	var out *ClusterStatus
-	err := m.call(ctx, "", func(c *Client) error {
+	err := m.call(ctx, "", func(ctx context.Context, c *Client) error {
 		r, err := c.ClusterStatus(ctx)
 		if err == nil {
 			out = r
@@ -374,6 +398,7 @@ func (m *Multi) Stats() ClientStats {
 		agg.Hedges += s.Hedges
 		agg.HedgeWins += s.HedgeWins
 		agg.RetryAfterHonored += s.RetryAfterHonored
+		agg.BudgetExhausted += s.BudgetExhausted
 		agg.BreakerOpens += s.BreakerOpens
 		agg.BreakerRejects += s.BreakerRejects
 		agg.PerEndpoint[c.BaseURL()] = s

@@ -53,6 +53,7 @@ func main() {
 	shardID := flag.Int("shard-id", 0, "this daemon's shard ID: its index in -peers and its hypercube address")
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "cluster peer health-probe period")
 	failThreshold := flag.Int("fail-threshold", 3, "consecutive probe failures that mark a peer dead")
+	antiEntropy := flag.Duration("antientropy-interval", 3*time.Second, "digest anti-entropy exchange period with the standby (negative disables)")
 	adminToken := flag.String("admin-token", "", "token gating /v1/admin/* (join, leave, drain, transfer); empty leaves admin endpoints unmounted")
 	joinSeed := flag.String("join", "", "base URL of a live cluster member to join dynamically (instead of -peers)")
 	advertise := flag.String("advertise", "", "this daemon's base URL as peers should reach it (required with -join)")
@@ -111,10 +112,11 @@ func main() {
 			}
 		}
 		if err := srv.EnableCluster(serve.ClusterOptions{
-			SelfID:        *shardID,
-			Peers:         urls,
-			ProbeInterval: *probeInterval,
-			FailThreshold: *failThreshold,
+			SelfID:              *shardID,
+			Peers:               urls,
+			ProbeInterval:       *probeInterval,
+			FailThreshold:       *failThreshold,
+			AntiEntropyInterval: *antiEntropy,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -149,11 +151,12 @@ func main() {
 	if *joinSeed != "" {
 		go func() {
 			if err := srv.JoinCluster(ctx, serve.JoinOptions{
-				SeedURL:       *joinSeed,
-				AdvertiseURL:  *advertise,
-				AdminToken:    *adminToken,
-				ProbeInterval: *probeInterval,
-				FailThreshold: *failThreshold,
+				SeedURL:             *joinSeed,
+				AdvertiseURL:        *advertise,
+				AdminToken:          *adminToken,
+				ProbeInterval:       *probeInterval,
+				FailThreshold:       *failThreshold,
+				AntiEntropyInterval: *antiEntropy,
 			}); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)

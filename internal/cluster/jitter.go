@@ -1,0 +1,21 @@
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/fault"
+)
+
+// JitterInterval spreads a periodic interval by ±20% using the caller's
+// seeded RNG. Background loops that share one configured interval — the
+// probe tick, anti-entropy rounds — would otherwise fire in lockstep
+// across every shard of a cluster booted together, synchronizing their
+// network bursts; a per-shard seed decorrelates them while keeping every
+// run replayable.
+func JitterInterval(interval time.Duration, rng *fault.RNG) time.Duration {
+	if interval <= 0 || rng == nil {
+		return interval
+	}
+	f := 0.8 + 0.4*rng.Float64()
+	return time.Duration(float64(interval) * f)
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/hypercube"
 )
 
@@ -573,9 +574,13 @@ func (m *Membership) Tick(ctx context.Context) int {
 	return failures
 }
 
-// Run probes on ProbeInterval until ctx is cancelled.
+// Run probes on a seeded ±20% jitter around ProbeInterval until ctx is
+// cancelled. Unjittered, every shard of a cluster booted together would
+// probe the whole mesh on the same beat; the self-ID seed keeps each
+// shard's schedule distinct and replayable.
 func (m *Membership) Run(ctx context.Context) {
-	t := time.NewTicker(m.cfg.ProbeInterval)
+	rng := fault.NewRNG(0x70726f6265 ^ uint64(m.cfg.Self+1))
+	t := time.NewTimer(JitterInterval(m.cfg.ProbeInterval, rng))
 	defer t.Stop()
 	for {
 		select {
@@ -583,6 +588,7 @@ func (m *Membership) Run(ctx context.Context) {
 			return
 		case <-t.C:
 			m.Tick(ctx)
+			t.Reset(JitterInterval(m.cfg.ProbeInterval, rng))
 		}
 	}
 }

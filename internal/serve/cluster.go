@@ -20,6 +20,7 @@ import (
 
 	"repro/api"
 	"repro/internal/cluster"
+	"repro/internal/fault"
 )
 
 // Forwarding headers: the hop count so far and the comma-separated shard
@@ -53,6 +54,10 @@ type ClusterOptions struct {
 	// pooled client). Prober overrides the health check for tests.
 	ForwardClient *http.Client
 	Prober        cluster.Prober
+	// AntiEntropyInterval paces the digest anti-entropy exchange with
+	// this shard's standby (default 3s). Negative disables the worker;
+	// repair then only happens via replication and transfers.
+	AntiEntropyInterval time.Duration
 }
 
 // clusterNode is the server's cluster-mode state.
@@ -66,6 +71,11 @@ type clusterNode struct {
 	// Gray-ring standbys and the materialization queue that turns
 	// received replicas into live cache entries.
 	rep *replicator
+
+	// Anti-entropy repair worker (antientropy.go): periodic digest
+	// exchange with the standby, kicked immediately on epoch changes and
+	// replica-queue overflow.
+	ae *antiEntropy
 }
 
 // EnableCluster switches the server into cluster mode: it joins the
@@ -113,7 +123,10 @@ func (s *Server) EnableCluster(opts ClusterOptions) error {
 		cn.stop = cancel
 		go func() {
 			defer close(cn.done)
-			t := time.NewTicker(interval)
+			// Seeded ±20% jitter: shards booted together must not probe
+			// the whole mesh on the same beat.
+			rng := fault.NewRNG(0x6c6f6f706d ^ uint64(opts.SelfID+1))
+			t := time.NewTimer(cluster.JitterInterval(interval, rng))
 			defer t.Stop()
 			for {
 				select {
@@ -121,13 +134,23 @@ func (s *Server) EnableCluster(opts ClusterOptions) error {
 					return
 				case <-t.C:
 					s.metrics.probeFailures.Add(int64(m.Tick(ctx)))
+					t.Reset(cluster.JitterInterval(interval, rng))
 				}
 			}
 		}()
 	}
+	aeInterval := opts.AntiEntropyInterval
+	if aeInterval == 0 {
+		aeInterval = defaultAntiEntropyInterval
+	}
+	if aeInterval > 0 {
+		cn.ae = newAntiEntropy(s, cn, aeInterval)
+	}
 	s.clusterPtr.Store(cn)
 	s.mux.HandleFunc("GET /v1/cluster", s.instrument("/v1/cluster", s.handleClusterStatus))
 	s.mux.HandleFunc("POST /v1/replica", s.instrument("/v1/replica", s.requireInternal(s.handleReplica)))
+	s.mux.HandleFunc("GET /v1/replica/digest", s.instrument("/v1/replica/digest", s.requireInternal(s.handleReplicaDigest)))
+	s.mux.HandleFunc("GET /v1/replica/pull", s.instrument("/v1/replica/pull", s.requireInternal(s.handleReplicaPull)))
 	return nil
 }
 
@@ -188,15 +211,37 @@ func forwardState(r *http.Request) (hops int, visited []int) {
 	return hops, visited
 }
 
+// propagatedDeadline reads the absolute deadline a forwarding hop (or a
+// deadline-aware client) attached to the request.
+func propagatedDeadline(r *http.Request) (time.Time, bool) {
+	v := r.Header.Get(api.DeadlineHeader)
+	if v == "" {
+		return time.Time{}, false
+	}
+	us, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || us <= 0 {
+		return time.Time{}, false
+	}
+	return time.UnixMicro(us), true
+}
+
 // maybeForward routes a request one e-cube hop toward its owner and
 // proxies the response back. It returns true iff the response has been
 // written. Every failure mode — budget exhausted, loop detected, peer
 // unreachable — falls back to serving locally, so forwarding can delay a
-// response but never lose one.
-func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, path, key string, body []byte) bool {
+// response but never lose one. The one exception is a request whose
+// propagated deadline has already passed: the client is gone, so the
+// only wrong answer is to spend compute on it — reject with 504.
+func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, path, key string, body []byte, timeoutMS int64) bool {
 	cn := s.cnode()
 	if cn == nil {
 		return false
+	}
+	if d, ok := propagatedDeadline(r); ok && !time.Now().Before(d) {
+		s.metrics.forwardDeadlineRejects.Add(1)
+		writeError(w, http.StatusGatewayTimeout,
+			fmt.Errorf("serve: propagated deadline %s already passed", d.UTC().Format(time.RFC3339Nano)))
+		return true
 	}
 	hops, visited := forwardState(r)
 	if hops > 0 {
@@ -214,8 +259,18 @@ func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, path, key 
 			"key", key, "owner", owner, "hops", hops, "visited", visited)
 		return false
 	}
+	// The deadline travels with the request: first hop derives it from
+	// the client's effective timeout, later hops relay it unchanged, and
+	// the forwarding context itself stops at it — a dead peer costs at
+	// most the remaining budget, not a full transport timeout.
+	deadline, ok := propagatedDeadline(r)
+	if !ok {
+		deadline = time.Now().Add(s.timeoutFor(timeoutMS))
+	}
+	fctx, fcancel := context.WithDeadline(r.Context(), deadline)
+	defer fcancel()
 	next := cn.m.NextHop(owner)
-	resp, err := cn.forward(r.Context(), path, body, hops+1, append(visited, self), next, r.Header.Get("If-None-Match"))
+	resp, err := cn.forward(fctx, path, body, hops+1, append(visited, self), next, r.Header.Get("If-None-Match"), deadline)
 	if err != nil {
 		s.metrics.forwardErrors.Add(1)
 		// Unreachable peer: mark it dead now instead of waiting out the
@@ -243,8 +298,10 @@ func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, path, key 
 }
 
 // forward performs one hop of e-cube routing over HTTP. inm relays the
-// client's If-None-Match so the owner can answer 304 end to end.
-func (cn *clusterNode) forward(ctx context.Context, path string, body []byte, hops int, visited []int, next int, inm string) (*http.Response, error) {
+// client's If-None-Match so the owner can answer 304 end to end;
+// deadline rides api.DeadlineHeader so every downstream hop shares the
+// same absolute budget.
+func (cn *clusterNode) forward(ctx context.Context, path string, body []byte, hops int, visited []int, next int, inm string, deadline time.Time) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cn.m.URL(next)+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -254,6 +311,9 @@ func (cn *clusterNode) forward(ctx context.Context, path string, body []byte, ho
 	req.Header.Set(pathHeader, joinInts(visited))
 	if inm != "" {
 		req.Header.Set("If-None-Match", inm)
+	}
+	if !deadline.IsZero() {
+		req.Header.Set(api.DeadlineHeader, strconv.FormatInt(deadline.UnixMicro(), 10))
 	}
 	return cn.fwd.Do(req)
 }

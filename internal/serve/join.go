@@ -48,6 +48,9 @@ type JoinOptions struct {
 	FailThreshold int
 	ForwardClient *http.Client
 	Prober        cluster.Prober
+	// AntiEntropyInterval paces the digest repair exchange with the
+	// standby, as in ClusterOptions (default 3s, negative disables).
+	AntiEntropyInterval time.Duration
 }
 
 // JoinCluster runs the join protocol. On return the server is an active
@@ -77,6 +80,8 @@ func (s *Server) JoinCluster(ctx context.Context, opts JoinOptions) error {
 		FailThreshold: opts.FailThreshold,
 		ForwardClient: opts.ForwardClient,
 		Prober:        opts.Prober,
+
+		AntiEntropyInterval: opts.AntiEntropyInterval,
 	}); err != nil {
 		return err
 	}

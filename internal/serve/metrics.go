@@ -141,6 +141,15 @@ type metrics struct {
 	replicaMaterializations atomic.Int64 // replicated base plans computed into the local cache
 	transfersServed         atomic.Int64 // bulk keyspace transfers served to joiners
 
+	// anti-entropy and deadline-forwarding instruments.
+	antientropyRounds           atomic.Int64 // digest exchanges attempted
+	antientropyCleanRounds      atomic.Int64 // exchanges where the roots already matched
+	antientropyDivergentBuckets atomic.Int64 // divergent leaf buckets localized
+	antientropyRecordsPushed    atomic.Int64 // records pushed to the standby during repair
+	antientropyRecordsPulled    atomic.Int64 // records pulled from the standby during repair
+	antientropyErrors           atomic.Int64 // digest or pull exchanges that failed
+	forwardDeadlineRejects      atomic.Int64 // forwarded requests refused because their deadline had passed
+
 	endpoints map[string]*endpointMetrics // fixed at construction
 }
 
@@ -224,6 +233,15 @@ type Snapshot struct {
 	ReplicaMaterializations int64
 	TransfersServed         int64
 
+	// Anti-entropy and deadline-forwarding accounting.
+	AntiEntropyRounds           int64
+	AntiEntropyCleanRounds      int64
+	AntiEntropyDivergentBuckets int64
+	AntiEntropyRecordsPushed    int64
+	AntiEntropyRecordsPulled    int64
+	AntiEntropyErrors           int64
+	ForwardDeadlineRejects      int64
+
 	ClusterSelf        int
 	ClusterN           int
 	ClusterDim         int
@@ -280,6 +298,14 @@ func (m *metrics) snapshot() Snapshot {
 		ReplicaDrops:            m.replicaDrops.Load(),
 		ReplicaMaterializations: m.replicaMaterializations.Load(),
 		TransfersServed:         m.transfersServed.Load(),
+
+		AntiEntropyRounds:           m.antientropyRounds.Load(),
+		AntiEntropyCleanRounds:      m.antientropyCleanRounds.Load(),
+		AntiEntropyDivergentBuckets: m.antientropyDivergentBuckets.Load(),
+		AntiEntropyRecordsPushed:    m.antientropyRecordsPushed.Load(),
+		AntiEntropyRecordsPulled:    m.antientropyRecordsPulled.Load(),
+		AntiEntropyErrors:           m.antientropyErrors.Load(),
+		ForwardDeadlineRejects:      m.forwardDeadlineRejects.Load(),
 
 		Endpoints: make(map[string]EndpointSnapshot, len(m.endpoints)),
 	}
@@ -351,6 +377,13 @@ func (s Snapshot) render(w io.Writer) {
 		counter("loopmapd_cluster_replica_drops_total", "Replica records dropped on a full queue.", s.ReplicaDrops)
 		counter("loopmapd_cluster_replica_materializations_total", "Replicated base plans computed into the local cache.", s.ReplicaMaterializations)
 		counter("loopmapd_cluster_transfers_served_total", "Bulk keyspace transfers served to joining shards.", s.TransfersServed)
+		counter("loopmapd_antientropy_rounds_total", "Digest anti-entropy exchanges attempted with the standby.", s.AntiEntropyRounds)
+		counter("loopmapd_antientropy_clean_rounds_total", "Anti-entropy exchanges whose digest roots already matched.", s.AntiEntropyCleanRounds)
+		counter("loopmapd_antientropy_divergent_buckets_total", "Divergent digest buckets localized across all repairs.", s.AntiEntropyDivergentBuckets)
+		counter("loopmapd_antientropy_records_pushed_total", "Records pushed to the standby by anti-entropy repair.", s.AntiEntropyRecordsPushed)
+		counter("loopmapd_antientropy_records_pulled_total", "Records pulled back from the standby by anti-entropy repair.", s.AntiEntropyRecordsPulled)
+		counter("loopmapd_antientropy_errors_total", "Anti-entropy digest or pull exchanges that failed.", s.AntiEntropyErrors)
+		counter("loopmapd_cluster_forward_deadline_rejects_total", "Forwarded requests refused because their propagated deadline had already passed.", s.ForwardDeadlineRejects)
 		fmt.Fprintf(w, "# HELP loopmapd_cluster_peer_alive Peer liveness by shard ID (1 alive, 0 dead).\n# TYPE loopmapd_cluster_peer_alive gauge\n")
 		for _, p := range s.ClusterPeers {
 			v := 0

@@ -257,6 +257,7 @@ func (s *Server) maybeCompact() {
 func (s *Server) Close() error {
 	if cn := s.cnode(); cn != nil {
 		cn.stopProbing()
+		cn.stopAntiEntropy()
 		cn.stopReplication()
 	}
 	s.compactWG.Wait()

@@ -68,7 +68,10 @@ type replicator struct {
 	// zero depth after traffic quiesces means every replica has landed.
 	pending atomic.Int64
 
-	client   *http.Client
+	// dropLogAt rate-limits the queue-overflow warning to one line per
+	// second (unix nanos of the last emitted line).
+	dropLogAt atomic.Int64
+
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	wg       sync.WaitGroup
@@ -80,7 +83,6 @@ func newReplicator(s *Server, cn *clusterNode) *replicator {
 		cn:     cn,
 		pushCh: make(chan pushItem, replicaQueueCap),
 		matCh:  make(chan *PlanRequest, replicaQueueCap),
-		client: &http.Client{Timeout: 10 * time.Second},
 		stopCh: make(chan struct{}),
 	}
 	r.wg.Add(3)
@@ -104,7 +106,24 @@ func (r *replicator) enqueuePush(target int, rec persist.Record) {
 	case r.pushCh <- pushItem{target: target, rec: rec}:
 	default:
 		r.pending.Add(-1)
-		r.s.metrics.replicaDrops.Add(1)
+		r.noteDrop("push", rec.Key)
+	}
+}
+
+// noteDrop meters one overflow drop: counter always, a warning at most
+// once per second (an overloaded queue drops thousands of records — one
+// line carries the signal, the counter carries the magnitude), and an
+// anti-entropy kick so repair starts as soon as the pressure that caused
+// the drop subsides, instead of waiting out the periodic interval.
+func (r *replicator) noteDrop(queue, key string) {
+	r.s.metrics.replicaDrops.Add(1)
+	now := time.Now().UnixNano()
+	if last := r.dropLogAt.Load(); now-last >= int64(time.Second) && r.dropLogAt.CompareAndSwap(last, now) {
+		r.s.cfg.Logger.Warn("replica queue overflow; dropping records",
+			"queue", queue, "key", key, "drops_total", r.s.metrics.replicaDrops.Load())
+	}
+	if r.cn.ae != nil {
+		r.cn.ae.requestKick()
 	}
 }
 
@@ -156,7 +175,9 @@ func (r *replicator) push(target int, recs []persist.Record) {
 		r.s.metrics.replicaErrors.Add(1)
 		return
 	}
-	req, err := http.NewRequest(http.MethodPost, url+"/v1/replica", bytes.NewReader(buf.Bytes()))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/replica", bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		r.s.metrics.replicaErrors.Add(1)
 		return
@@ -165,7 +186,9 @@ func (r *replicator) push(target int, recs []persist.Record) {
 	if tok := r.s.cfg.AdminToken; tok != "" {
 		req.Header.Set(api.AdminTokenHeader, tok)
 	}
-	resp, err := r.client.Do(req)
+	// Pushes ride the node's forward client so a test fabric (or any
+	// injected transport) sees replication traffic too.
+	resp, err := r.cn.fwd.Do(req)
 	if err != nil {
 		r.s.metrics.replicaErrors.Add(1)
 		return
@@ -186,7 +209,7 @@ func (r *replicator) enqueueMaterialize(req *PlanRequest) {
 	case r.matCh <- req:
 	default:
 		r.pending.Add(-1)
-		r.s.metrics.replicaDrops.Add(1)
+		r.noteDrop("materialize", req.Key())
 	}
 }
 

@@ -169,7 +169,8 @@ func (c Config) withDefaults() Config {
 // endpoints instrumented individually in /metrics.
 var endpointNames = []string{
 	"/v1/plan", "/v1/simulate", "/v1/spmd", "/v1/kernels", "/v1/batch",
-	"/v1/cluster", "/v1/replica", "/v1/admin/join", "/v1/admin/leave",
+	"/v1/cluster", "/v1/replica", "/v1/replica/digest", "/v1/replica/pull",
+	"/v1/admin/join", "/v1/admin/leave",
 	"/v1/admin/drain", "/v1/admin/transfer", "/healthz", "/readyz", "/metrics",
 }
 
@@ -472,15 +473,27 @@ func planOptions(r *PlanRequest) loopmap.PlanOptions {
 	}
 }
 
-// requestContext derives the request's working context from its deadline
-// fields.
-func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+// timeoutFor clamps a request's requested timeout to the server's
+// configured bounds.
+func (s *Server) timeoutFor(timeoutMS int64) time.Duration {
 	d := s.cfg.DefaultTimeout
 	if timeoutMS > 0 {
 		d = time.Duration(timeoutMS) * time.Millisecond
 	}
 	if d > s.cfg.MaxTimeout {
 		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// requestContext derives the request's working context from its deadline
+// fields, clamped to any deadline a forwarding hop propagated — the
+// owner of a forwarded request works against the client's remaining
+// budget, not a fresh local timeout.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.timeoutFor(timeoutMS)
+	if pd, ok := propagatedDeadline(r); ok && pd.Before(time.Now().Add(d)) {
+		return context.WithDeadline(r.Context(), pd)
 	}
 	return context.WithTimeout(r.Context(), d)
 }
@@ -694,7 +707,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if s.maybeForward(w, r, "/v1/plan", key, body) {
+	if s.maybeForward(w, r, "/v1/plan", key, body, req.TimeoutMS) {
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
@@ -803,7 +816,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	// Simulation shards by the base-plan key: the owner's cache holds the
 	// expensive partitioning, and every simulate variant remaps it.
 	key := req.PlanRequest.Key()
-	if s.maybeForward(w, r, "/v1/simulate", key, body) {
+	if s.maybeForward(w, r, "/v1/simulate", key, body, req.TimeoutMS) {
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
