@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short bench bench-json fuzz experiments cover clean serve serve-smoke chaos crash cluster partition loadtest
+.PHONY: all build vet test race short bench bench-json fuzz experiments cover clean serve serve-smoke chaos crash cluster partition diskchaos loadtest
 
 all: build vet test
 
@@ -87,6 +87,15 @@ cluster:
 # deadline-budgeted forwarding.
 partition:
 	$(GO) run -race ./cmd/partitiontest -shards 4 -cycles 6 -requests 24 -seed 1
+
+# Storage-fault smoke harness under the race detector: seeded disk-fault
+# plans (EIO / ENOSPC / torn writes / fsync failure / rename failure /
+# read-side bitrot) against the durable store and a two-shard cluster.
+# Asserts zero acked-durable loss, the sticky read-only latch, scrub
+# detection and repair, anti-entropy healing of quarantined records, and
+# that a fault-free plan is a byte-identical no-op.
+diskchaos:
+	$(GO) run -race ./cmd/diskchaos -seed 1 -cycles 6
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -13,6 +13,13 @@ const EpochHeader = "X-Loopmap-Epoch"
 // Authorization: Bearer).
 const AdminTokenHeader = "X-Loopmap-Admin-Token"
 
+// ReadOnlyHeader ("1" when present) marks a 503 caused by the shard's
+// durable store having latched read-only after a disk fault: cached
+// reads still serve, but writes requiring durability are refused. The
+// cluster-aware client demotes the endpoint for write-ish calls instead
+// of retrying it, and a forwarding shard falls back to serving locally.
+const ReadOnlyHeader = "X-Loopmap-Read-Only"
+
 // DeadlineHeader carries a request's absolute deadline (unix
 // microseconds, UTC) across forwarding hops. The receiving shard clamps
 // its working context to it and rejects work whose deadline has already

@@ -67,6 +67,11 @@ const (
 type APIError struct {
 	Status  int    // HTTP status code
 	Message string // server-side error text
+	// ReadOnly marks a 503 carrying api.ReadOnlyHeader: the shard's
+	// durable store latched read-only after a disk fault. The server is
+	// healthy and cached reads still work there, but retrying this write
+	// on the same endpoint cannot succeed — fail over instead.
+	ReadOnly bool
 }
 
 func (e *APIError) Error() string {
@@ -175,6 +180,9 @@ type ClientStats struct {
 	// map epoch disagreed with the local view (joins, leaves, deaths
 	// learned from ordinary traffic).
 	EpochRefreshes int64
+	// ReadOnlySkips counts endpoints demoted after answering a write
+	// with a read-only 503 (durable store latched after a disk fault).
+	ReadOnlySkips int64
 	// PerEndpoint breaks the counters down by endpoint base URL on a
 	// Multi (nil otherwise).
 	PerEndpoint map[string]ClientStats
@@ -350,6 +358,7 @@ type httpResult struct {
 	status     int
 	retryAfter time.Duration
 	etag       string
+	readOnly   bool // api.ReadOnlyHeader was set
 	body       []byte
 }
 
@@ -418,6 +427,13 @@ func (c *Client) exchange(ctx context.Context, method, path string, in, out any,
 			c.breaker.record(true)
 			c.successes.Add(1)
 			return res.etag, true, nil
+		case res.status == http.StatusServiceUnavailable && res.readOnly:
+			// Read-only 503: the server is up (breaker success) but its
+			// store cannot take writes, and no amount of retrying here
+			// changes that. Terminal so Multi fails over immediately.
+			c.breaker.record(true)
+			c.failures.Add(1)
+			return "", false, apiErrorFrom(res)
 		case res.status == http.StatusServiceUnavailable:
 			c.breaker.record(false)
 			lastErr = apiErrorFrom(res)
@@ -572,6 +588,7 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 		status:     resp.StatusCode,
 		retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
 		etag:       resp.Header.Get("ETag"),
+		readOnly:   resp.Header.Get(api.ReadOnlyHeader) == "1",
 		body:       data,
 	}, nil
 }
@@ -602,5 +619,5 @@ func apiErrorFrom(res *httpResult) error {
 	if msg == "" {
 		msg = http.StatusText(res.status)
 	}
-	return &APIError{Status: res.status, Message: msg}
+	return &APIError{Status: res.status, Message: msg, ReadOnly: res.readOnly}
 }

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/api"
 	"repro/internal/cluster"
@@ -46,6 +47,15 @@ type MultiConfig struct {
 	// outage costs a fixed number of attempts instead of endpoints ×
 	// retries × hedges.
 	RetryBudget int
+	// ReadOnlyTTL is how long an endpoint that answered a write with a
+	// read-only 503 (its durable store latched after a disk fault) is
+	// demoted to last preference for keyed calls (default 15s, negative
+	// disables demotion). It stays fully eligible for keyless calls and
+	// as the failover of last resort — a read-only shard still serves
+	// cache hits.
+	ReadOnlyTTL time.Duration
+	// Clock overrides time.Now for the read-only demotion window (tests).
+	Clock func() time.Time
 }
 
 // shardMap is one immutable snapshot of the cluster's ownership view.
@@ -71,10 +81,17 @@ type Multi struct {
 	cursor    atomic.Uint64 // round-robin start for non-affine calls
 	refreshMu sync.Mutex
 
+	// read-only demotion state: endpoint index → demotion deadline.
+	now     func() time.Time
+	roTTL   time.Duration
+	roMu    sync.Mutex
+	roUntil map[int]time.Time
+
 	ownerRouted    atomic.Int64
 	failovers      atomic.Int64
 	mapRefreshes   atomic.Int64
 	epochRefreshes atomic.Int64
+	readOnlySkips  atomic.Int64
 }
 
 // NewMulti builds a Multi over the given endpoints.
@@ -89,7 +106,22 @@ func NewMulti(cfg MultiConfig) (*Multi, error) {
 	if budget < 0 {
 		budget = 0
 	}
-	m := &Multi{cfg: cfg.Config, retryBudget: budget, clients: make([]*Client, len(cfg.Endpoints))}
+	roTTL := cfg.ReadOnlyTTL
+	if roTTL == 0 {
+		roTTL = 15 * time.Second
+	}
+	if roTTL < 0 {
+		roTTL = 0
+	}
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
+	m := &Multi{
+		cfg: cfg.Config, retryBudget: budget,
+		clients: make([]*Client, len(cfg.Endpoints)),
+		now:     now, roTTL: roTTL, roUntil: make(map[int]time.Time),
+	}
 	seen := make(map[string]bool, len(cfg.Endpoints))
 	for i, url := range cfg.Endpoints {
 		c := cfg.Config
@@ -155,7 +187,44 @@ func (m *Multi) order(key string) (idxs []int, affine bool) {
 			seen[i] = true
 		}
 	}
+	if key != "" {
+		// Keyed calls may need a durable write, which a read-only shard
+		// refuses: demote known-read-only endpoints to last preference
+		// (still tried — they serve cache hits — just not first).
+		writable := idxs[:0:0]
+		var demoted []int
+		for _, i := range idxs {
+			if m.isReadOnly(i) {
+				demoted = append(demoted, i)
+			} else {
+				writable = append(writable, i)
+			}
+		}
+		if len(demoted) > 0 {
+			affine = affine && len(writable) > 0 && writable[0] == idxs[0]
+			idxs = append(writable, demoted...)
+		}
+	}
 	return idxs, affine
+}
+
+// markReadOnly demotes endpoint i for keyed calls until the TTL expires.
+func (m *Multi) markReadOnly(i int) {
+	if m.roTTL <= 0 {
+		return
+	}
+	m.readOnlySkips.Add(1)
+	m.roMu.Lock()
+	m.roUntil[i] = m.now().Add(m.roTTL)
+	m.roMu.Unlock()
+}
+
+// isReadOnly reports whether endpoint i is inside its demotion window.
+func (m *Multi) isReadOnly(i int) bool {
+	m.roMu.Lock()
+	defer m.roMu.Unlock()
+	until, ok := m.roUntil[i]
+	return ok && m.now().Before(until)
 }
 
 // call runs fn against endpoints in preference order until one succeeds.
@@ -190,9 +259,15 @@ func (m *Multi) call(ctx context.Context, key string, fn func(context.Context, *
 			return nil
 		}
 		var apiErr *APIError
-		if errors.As(err, &apiErr) && apiErr.Status >= 400 && apiErr.Status < 500 &&
-			apiErr.Status != http.StatusTooManyRequests {
-			return err
+		if errors.As(err, &apiErr) {
+			if apiErr.ReadOnly {
+				// This shard's store is read-only: remember it so the
+				// next keyed calls go elsewhere first, then fail over.
+				m.markReadOnly(i)
+			} else if apiErr.Status >= 400 && apiErr.Status < 500 &&
+				apiErr.Status != http.StatusTooManyRequests {
+				return err
+			}
 		}
 		lastErr = err
 		if errors.Is(err, ErrBudgetExhausted) {
@@ -386,6 +461,7 @@ func (m *Multi) Stats() ClientStats {
 		Failovers:      m.failovers.Load(),
 		MapRefreshes:   m.mapRefreshes.Load(),
 		EpochRefreshes: m.epochRefreshes.Load(),
+		ReadOnlySkips:  m.readOnlySkips.Load(),
 		PerEndpoint:    make(map[string]ClientStats, len(clients)),
 	}
 	for _, c := range clients {

@@ -45,6 +45,8 @@ func main() {
 	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown grace period")
 	stateDir := flag.String("state-dir", "", "durable plan store directory: the cache warm-starts from it and survives crashes (empty = ephemeral)")
 	fsync := flag.String("fsync", "interval", "WAL durability policy: always, interval, never")
+	scrubInterval := flag.Duration("scrub-interval", 0, "background storage-scrub period (0 = 1m default, negative disables)")
+	scrubRateMB := flag.Int64("scrub-rate-mb", 0, "scrub read-bandwidth throttle in MiB/s (0 = 8 default, negative unthrottled)")
 	groupCommit := flag.Bool("group-commit", false, "batch fsync=always WAL appends into group commits (one fsync per window)")
 	groupWindow := flag.Duration("group-window", 0, "group-commit gather window (0 = 1ms default)")
 	respCacheMB := flag.Int64("resp-cache-mb", 16, "encoded-response cache budget in MiB (negative disables)")
@@ -70,6 +72,8 @@ func main() {
 		MaxKernelSize:  *maxSize,
 		StateDir:       *stateDir,
 		Fsync:          *fsync,
+		ScrubInterval:  *scrubInterval,
+		ScrubRate:      scrubRate(*scrubRateMB),
 		GroupCommit:    *groupCommit,
 		GroupWindow:    *groupWindow,
 		RespCacheBytes: respCacheBytes(*respCacheMB),
@@ -90,6 +94,8 @@ func main() {
 			"snapshot_records", rs.SnapshotRecords,
 			"wal_records", rs.WALRecords,
 			"dropped_tail_bytes", rs.DroppedTailBytes,
+			"quarantined_regions", rs.QuarantinedRegions,
+			"quarantined_bytes", rs.QuarantinedBytes,
 			"tail_err", fmt.Sprint(rs.TailErr),
 			"dur_ms", rs.Elapsed.Milliseconds(),
 		)
@@ -176,6 +182,13 @@ func main() {
 // respCacheBytes maps the -resp-cache-mb flag onto the Config encoding
 // (0 = default, negative = disabled).
 func respCacheBytes(mb int64) int64 {
+	if mb < 0 {
+		return -1
+	}
+	return mb << 20
+}
+
+func scrubRate(mb int64) int64 {
 	if mb < 0 {
 		return -1
 	}

@@ -7,6 +7,126 @@ import (
 	"testing"
 )
 
+// FuzzSnapshotReplay drives the snapshot quarantine path with seeded
+// mid-file bit flips and truncations of a known-good snapshot: replay
+// never panics, every byte is accounted for as either an accepted frame
+// or a quarantined region, a single injected fault quarantines exactly
+// the frame it hit (the records on both sides survive), and Open always
+// succeeds on the damaged directory with matching stats.
+func FuzzSnapshotReplay(f *testing.F) {
+	// A fixed five-record snapshot; offs[i] is frame i's start, offs[5]
+	// the file size.
+	keys := []string{"a", "bb", "ccc", "dddd", "eeeee"}
+	base := []byte(fileMagic)
+	offs := []int64{int64(len(fileMagic))}
+	var want []Record
+	for i, k := range keys {
+		rec := Record{Key: k, Value: []byte(`{"kernel":"matmul","size":` + string(rune('1'+i)) + `}`)}
+		want = append(want, rec)
+		base = append(base, encodeFrame(rec)...)
+		offs = append(offs, int64(len(base)))
+	}
+	total := int64(len(base))
+
+	f.Add(uint32(0), byte(0), uint32(0))               // pristine
+	f.Add(uint32(len(fileMagic)+3), byte(0x10), uint32(0)) // flip in frame 0
+	f.Add(uint32(offs[2]+5), byte(0x01), uint32(0))    // flip mid-file
+	f.Add(uint32(2), byte(0x80), uint32(0))            // flip in the magic
+	f.Add(uint32(0), byte(0), uint32(offs[3]+2))       // truncate mid-frame 3
+	f.Add(uint32(0), byte(0), uint32(offs[2]))         // truncate at a boundary
+	f.Add(uint32(offs[1]), byte(0xff), uint32(offs[4]+1)) // flip + truncate
+
+	f.Fuzz(func(t *testing.T, pos uint32, mask byte, truncate uint32) {
+		data := append(base[:0:0], base...)
+		flipAt := int64(pos) % total
+		if mask != 0 {
+			data[flipAt] ^= mask
+		}
+		cut := total
+		if truncate != 0 {
+			cut = int64(truncate) % (total + 1)
+			data = data[:cut]
+		}
+
+		recs, size, regions, qBytes, firstErr := replaySnapshot(nil, writeTemp(t, data))
+
+		if size != int64(len(data)) {
+			t.Fatalf("size %d != file length %d", size, len(data))
+		}
+		if (firstErr == nil) != (regions == 0) {
+			t.Fatalf("firstErr %v inconsistent with %d regions", firstErr, regions)
+		}
+		headerOK := len(data) >= len(fileMagic) && string(data[:len(fileMagic)]) == fileMagic
+		if headerOK {
+			var kept int64
+			for _, r := range recs {
+				found := false
+				for _, w := range want {
+					if r.Key == w.Key && string(r.Value) == string(w.Value) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("replay accepted a record that was never written: %q", r.Key)
+				}
+				kept += int64(len(encodeFrame(r)))
+			}
+			if int64(len(fileMagic))+kept+qBytes != int64(len(data)) {
+				t.Fatalf("byte accounting: header %d + kept %d + quarantined %d != %d",
+					len(fileMagic), kept, qBytes, len(data))
+			}
+		} else if len(data) > 0 && (len(recs) != 0 || regions != 1 || qBytes != int64(len(data))) {
+			t.Fatalf("bad header: recs=%d regions=%d qBytes=%d len=%d", len(recs), regions, qBytes, len(data))
+		}
+
+		// Single mid-file flip, no truncation: exactly the hit frame is
+		// quarantined and its neighbors survive.
+		if mask != 0 && truncate == 0 && flipAt >= int64(len(fileMagic)) {
+			hit := 0
+			for offs[hit+1] <= flipAt {
+				hit++
+			}
+			if regions != 1 || qBytes != offs[hit+1]-offs[hit] {
+				t.Fatalf("flip in frame %d: regions=%d qBytes=%d, want 1 region of %d bytes",
+					hit, regions, qBytes, offs[hit+1]-offs[hit])
+			}
+			if len(recs) != len(want)-1 {
+				t.Fatalf("flip in frame %d: %d records survived, want %d", hit, len(recs), len(want)-1)
+			}
+		}
+
+		// Open must never fail on the damaged directory and must agree
+		// with replaySnapshot.
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, snapshotName), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		store, got, stats, err := Open(dir, Options{Fsync: FsyncNever})
+		if err != nil {
+			t.Fatalf("Open on damaged snapshot: %v", err)
+		}
+		defer store.Close()
+		if stats.QuarantinedRegions != regions || stats.QuarantinedBytes != qBytes {
+			t.Fatalf("Open stats (%d regions, %d bytes) disagree with replay (%d, %d)",
+				stats.QuarantinedRegions, stats.QuarantinedBytes, regions, qBytes)
+		}
+		if !reflect.DeepEqual(got, recs) {
+			t.Fatalf("Open replayed %d records, replaySnapshot saw %d", len(got), len(recs))
+		}
+	})
+}
+
+// writeTemp writes data to a fresh temp file and returns its path.
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), snapshotName)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
 // FuzzWALReplay feeds arbitrary bytes to the WAL replay path and holds
 // it to the corrupt-tail contract: replay never panics, stops cleanly at
 // the first bad record, accounts for every byte, and the truncate-repair
@@ -38,7 +158,7 @@ func FuzzWALReplay(f *testing.F) {
 			t.Fatal(err)
 		}
 
-		recs, goodOff, dropped, tailErr := replayFile(path)
+		recs, goodOff, dropped, tailErr := replayFile(nil, path)
 
 		// Every byte is either replayed or reported dropped.
 		if goodOff < 0 || goodOff > int64(len(data)) {
@@ -70,7 +190,7 @@ func FuzzWALReplay(f *testing.F) {
 			if err := os.WriteFile(cut, data[:goodOff], 0o644); err != nil {
 				t.Fatal(err)
 			}
-			recs2, off2, dropped2, err2 := replayFile(cut)
+			recs2, off2, dropped2, err2 := replayFile(nil, cut)
 			if err2 != nil || dropped2 != 0 || off2 != goodOff {
 				t.Fatalf("repaired log not clean: off=%d dropped=%d err=%v", off2, dropped2, err2)
 			}
@@ -96,7 +216,7 @@ func FuzzWALReplay(f *testing.F) {
 		if err := store.Close(); err != nil {
 			t.Fatalf("close: %v", err)
 		}
-		recs3, _, dropped3, err3 := replayFile(path)
+		recs3, _, dropped3, err3 := replayFile(nil, path)
 		if err3 != nil || dropped3 != 0 {
 			t.Fatalf("log dirty after repair+append: dropped=%d err=%v", dropped3, err3)
 		}

@@ -31,14 +31,29 @@
 // suffix, and replaying a record twice is harmless because keyed replay is
 // idempotent.
 //
-// # Corrupt-tail tolerance
+// # Corruption tolerance
 //
 // A SIGKILL mid-write can leave a torn record at the WAL tail. Replay
 // verifies every record's length bound and checksum and stops at the first
 // bad one, reporting — never failing on — the dropped tail; Open then
 // truncates the WAL back to the last good record so new appends extend a
-// clean log. Startup therefore always succeeds with every record that was
-// durable at the time of the crash.
+// clean log. The snapshot has no legitimate torn tail (it is written and
+// fsynced whole), so a bad record there is bitrot, not a crash artifact:
+// snapshot replay quarantines the corrupt span, resynchronizes on the next
+// frame whose checksum validates, and keeps every intact record on both
+// sides. Startup therefore always succeeds with every record that was
+// durable and readable at the time of the crash.
+//
+// # Degraded state
+//
+// A store never retries-and-trusts a failed write: the first WAL write,
+// fsync, or compaction failure latches the store into a sticky read-only
+// degraded state. Every later Append/Sync/Compact fails fast with
+// ErrDegraded, and the owner is expected to stop acknowledging durable
+// writes (loopmapd serves cached reads and 503s the rest). The latch is
+// deliberate — after one fsync failure the kernel may have dropped the
+// dirty pages, so "retry until it works" silently converts durability
+// into data loss.
 package persist
 
 import (
@@ -50,6 +65,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -67,6 +83,12 @@ const (
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrDegraded marks the sticky read-only state a store enters on its
+// first WAL write, fsync, or compaction failure. Every subsequent mutation
+// fails fast with an error matching this sentinel; reads and replay are
+// unaffected.
+var ErrDegraded = errors.New("persist: store degraded (read-only after a write/sync failure)")
 
 // Policy selects when appends reach stable storage.
 type Policy int
@@ -114,6 +136,10 @@ type Options struct {
 	// Interval is the FsyncInterval flush period (default 100ms).
 	Interval time.Duration
 
+	// FS is the filesystem the store runs on (default: the real one).
+	// cmd/diskchaos and tests inject a fault-injecting implementation.
+	FS FS
+
 	// GroupCommit coalesces concurrent FsyncAlways appends into one
 	// write+fsync: an appender enqueues its frame, a committer flushes the
 	// whole pending group after a short accumulation window, and every
@@ -132,6 +158,14 @@ type Options struct {
 	// records it coalesced and how many bytes it wrote. Called outside the
 	// store's locks.
 	OnGroupCommit func(records, bytes int)
+
+	// OnDegrade, when set, is called exactly once — outside the store's
+	// locks — when the store latches into the degraded read-only state,
+	// with the failure that caused it.
+	OnDegrade func(cause error)
+	// OnSyncError, when set, observes every background interval-fsync
+	// failure (which also latches the store). Called outside the locks.
+	OnSyncError func(err error)
 }
 
 // Record is one durable (key, value) pair.
@@ -146,12 +180,18 @@ type ReplayStats struct {
 	// file, in order; the caller sees their concatenation.
 	SnapshotRecords int
 	WALRecords      int
-	// DroppedTailBytes is how much trailing garbage replay discarded
-	// (torn final record, bit-flipped checksum, bad length).
+	// DroppedTailBytes is how much trailing garbage the WAL replay
+	// discarded (torn final record, bit-flipped checksum, bad length).
 	DroppedTailBytes int64
-	// TailErr describes the first bad record that stopped a replay, nil
-	// when both files ended cleanly. It is informational: Open never
-	// fails on a corrupt tail.
+	// QuarantinedRegions and QuarantinedBytes count the corrupt spans the
+	// snapshot replay skipped over: unlike the WAL's torn tail, a bad
+	// snapshot record is quarantined in place and replay resynchronizes on
+	// the next intact frame, keeping the records on both sides.
+	QuarantinedRegions int
+	QuarantinedBytes   int64
+	// TailErr describes the first bad record that stopped or interrupted
+	// a replay, nil when both files were fully intact. It is
+	// informational: Open never fails on corruption.
 	TailErr error
 }
 
@@ -160,11 +200,18 @@ type ReplayStats struct {
 type Store struct {
 	dir  string
 	opts Options
+	fs   FS
 
-	mu       sync.Mutex
-	wal      *os.File
-	walBytes int64
-	closed   bool
+	mu        sync.Mutex
+	wal       File
+	walBytes  int64
+	snapBytes int64
+	closed    bool
+
+	// degraded is the sticky read-only latch; degradeCause (under mu) is
+	// the failure that tripped it.
+	degraded     atomic.Bool
+	degradeCause error
 
 	stopFlush chan struct{}
 	flushDone chan struct{}
@@ -190,8 +237,8 @@ func (s *Store) groupMode() bool {
 // Open opens (creating if needed) the store in dir and replays it,
 // returning the surviving records in append order — snapshot first, then
 // WAL, duplicates included (keyed replay is idempotent for the caller). A
-// truncated or corrupt tail is dropped and reported in ReplayStats, never
-// returned as an error.
+// torn WAL tail or a corrupt snapshot region is dropped/quarantined and
+// reported in ReplayStats, never returned as an error.
 func Open(dir string, opts Options) (*Store, []Record, ReplayStats, error) {
 	if opts.Interval <= 0 {
 		opts.Interval = 100 * time.Millisecond
@@ -202,29 +249,36 @@ func Open(dir string, opts Options) (*Store, []Record, ReplayStats, error) {
 	if opts.GroupMaxBytes <= 0 {
 		opts.GroupMaxBytes = 256 << 10
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = osFS{}
+	}
+	fsys := opts.FS
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, ReplayStats{}, err
 	}
-	// A leftover snapshot.tmp is a compaction that never committed.
-	_ = os.Remove(filepath.Join(dir, tmpName))
+	// A leftover snapshot.tmp is a compaction that never committed —
+	// either a crash mid-write or a failed rename whose cleanup also
+	// failed. Its contents are fully covered by snapshot.dat + WAL.
+	_ = fsys.Remove(filepath.Join(dir, tmpName))
 
 	var stats ReplayStats
-	snapRecs, _, snapDropped, snapErr := replayFile(filepath.Join(dir, snapshotName))
+	snapRecs, snapSize, snapRegions, snapQBytes, snapErr := replaySnapshot(fsys, filepath.Join(dir, snapshotName))
 	stats.SnapshotRecords = len(snapRecs)
-	stats.DroppedTailBytes += snapDropped
+	stats.QuarantinedRegions = snapRegions
+	stats.QuarantinedBytes = snapQBytes
 	if snapErr != nil {
 		stats.TailErr = snapErr
 	}
 
 	walPath := filepath.Join(dir, walName)
-	walRecs, goodOff, walDropped, walErr := replayFile(walPath)
+	walRecs, goodOff, walDropped, walErr := replayFile(fsys, walPath)
 	stats.WALRecords = len(walRecs)
 	stats.DroppedTailBytes += walDropped
 	if walErr != nil && stats.TailErr == nil {
 		stats.TailErr = walErr
 	}
 
-	wal, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
+	wal, err := fsys.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, stats, err
 	}
@@ -254,8 +308,10 @@ func Open(dir string, opts Options) (*Store, []Record, ReplayStats, error) {
 	s := &Store{
 		dir:       dir,
 		opts:      opts,
+		fs:        fsys,
 		wal:       wal,
 		walBytes:  goodOff,
+		snapBytes: snapSize,
 		stopFlush: make(chan struct{}),
 		flushDone: make(chan struct{}),
 	}
@@ -274,7 +330,46 @@ func Open(dir string, opts Options) (*Store, []Record, ReplayStats, error) {
 	return s, append(snapRecs, walRecs...), stats, nil
 }
 
-// flushLoop fsyncs the WAL on the configured interval until Close.
+// latchLocked flips the sticky degraded latch. Caller holds s.mu; returns
+// true when this call did the latching, in which case the caller must
+// invoke fireDegrade(cause) after releasing the lock.
+func (s *Store) latchLocked(cause error) bool {
+	if s.degraded.Load() {
+		return false
+	}
+	s.degradeCause = cause
+	s.degraded.Store(true)
+	return true
+}
+
+// fireDegrade delivers the one-time degraded callback outside the locks.
+func (s *Store) fireDegrade(cause error) {
+	if s.opts.OnDegrade != nil {
+		s.opts.OnDegrade(cause)
+	}
+}
+
+// degradedErrLocked wraps the latched cause in the ErrDegraded sentinel.
+// Caller holds s.mu.
+func (s *Store) degradedErrLocked() error {
+	return fmt.Errorf("%w: %v", ErrDegraded, s.degradeCause)
+}
+
+// Degraded reports whether the store has latched read-only.
+func (s *Store) Degraded() bool { return s.degraded.Load() }
+
+// DegradedCause returns the failure that latched the store (nil while
+// healthy).
+func (s *Store) DegradedCause() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degradeCause
+}
+
+// flushLoop fsyncs the WAL on the configured interval until Close. A
+// failed background sync is a durability loss like any other: it latches
+// the store (and reports through OnSyncError) instead of being retried
+// next tick as if nothing happened.
 func (s *Store) flushLoop() {
 	defer close(s.flushDone)
 	t := time.NewTicker(s.opts.Interval)
@@ -282,11 +377,22 @@ func (s *Store) flushLoop() {
 	for {
 		select {
 		case <-t.C:
+			var cause error
+			var latched bool
 			s.mu.Lock()
-			if !s.closed {
-				_ = s.wal.Sync()
+			if !s.closed && !s.degraded.Load() {
+				if err := s.wal.Sync(); err != nil {
+					cause = err
+					latched = s.latchLocked(err)
+				}
 			}
 			s.mu.Unlock()
+			if cause != nil && s.opts.OnSyncError != nil {
+				s.opts.OnSyncError(cause)
+			}
+			if latched {
+				s.fireDegrade(cause)
+			}
 		case <-s.stopFlush:
 			return
 		}
@@ -303,26 +409,49 @@ func (s *Store) WALBytes() int64 {
 	return s.walBytes
 }
 
+// SnapshotBytes returns the snapshot file's size as of Open or the last
+// successful compaction.
+func (s *Store) SnapshotBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapBytes
+}
+
 // Append writes one record to the WAL under the fsync policy. In
 // group-commit mode it returns once the record's group has been written
-// and fsynced — same durability, amortized sync.
+// and fsynced — same durability, amortized sync. Any write or sync
+// failure latches the store degraded and is returned wrapped in
+// ErrDegraded; a latched store fails every Append fast.
 func (s *Store) Append(rec Record) error {
 	frame := encodeFrame(rec)
 	if s.groupMode() {
 		return s.appendGroup(frame)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return errors.New("persist: store closed")
+	}
+	if s.degraded.Load() {
+		err := s.degradedErrLocked()
+		s.mu.Unlock()
+		return err
 	}
 	n, err := s.wal.Write(frame)
 	s.walBytes += int64(n)
-	if err != nil {
-		return err
+	if err == nil && s.opts.Fsync == FsyncAlways {
+		err = s.wal.Sync()
 	}
-	if s.opts.Fsync == FsyncAlways {
-		return s.wal.Sync()
+	var latched bool
+	if err != nil {
+		latched = s.latchLocked(err)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		if latched {
+			s.fireDegrade(err)
+		}
+		return fmt.Errorf("%w: %v", ErrDegraded, err)
 	}
 	return nil
 }
@@ -388,7 +517,9 @@ func (s *Store) groupLoop() {
 }
 
 // commitGroup writes and fsyncs everything pending, delivering the
-// outcome to each waiter individually.
+// outcome to each waiter individually. A failed group latches the store:
+// every waiter in the group gets ErrDegraded (none of their records are
+// trustworthy after a failed fsync), as does every later group.
 func (s *Store) commitGroup() {
 	s.gcMu.Lock()
 	buf, waiters := s.gcPending, s.gcWaiters
@@ -398,18 +529,31 @@ func (s *Store) commitGroup() {
 		return
 	}
 	var err error
+	var cause error
+	var latched bool
 	s.mu.Lock()
-	if s.closed {
+	switch {
+	case s.closed:
 		err = errors.New("persist: store closed")
-	} else {
+	case s.degraded.Load():
+		err = s.degradedErrLocked()
+	default:
 		var n int
 		n, err = s.wal.Write(buf)
 		s.walBytes += int64(n)
 		if err == nil {
 			err = s.wal.Sync()
 		}
+		if err != nil {
+			cause = err
+			latched = s.latchLocked(err)
+			err = fmt.Errorf("%w: %v", ErrDegraded, err)
+		}
 	}
 	s.mu.Unlock()
+	if latched {
+		s.fireDegrade(cause)
+	}
 	if s.opts.OnGroupCommit != nil {
 		s.opts.OnGroupCommit(len(waiters), len(buf))
 	}
@@ -418,73 +562,117 @@ func (s *Store) commitGroup() {
 	}
 }
 
-// Sync forces the WAL to stable storage regardless of policy.
+// Sync forces the WAL to stable storage regardless of policy. A failure
+// latches the store.
 func (s *Store) Sync() error {
+	var cause error
+	var latched bool
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
-	return s.wal.Sync()
+	if s.degraded.Load() {
+		err := s.degradedErrLocked()
+		s.mu.Unlock()
+		return err
+	}
+	err := s.wal.Sync()
+	if err != nil {
+		cause = err
+		latched = s.latchLocked(err)
+		err = fmt.Errorf("%w: %v", ErrDegraded, err)
+	}
+	s.mu.Unlock()
+	if latched {
+		s.fireDegrade(cause)
+	}
+	return err
 }
 
 // Compact atomically replaces the snapshot with the given live set and
 // resets the WAL. Appends block for the duration; the caller supplies the
-// records in the order it wants them replayed.
+// records in the order it wants them replayed. Any failure removes the
+// temporary snapshot (nothing stale is left behind) and latches the store
+// degraded — a store whose WAL or snapshot state is uncertain must not
+// accept further writes.
 func (s *Store) Compact(live []Record) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	cause, err := s.compactLocked(live)
+	var latched bool
+	if cause != nil {
+		latched = s.latchLocked(cause)
+	}
+	s.mu.Unlock()
+	if latched {
+		s.fireDegrade(cause)
+	}
+	return err
+}
+
+// compactLocked performs the compaction under s.mu. It returns the
+// latchable failure (nil for closed/already-degraded refusals, which
+// leave no uncertain state) and the error to surface.
+func (s *Store) compactLocked(live []Record) (cause, err error) {
 	if s.closed {
-		return errors.New("persist: store closed")
+		return nil, errors.New("persist: store closed")
+	}
+	if s.degraded.Load() {
+		return nil, s.degradedErrLocked()
 	}
 	tmpPath := filepath.Join(s.dir, tmpName)
-	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
+	fail := func(e error) (error, error) {
+		// Best-effort cleanup: never leave a stale snapshot.tmp for a
+		// future compaction (or Open) to trip over.
+		_ = s.fs.Remove(tmpPath)
+		return e, fmt.Errorf("%w: %v", ErrDegraded, e)
 	}
-	if _, err := tmp.Write([]byte(fileMagic)); err != nil {
+	tmp, err := s.fs.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fail(err)
+	}
+	written := int64(0)
+	n, err := tmp.Write([]byte(fileMagic))
+	written += int64(n)
+	if err != nil {
 		tmp.Close()
-		return err
+		return fail(err)
 	}
 	for _, rec := range live {
-		if _, err := tmp.Write(encodeFrame(rec)); err != nil {
+		n, err := tmp.Write(encodeFrame(rec))
+		written += int64(n)
+		if err != nil {
 			tmp.Close()
-			return err
+			return fail(err)
 		}
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return err
+		return fail(err)
 	}
 	if err := tmp.Close(); err != nil {
-		return err
+		return fail(err)
 	}
-	if err := os.Rename(tmpPath, filepath.Join(s.dir, snapshotName)); err != nil {
-		return err
+	if err := s.fs.Rename(tmpPath, filepath.Join(s.dir, snapshotName)); err != nil {
+		return fail(err)
 	}
-	s.syncDir()
+	_ = s.fs.SyncDir(s.dir)
 	// The snapshot now covers everything; restart the WAL. A crash between
 	// the rename above and this truncate replays stale WAL records on top
-	// of the new snapshot — idempotent, so harmless.
+	// of the new snapshot — idempotent, so harmless. (No tmp cleanup on
+	// these paths: the rename already consumed it.)
 	if err := s.wal.Truncate(int64(len(fileMagic))); err != nil {
-		return err
+		return err, fmt.Errorf("%w: %v", ErrDegraded, err)
 	}
 	if _, err := s.wal.Seek(int64(len(fileMagic)), io.SeekStart); err != nil {
-		return err
+		return err, fmt.Errorf("%w: %v", ErrDegraded, err)
 	}
 	if err := s.wal.Sync(); err != nil {
-		return err
+		return err, fmt.Errorf("%w: %v", ErrDegraded, err)
 	}
 	s.walBytes = int64(len(fileMagic))
-	return nil
-}
-
-// syncDir fsyncs the store directory so renames and truncates are durable.
-func (s *Store) syncDir() {
-	if d, err := os.Open(s.dir); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
+	s.snapBytes = written
+	return nil, nil
 }
 
 // Close flushes and closes the store. Further appends fail. In group-
@@ -507,7 +695,12 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
-	err := s.wal.Sync()
+	var err error
+	if !s.degraded.Load() {
+		// A degraded store's final sync would just fail again; its WAL
+		// state was written off at latch time.
+		err = s.wal.Sync()
+	}
 	if cerr := s.wal.Close(); err == nil {
 		err = cerr
 	}
@@ -540,19 +733,46 @@ func decodePayload(payload []byte) (Record, error) {
 	return Record{Key: key, Value: val}, nil
 }
 
-// replayFile reads every intact record of one store file. It returns the
+// frameAt validates the frame starting at off and returns its decoded
+// record and total length. ok is false for any torn, oversized,
+// checksum-failed, or undecodable frame.
+func frameAt(data []byte, off, total int64) (rec Record, flen int64, ok bool) {
+	if total-off < 8 {
+		return Record{}, 0, false
+	}
+	plen := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+	wantCRC := binary.LittleEndian.Uint32(data[off+4 : off+8])
+	if plen > maxRecordBytes || off+8+plen > total {
+		return Record{}, 0, false
+	}
+	payload := data[off+8 : off+8+plen]
+	if crc32.Checksum(payload, castagnoli) != wantCRC {
+		return Record{}, 0, false
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		return Record{}, 0, false
+	}
+	return rec, 8 + plen, true
+}
+
+// replayFile reads every intact record of one store file with the WAL's
+// tail-repair semantics: it stops at the first bad record. It returns the
 // records, the offset just past the last good record, the number of
 // trailing bytes dropped, and a description of what stopped the scan (nil
 // for a clean EOF). A missing file replays as empty.
-func replayFile(path string) (recs []Record, goodOff int64, dropped int64, tailErr error) {
-	data, err := os.ReadFile(path)
+func replayFile(fsys FS, path string) (recs []Record, goodOff int64, dropped int64, tailErr error) {
+	if fsys == nil {
+		fsys = osFS{}
+	}
+	data, err := fsys.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, 0, 0, nil
 	}
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	if len(data) < len(fileMagic) || string(data[:len(fileMagic)]) != string(fileMagic) {
+	if len(data) < len(fileMagic) || string(data[:len(fileMagic)]) != fileMagic {
 		return nil, 0, int64(len(data)), fmt.Errorf("persist: %s: bad or missing header", filepath.Base(path))
 	}
 	off := int64(len(fileMagic))
@@ -578,4 +798,58 @@ func replayFile(path string) (recs []Record, goodOff int64, dropped int64, tailE
 		off += 8 + plen
 	}
 	return recs, off, 0, nil
+}
+
+// resync scans forward from `from` for the next offset that parses as an
+// intact frame, returning total when none exists. Quadratic only across
+// corrupt spans — intact data never enters the scan.
+func resync(data []byte, from, total int64) int64 {
+	for cand := from; cand+8 <= total; cand++ {
+		if _, _, ok := frameAt(data, cand, total); ok {
+			return cand
+		}
+	}
+	return total
+}
+
+// replaySnapshot reads every intact record of the snapshot with
+// per-record quarantine: a bad frame mid-file (bitrot) does not cost the
+// records behind it. Replay skips the corrupt span, resynchronizes on the
+// next offset whose frame checksum validates, and continues. It returns
+// the surviving records, the file size, the quarantined region count and
+// byte total, and a description of the first corruption (informational).
+func replaySnapshot(fsys FS, path string) (recs []Record, size int64, regions int, qBytes int64, firstErr error) {
+	if fsys == nil {
+		fsys = osFS{}
+	}
+	data, err := fsys.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, 0, 0, nil
+	}
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	total := int64(len(data))
+	if len(data) < len(fileMagic) || string(data[:len(fileMagic)]) != fileMagic {
+		if total == 0 {
+			return nil, 0, 0, 0, nil
+		}
+		return nil, total, 1, total, fmt.Errorf("persist: %s: bad or missing header", filepath.Base(path))
+	}
+	off := int64(len(fileMagic))
+	for off < total {
+		if rec, flen, ok := frameAt(data, off, total); ok {
+			recs = append(recs, rec)
+			off += flen
+			continue
+		}
+		next := resync(data, off+1, total)
+		regions++
+		qBytes += next - off
+		if firstErr == nil {
+			firstErr = fmt.Errorf("persist: %s: corrupt region at offset %d (%d bytes quarantined)", filepath.Base(path), off, next-off)
+		}
+		off = next
+	}
+	return recs, total, regions, qBytes, firstErr
 }

@@ -152,7 +152,7 @@ func TestBadLengthPrefix(t *testing.T) {
 	firstPayload := len(data) // recompute: find via replay offsets instead
 	_ = firstPayload
 	// Corrupt the second frame's length prefix (locate it by replaying).
-	recs, goodOff, _, _ := replayFile(walPath)
+	recs, goodOff, _, _ := replayFile(nil, walPath)
 	if len(recs) != 2 {
 		t.Fatalf("setup: %d records", len(recs))
 	}

@@ -282,11 +282,25 @@ func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, path, key 
 		return false
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable &&
+		resp.Header.Get(api.ReadOnlyHeader) == "1" && s.writableStore() == nil {
+		// The owner's store latched read-only, so it refused the write —
+		// but the plan is a pure function of the request, so this shard
+		// can compute and durably own a copy itself. Don't mark the peer
+		// dead: it is healthy, just not writable.
+		s.metrics.forwardReadOnlyLocal.Add(1)
+		s.cfg.Logger.Warn("owner store read-only; serving locally",
+			"key", key, "owner", owner)
+		return false
+	}
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		w.Header().Set("Retry-After", ra)
+	}
+	if ro := resp.Header.Get(api.ReadOnlyHeader); ro != "" {
+		w.Header().Set(api.ReadOnlyHeader, ro)
 	}
 	if et := resp.Header.Get("ETag"); et != "" {
 		w.Header().Set("ETag", et)

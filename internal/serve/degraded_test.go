@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/api"
+	"repro/internal/diskchaos"
+)
+
+// corruptSnapshotByte flips one byte inside the snapshot's frame area.
+func corruptSnapshotByte(t *testing.T, dir string, off int) {
+	t.Helper()
+	path := filepath.Join(dir, "snapshot.dat")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) <= off {
+		t.Fatalf("snapshot too small (%d bytes) to corrupt at %d", len(data), off)
+	}
+	data[off] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The full degraded-mode contract at the HTTP surface: after a WAL fault,
+// the latch fires exactly once, new plans answer 503 + Retry-After +
+// api.ReadOnlyHeader without being acked or cached, already-cached plans
+// keep serving 200, /readyz flips to degraded while /healthz stays 200,
+// and the gauge shows in both Snapshot and /metrics.
+func TestDegradedStoreServesReadOnly(t *testing.T) {
+	ffs, err := diskchaos.New(diskchaos.Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	s, ts, _ := newPersistentServer(t, dir, func(c *Config) {
+		c.FS = ffs
+		c.ScrubInterval = -1
+	})
+
+	warm := `{"kernel": "l1", "size": 8, "cube_dim": 3}`
+	if pr := planBody(t, ts.URL+"/v1/plan", warm); pr.Cache != CacheMiss {
+		t.Fatalf("warmup cache = %q", pr.Cache)
+	}
+
+	if err := ffs.Arm([]diskchaos.Rule{
+		{Op: diskchaos.OpSync, Path: "wal.log", Kind: diskchaos.KindEIO, Count: -1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new plan needs a durable append, whose fsync now fails.
+	resp, body := postJSON(t, ts.URL+"/v1/plan", `{"kernel": "matmul", "size": 6, "cube_dim": 3}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("write during fault: %s: %s", resp.Status, body)
+	}
+	if resp.Header.Get("Retry-After") == "" || resp.Header.Get(api.ReadOnlyHeader) != "1" {
+		t.Fatalf("degraded 503 missing headers: %v", resp.Header)
+	}
+	if !s.storeDegraded.Load() || !s.store.Degraded() {
+		t.Fatal("store did not latch degraded")
+	}
+
+	// Sticky: a second new plan fails fast the same way, and the latch
+	// fired exactly once (the gauge is still 1).
+	resp2, _ := postJSON(t, ts.URL+"/v1/plan", `{"kernel": "matvec", "size": 6, "cube_dim": 2}`)
+	if resp2.StatusCode != http.StatusServiceUnavailable || resp2.Header.Get(api.ReadOnlyHeader) != "1" {
+		t.Fatalf("second write during fault: %s", resp2.Status)
+	}
+	snap := s.Metrics()
+	if snap.StoreDegraded != 1 {
+		t.Fatalf("store_degraded gauge = %d, want 1", snap.StoreDegraded)
+	}
+
+	// The warm plan is cached: reads keep flowing while degraded.
+	if pr := planBody(t, ts.URL+"/v1/plan", warm); pr.Cache != CacheHit {
+		t.Fatalf("cached read during degradation: cache = %q", pr.Cache)
+	}
+
+	// Health endpoints: /readyz diverts traffic, /healthz keeps the shard
+	// a live cluster member.
+	ready, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := io.ReadAll(ready.Body)
+	ready.Body.Close()
+	if ready.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(rb), "degraded") {
+		t.Fatalf("/readyz = %s %q, want degraded 503", ready.Status, rb)
+	}
+	if ready.Header.Get(api.ReadOnlyHeader) != "1" {
+		t.Fatal("/readyz missing the read-only marker")
+	}
+	health, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health.Body.Close()
+	if health.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %s, want 200 while degraded", health.Status)
+	}
+
+	// The failed plans were never acked, so they must not have been
+	// cached either: the only WAL append is the warmup's.
+	if snap.WALAppends != 1 {
+		t.Fatalf("wal appends = %d, want 1 (failed writes must not ack)", snap.WALAppends)
+	}
+
+	// /metrics renders the gauge.
+	met, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(met.Body)
+	met.Body.Close()
+	if !strings.Contains(string(mb), "loopmapd_store_degraded 1") {
+		t.Fatal("/metrics missing loopmapd_store_degraded 1")
+	}
+	if !strings.Contains(string(mb), "loopmapd_snapshot_bytes") {
+		t.Fatal("/metrics missing loopmapd_snapshot_bytes")
+	}
+}
+
+// A dirty scrub pass repairs the store from the live cache: corruption
+// written under the daemon's feet is detected by ScrubNow and compacted
+// away, and the follow-up pass is clean.
+func TestScrubRepairsFromLiveCache(t *testing.T) {
+	dir := t.TempDir()
+	s, ts, _ := newPersistentServer(t, dir, func(c *Config) {
+		c.ScrubInterval = -1 // manual passes only
+	})
+
+	for _, body := range []string{
+		`{"kernel": "l1", "size": 8, "cube_dim": 3}`,
+		`{"kernel": "matvec", "size": 10, "cube_dim": 2}`,
+	} {
+		planBody(t, ts.URL+"/v1/plan", body)
+	}
+	// Compact so the snapshot holds the records, then corrupt it on disk.
+	if err := s.store.Compact(s.cache.records()); err != nil {
+		t.Fatal(err)
+	}
+	corruptSnapshotByte(t, dir, 20)
+
+	rep, ok := s.ScrubNow()
+	if !ok || rep.Clean() {
+		t.Fatalf("scrub missed on-disk corruption: ok=%v report=%+v", ok, rep)
+	}
+	s.compactWG.Wait()
+	clean, _ := s.ScrubNow()
+	if !clean.Clean() {
+		t.Fatalf("store still dirty after repair: %+v", clean)
+	}
+	snap := s.Metrics()
+	if snap.ScrubCorrupt == 0 || snap.ScrubRepairs == 0 || snap.ScrubRuns < 2 {
+		t.Fatalf("scrub metrics: %+v", snap)
+	}
+	if snap.StoreDegraded != 0 {
+		t.Fatal("repairable corruption must not latch the store")
+	}
+}

@@ -114,6 +114,16 @@ type metrics struct {
 	walBytes           atomic.Int64
 	compactions        atomic.Int64
 
+	// storage-fault instruments.
+	storeDegraded      atomic.Int64 // gauge: 1 once the store latches read-only
+	walSyncErrors      atomic.Int64 // background interval-fsync failures
+	snapshotBytes      atomic.Int64 // gauge: current snapshot file size
+	quarantinedRecords atomic.Int64 // corrupt snapshot regions skipped on replay
+	scrubRuns          atomic.Int64 // scrub passes completed
+	scrubRecords       atomic.Int64 // records verified across all passes
+	scrubCorrupt       atomic.Int64 // corrupt regions found by scrubbing
+	scrubRepairs       atomic.Int64 // store rewrites triggered by a dirty scrub
+
 	// zero-copy and batching instruments.
 	encodedHits     atomic.Int64 // responses served whole from the encoded cache
 	notModified     atomic.Int64 // 304s answered by an If-None-Match ETag match
@@ -132,6 +142,9 @@ type metrics struct {
 	forwardBudgetStops atomic.Int64
 	forwardHops        atomic.Int64
 	probeFailures      atomic.Int64
+	// forwards answered by the owner with a read-only 503, served
+	// locally instead.
+	forwardReadOnlyLocal atomic.Int64
 
 	// replication and elasticity instruments.
 	replicasSent            atomic.Int64 // records pushed to a standby
@@ -206,6 +219,16 @@ type Snapshot struct {
 	WALBytes           int64
 	Compactions        int64
 
+	// Storage-fault accounting.
+	StoreDegraded      int64
+	WALSyncErrors      int64
+	SnapshotBytes      int64
+	QuarantinedRecords int64
+	ScrubRuns          int64
+	ScrubRecords       int64
+	ScrubCorrupt       int64
+	ScrubRepairs       int64
+
 	// Zero-copy and batching accounting.
 	EncodedHits     int64
 	NotModified     int64
@@ -221,9 +244,10 @@ type Snapshot struct {
 	ForwardsSent       int64
 	ForwardsReceived   int64
 	ForwardErrors      int64
-	ForwardBudgetStops int64
-	ForwardHops        int64
-	ProbeFailures      int64
+	ForwardBudgetStops   int64
+	ForwardHops          int64
+	ProbeFailures        int64
+	ForwardReadOnlyLocal int64
 
 	// Replication and elasticity accounting.
 	ReplicasSent            int64
@@ -276,6 +300,14 @@ func (m *metrics) snapshot() Snapshot {
 		WALErrors:          m.walErrors.Load(),
 		WALBytes:           m.walBytes.Load(),
 		Compactions:        m.compactions.Load(),
+		StoreDegraded:      m.storeDegraded.Load(),
+		WALSyncErrors:      m.walSyncErrors.Load(),
+		SnapshotBytes:      m.snapshotBytes.Load(),
+		QuarantinedRecords: m.quarantinedRecords.Load(),
+		ScrubRuns:          m.scrubRuns.Load(),
+		ScrubRecords:       m.scrubRecords.Load(),
+		ScrubCorrupt:       m.scrubCorrupt.Load(),
+		ScrubRepairs:       m.scrubRepairs.Load(),
 		EncodedHits:        m.encodedHits.Load(),
 		NotModified:        m.notModified.Load(),
 		BytesServed:        m.bytesServed.Load(),
@@ -288,9 +320,10 @@ func (m *metrics) snapshot() Snapshot {
 		ForwardsSent:       m.forwardsSent.Load(),
 		ForwardsReceived:   m.forwardsReceived.Load(),
 		ForwardErrors:      m.forwardErrors.Load(),
-		ForwardBudgetStops: m.forwardBudgetStops.Load(),
-		ForwardHops:        m.forwardHops.Load(),
-		ProbeFailures:      m.probeFailures.Load(),
+		ForwardBudgetStops:   m.forwardBudgetStops.Load(),
+		ForwardHops:          m.forwardHops.Load(),
+		ProbeFailures:        m.probeFailures.Load(),
+		ForwardReadOnlyLocal: m.forwardReadOnlyLocal.Load(),
 
 		ReplicasSent:            m.replicasSent.Load(),
 		ReplicasReceived:        m.replicasReceived.Load(),
@@ -337,7 +370,15 @@ func (s Snapshot) render(w io.Writer) {
 	counter("loopmapd_wal_appends_total", "Plan records appended to the durable WAL.", s.WALAppends)
 	counter("loopmapd_wal_errors_total", "Durable store write failures (the daemon keeps serving).", s.WALErrors)
 	counter("loopmapd_compactions_total", "Background snapshot compactions completed.", s.Compactions)
+	counter("loopmapd_wal_sync_errors_total", "Background interval-fsync failures (each latches the store read-only).", s.WALSyncErrors)
+	counter("loopmapd_quarantined_regions_total", "Corrupt snapshot regions quarantined during replay.", s.QuarantinedRecords)
+	counter("loopmapd_scrub_runs_total", "Background scrub passes completed.", s.ScrubRuns)
+	counter("loopmapd_scrub_records_total", "Durable records CRC-verified by scrubbing.", s.ScrubRecords)
+	counter("loopmapd_scrub_corrupt_total", "Corrupt regions found by scrubbing.", s.ScrubCorrupt)
+	counter("loopmapd_scrub_repairs_total", "Store rewrites triggered by a dirty scrub pass.", s.ScrubRepairs)
+	gauge("loopmapd_store_degraded", "1 once the durable store has latched read-only after a disk fault.", s.StoreDegraded)
 	gauge("loopmapd_wal_bytes", "Current size of the durable WAL.", s.WALBytes)
+	gauge("loopmapd_snapshot_bytes", "Current size of the durable snapshot.", s.SnapshotBytes)
 	gauge("loopmapd_inflight_plans", "Plan computations currently admitted.", s.InflightPlans)
 	gauge("loopmapd_cache_bytes", "Estimated bytes held by the plan cache.", s.CacheBytes)
 	gauge("loopmapd_cache_entries", "Entries held by the plan cache.", s.CacheEntries)
@@ -369,6 +410,7 @@ func (s Snapshot) render(w io.Writer) {
 		counter("loopmapd_cluster_forwards_received_total", "Forwarded requests received from peer shards.", s.ForwardsReceived)
 		counter("loopmapd_cluster_forward_errors_total", "Forward attempts that failed and fell back to serving locally.", s.ForwardErrors)
 		counter("loopmapd_cluster_forward_budget_stops_total", "Forwards refused at the hop budget or on a routing loop.", s.ForwardBudgetStops)
+		counter("loopmapd_cluster_forward_readonly_local_total", "Forwards answered with a read-only 503 by the owner and served locally instead.", s.ForwardReadOnlyLocal)
 		counter("loopmapd_cluster_forward_hops_total", "Total e-cube hops traversed by requests this shard served.", s.ForwardHops)
 		counter("loopmapd_cluster_probe_failures_total", "Failed peer health probes.", s.ProbeFailures)
 		counter("loopmapd_cluster_replicas_sent_total", "Records pushed to this shard's Gray-ring standby.", s.ReplicasSent)

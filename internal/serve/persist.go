@@ -95,7 +95,12 @@ type RecoveryStats struct {
 	// persist.ReplayStats); a non-nil TailErr never fails recovery.
 	DroppedTailBytes int64
 	TailErr          error
-	Elapsed          time.Duration
+	// QuarantinedRegions and QuarantinedBytes report mid-snapshot
+	// corruption skipped by per-record quarantine; the intact records on
+	// both sides of each region were still recovered.
+	QuarantinedRegions int
+	QuarantinedBytes   int64
+	Elapsed            time.Duration
 }
 
 // Recover opens the durable store at Config.StateDir, replays it, and
@@ -123,8 +128,14 @@ func (s *Server) Recover(ctx context.Context) (RecoveryStats, error) {
 		Interval:    s.cfg.FsyncEvery,
 		GroupCommit: s.cfg.GroupCommit,
 		GroupWindow: s.cfg.GroupWindow,
+		FS:          s.cfg.FS,
 		OnGroupCommit: func(records, bytes int) {
 			s.metrics.groupCommitSize.observe(float64(records))
+		},
+		OnDegrade: s.latchStoreDegraded,
+		OnSyncError: func(err error) {
+			s.metrics.walSyncErrors.Add(1)
+			s.cfg.Logger.Error("background wal fsync failed", "err", err)
 		},
 	})
 	if err != nil {
@@ -136,6 +147,14 @@ func (s *Server) Recover(ctx context.Context) (RecoveryStats, error) {
 	rs.WALRecords = replay.WALRecords
 	rs.DroppedTailBytes = replay.DroppedTailBytes
 	rs.TailErr = replay.TailErr
+	rs.QuarantinedRegions = replay.QuarantinedRegions
+	rs.QuarantinedBytes = replay.QuarantinedBytes
+	if replay.QuarantinedRegions > 0 {
+		s.metrics.quarantinedRecords.Add(int64(replay.QuarantinedRegions))
+		s.cfg.Logger.Warn("snapshot corruption quarantined on replay",
+			"regions", replay.QuarantinedRegions, "bytes", replay.QuarantinedBytes)
+	}
+	s.startScrubber()
 
 	// Deduplicate by key (replay is idempotent: a key's payload is
 	// canonical, so duplicates are byte-identical).
@@ -210,28 +229,51 @@ func (s *Server) Recover(ctx context.Context) (RecoveryStats, error) {
 	return rs, nil
 }
 
-// persistPlan appends one computed plan's canonical request to the WAL and
-// triggers compaction when the log has outgrown its budget. Store failures
-// are counted and logged, never surfaced to the request — durability
-// degrades, serving does not.
-func (s *Server) persistPlan(key string, payload []byte) {
-	if s.store == nil || payload == nil {
+// writableStore fails fast when the durable store has latched read-only:
+// a cache miss implies a durable write the store cannot take.
+func (s *Server) writableStore() error {
+	if s.store != nil && s.storeDegraded.Load() {
+		return ErrStoreDegraded
+	}
+	return nil
+}
+
+// latchStoreDegraded flips the daemon into read-only serving, exactly
+// once — it is the store's OnDegrade callback and fires on the first
+// write/sync/compaction failure. There is deliberately no unlatch: after
+// a failed fsync the kernel may already have dropped the dirty pages, so
+// only a restart on healthy storage re-earns durability.
+func (s *Server) latchStoreDegraded(cause error) {
+	if !s.storeDegraded.CompareAndSwap(false, true) {
 		return
+	}
+	s.metrics.storeDegraded.Store(1)
+	s.cfg.Logger.Error("durable store degraded: serving read-only", "cause", cause)
+}
+
+// persistPlan appends one computed plan's canonical request to the WAL and
+// triggers compaction when the log has outgrown its budget. A failed
+// append is returned to the caller — the plan must not be cached or acked
+// — and has already latched the store read-only.
+func (s *Server) persistPlan(key string, payload []byte) error {
+	if s.store == nil || payload == nil {
+		return nil
 	}
 	if err := s.store.Append(persist.Record{Key: key, Value: payload}); err != nil {
 		s.metrics.walErrors.Add(1)
 		s.cfg.Logger.Error("wal append failed", "key", key, "err", err)
-		return
+		return err
 	}
 	s.metrics.walAppends.Add(1)
 	s.maybeCompact()
+	return nil
 }
 
 // maybeCompact starts one background compaction when the WAL exceeds
 // WALMaxBytes: the live cache contents become the new snapshot and the WAL
 // restarts empty. At most one compaction runs at a time.
 func (s *Server) maybeCompact() {
-	if s.store.WALBytes() < s.cfg.WALMaxBytes {
+	if s.store.WALBytes() < s.cfg.WALMaxBytes || s.storeDegraded.Load() {
 		return
 	}
 	if !s.compacting.CompareAndSwap(false, true) {
@@ -260,6 +302,7 @@ func (s *Server) Close() error {
 		cn.stopAntiEntropy()
 		cn.stopReplication()
 	}
+	s.stopScrubber()
 	s.compactWG.Wait()
 	if s.store == nil {
 		return nil

@@ -1,0 +1,122 @@
+// Background scrubbing and repair: the daemon periodically re-verifies
+// its durable files' checksums (persist.Store.Scrub) so bitrot that lands
+// after startup is found while the data is still repairable. A dirty pass
+// triggers two repairs at once: the snapshot+WAL are rewritten from the
+// live cache (the cache is authoritative — every entry was either
+// computed here or CRC-verified on ingest), and in cluster mode an
+// anti-entropy round is kicked so any record the cache no longer holds is
+// re-fetched from the shard's standby replica.
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/persist"
+)
+
+// scrubber runs periodic scrub passes until stopped.
+type scrubber struct {
+	s        *Server
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// startScrubber launches the background scrub loop (no-op without a
+// store, or when ScrubInterval is negative).
+func (s *Server) startScrubber() {
+	if s.store == nil || s.cfg.ScrubInterval < 0 {
+		return
+	}
+	sc := &scrubber{
+		s:        s,
+		interval: s.cfg.ScrubInterval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.scrub = sc
+	go sc.loop()
+}
+
+func (s *Server) stopScrubber() {
+	if s.scrub == nil {
+		return
+	}
+	s.scrub.stopOnce.Do(func() { close(s.scrub.stop) })
+	<-s.scrub.done
+}
+
+func (sc *scrubber) loop() {
+	defer close(sc.done)
+	t := time.NewTicker(sc.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-sc.stop:
+			return
+		case <-t.C:
+			sc.s.runScrub()
+		}
+	}
+}
+
+// ScrubNow runs one synchronous scrub pass and returns its report; ok is
+// false when the daemon has no durable store. Harnesses and operators use
+// it to verify storage on demand instead of waiting for the interval.
+func (s *Server) ScrubNow() (persist.ScrubReport, bool) {
+	if s.store == nil {
+		return persist.ScrubReport{}, false
+	}
+	return s.runScrub(), true
+}
+
+func (s *Server) runScrub() persist.ScrubReport {
+	rate := s.cfg.ScrubRate
+	if rate < 0 {
+		rate = 0 // unthrottled
+	}
+	rep := s.store.Scrub(rate)
+	s.metrics.scrubRuns.Add(1)
+	s.metrics.scrubRecords.Add(int64(rep.SnapshotRecords + rep.WALRecords))
+	if rep.Clean() {
+		return rep
+	}
+	s.metrics.scrubCorrupt.Add(int64(rep.CorruptRegions))
+	s.cfg.Logger.Error("scrub found corruption",
+		"regions", rep.CorruptRegions, "bytes", rep.CorruptBytes, "first", rep.FirstErr)
+	if cn := s.cnode(); cn != nil && cn.ae != nil {
+		// Ask the replica layer to reconcile out of band: any record the
+		// local cache lost comes back from the Gray-neighbor standby.
+		cn.ae.requestKick()
+	}
+	s.repairStore()
+	return rep
+}
+
+// repairStore rewrites the snapshot and WAL from the live cache via the
+// normal compaction path (shared CAS keeps it single-flight with
+// WAL-growth compactions). Skipped while degraded: a store that cannot
+// take writes cannot be repaired in place.
+func (s *Server) repairStore() {
+	if s.storeDegraded.Load() {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	s.compactWG.Add(1)
+	go func() {
+		defer s.compactWG.Done()
+		defer s.compacting.Store(false)
+		if err := s.store.Compact(s.cache.records()); err != nil {
+			s.metrics.walErrors.Add(1)
+			s.cfg.Logger.Error("scrub repair compaction failed", "err", err)
+			return
+		}
+		s.metrics.compactions.Add(1)
+		s.metrics.scrubRepairs.Add(1)
+		s.cfg.Logger.Info("scrub repair: store rewritten from live cache")
+	}()
+}

@@ -100,6 +100,16 @@ type Config struct {
 	// 100ms).
 	Fsync      string
 	FsyncEvery time.Duration
+	// FS overrides the filesystem the durable store runs on (nil = the
+	// real one). cmd/diskchaos and tests inject the fault-injecting
+	// implementation here; production leaves it unset.
+	FS persist.FS
+	// ScrubInterval paces the background scrubber that re-verifies the
+	// durable store's checksums at rest (default 1m, negative disables);
+	// ScrubRate throttles one pass's read bandwidth in bytes/sec (default
+	// 8 MiB/s, negative removes the throttle). No effect without StateDir.
+	ScrubInterval time.Duration
+	ScrubRate     int64
 	// WALMaxBytes triggers background compaction once the WAL outgrows it
 	// (default 4 MiB).
 	WALMaxBytes int64
@@ -154,6 +164,12 @@ func (c Config) withDefaults() Config {
 	if c.WALMaxBytes <= 0 {
 		c.WALMaxBytes = 4 << 20
 	}
+	if c.ScrubInterval == 0 {
+		c.ScrubInterval = time.Minute
+	}
+	if c.ScrubRate == 0 {
+		c.ScrubRate = 8 << 20
+	}
 	if c.RespCacheBytes == 0 {
 		c.RespCacheBytes = 16 << 20
 	}
@@ -191,6 +207,14 @@ type Server struct {
 	store      *persist.Store
 	compacting atomic.Bool
 	compactWG  sync.WaitGroup
+
+	// storeDegraded latches true (exactly once, never back) when the
+	// durable store hits a write/sync fault and goes read-only: cached
+	// reads keep serving, writes that require durability answer 503 +
+	// Retry-After + api.ReadOnlyHeader until an operator restarts the
+	// shard on healthy storage.
+	storeDegraded atomic.Bool
+	scrub         *scrubber
 
 	// clusterPtr is the sharded-serving state, attached by EnableCluster
 	// (nil in single-daemon mode). Atomic because a dynamic join attaches
@@ -276,6 +300,7 @@ func (s *Server) Metrics() Snapshot {
 	s.metrics.inflightPlans.Store(int64(s.gate.InFlight()))
 	if s.store != nil {
 		s.metrics.walBytes.Store(s.store.WALBytes())
+		s.metrics.snapshotBytes.Store(s.store.SnapshotBytes())
 	}
 	snap := s.metrics.snapshot()
 
@@ -400,12 +425,26 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // off and retry after the Retry-After hint.
 var ErrOverloaded = errors.New("serve: overloaded, try again later")
 
+// ErrStoreDegraded marks a write refused because the durable store has
+// latched read-only after a disk fault. Cached reads still serve.
+var ErrStoreDegraded = errors.New("serve: durable store degraded, writes disabled")
+
 // retryAfterSeconds is the backoff hint attached to every 503.
 const retryAfterSeconds = 1
+
+// readOnlyErr reports whether err means "this shard's store is
+// read-only" — either the serve-level sentinel or the store's own latch
+// error surfacing through a persist call.
+func readOnlyErr(err error) bool {
+	return errors.Is(err, ErrStoreDegraded) || errors.Is(err, persist.ErrDegraded)
+}
 
 func writeError(w http.ResponseWriter, code int, err error) {
 	if code == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+		if readOnlyErr(err) {
+			w.Header().Set(api.ReadOnlyHeader, "1")
+		}
 	}
 	writeJSON(w, code, apiError{Error: err.Error(), Code: code})
 }
@@ -415,6 +454,8 @@ func writeError(w http.ResponseWriter, code int, err error) {
 func errStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable
+	case readOnlyErr(err):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
@@ -539,6 +580,12 @@ func (s *Server) basePlan(ctx context.Context, req *PlanRequest) (*loopmap.Plan,
 			return p, nil
 		}
 		s.metrics.cacheMisses.Add(1)
+		// A miss means new durable state: fail fast while the store is
+		// read-only instead of burning a gate slot on a plan that cannot
+		// be acked.
+		if err := s.writableStore(); err != nil {
+			return nil, err
+		}
 		if err := s.acquire(ctx); err != nil {
 			return nil, err
 		}
@@ -561,10 +608,16 @@ func (s *Server) basePlan(ctx context.Context, req *PlanRequest) (*loopmap.Plan,
 			// local store: it is the replication and transfer currency.
 			payload = persistPayload(req)
 		}
+		// Durability before visibility: the WAL append must succeed
+		// before the plan enters the cache or the client sees a 200. A
+		// failed append latches the store read-only and fails this
+		// request — never ack what did not reach disk.
+		if err := s.persistPlan(key, payload); err != nil {
+			return nil, err
+		}
 		if ev := s.cache.put(key, p, payload); ev > 0 {
 			s.metrics.cacheEvictions.Add(int64(ev))
 		}
-		s.persistPlan(key, payload)
 		s.replicateBase(key, payload)
 		return p, nil
 	})
@@ -988,6 +1041,16 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
+		return
+	}
+	if s.storeDegraded.Load() {
+		// Degraded diverts load balancers via /readyz while /healthz
+		// stays 200: the shard remains a live cluster member (cached
+		// reads and forwarding still work), it just cannot take writes.
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+		w.Header().Set(api.ReadOnlyHeader, "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "degraded: durable store read-only")
 		return
 	}
 	fmt.Fprintln(w, "ready")
