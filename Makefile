@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short bench bench-json fuzz experiments cover clean serve serve-smoke chaos crash cluster partition diskchaos loadtest
+.PHONY: all build vet test race short bench bench-json fuzz experiments cover clean serve serve-smoke chaos crash cluster partition diskchaos tieredtest loadtest
 
 all: build vet test
 
@@ -32,6 +32,7 @@ bench-json:
 	$(GO) run ./cmd/benchjson -benchtime 1x -o BENCH_1.json
 	$(GO) run ./cmd/loadtest -duration 2s -conc 16 -seed 1 -o BENCH_6.json
 	$(GO) run ./cmd/loadtest -duration 2s -conc 16 -seed 1 -workload batch -o BENCH_8.json
+	$(GO) run ./cmd/loadtest -duration 2s -conc 16 -seed 1 -workload coldset -o BENCH_10.json
 
 # Seeded load generator against an in-process daemon: every workload,
 # human-readable summary. Point it elsewhere with
@@ -96,6 +97,15 @@ partition:
 # that a fault-free plan is a byte-identical no-op.
 diskchaos:
 	$(GO) run -race ./cmd/diskchaos -seed 1 -cycles 6
+
+# Tiered-store smoke harness: a daemon with a tiny RAM LRU and a churny
+# disk tier is filled past RAM, SIGKILLed inside a compaction window,
+# and restarted. Asserts zero acked-plan loss (every pre-kill response
+# re-served byte-identical), zero recomputations on re-touch (disk hits
+# only), and O(WAL-tail) startup — segments attach via the manifest
+# instead of being replayed.
+tieredtest:
+	$(GO) run ./cmd/tieredtest -keys 96 -seed 1
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -13,7 +13,13 @@
 //	batch:      the same population through /v1/batch, -batch items per
 //	            round trip (compare its rps against single's)
 //	mixed:      80% population hits, 20% fresh keys
-//	all:        every workload above, sequentially (the BENCH_6 suite)
+//	coldset:    larger-than-RAM keyspace against the tiered disk store —
+//	            fill a keyspace far past tiny RAM budgets, then re-touch
+//	            it Zipf-skewed and assert zero recomputations (every
+//	            re-touch is a RAM hit or a disk-tier promotion); always
+//	            self-hosted, reported separately (the BENCH_10 suite)
+//	all:        every workload above except coldset, sequentially (the
+//	            BENCH_6 suite)
 //
 // With no -target the daemon runs in-process on a loopback listener, so
 // the tool is self-contained: `go run ./cmd/loadtest -o BENCH_6.json`.
@@ -58,7 +64,7 @@ type options struct {
 func main() {
 	var opt options
 	flag.StringVar(&opt.targets, "target", "", "comma-separated daemon base URLs (empty: run one in-process)")
-	flag.StringVar(&opt.workload, "workload", "all", "hit-heavy | miss-heavy | single | batch | mixed | all")
+	flag.StringVar(&opt.workload, "workload", "all", "hit-heavy | miss-heavy | single | batch | mixed | coldset | all")
 	flag.DurationVar(&opt.duration, "duration", 2*time.Second, "measured run length per workload")
 	flag.Float64Var(&opt.rate, "rate", 0, "offered load in requests/s (0: closed-loop saturation)")
 	flag.IntVar(&opt.conc, "conc", 32, "concurrent workers")
@@ -67,6 +73,29 @@ func main() {
 	flag.Int64Var(&opt.seed, "seed", 1, "deterministic workload seed")
 	flag.StringVar(&opt.out, "o", "", "write results as benchparse JSON to this file")
 	flag.Parse()
+
+	if opt.workload == "coldset" {
+		// Coldset measures the daemon's disk tier from the inside (it
+		// asserts on server-side computation counters), so it always runs
+		// against its own in-process daemon.
+		if opt.targets != "" {
+			fail(fmt.Errorf("the coldset workload is always self-hosted; drop -target"))
+		}
+		res, err := runColdset(context.Background(), opt)
+		if err != nil {
+			fail(fmt.Errorf("workload coldset: %w", err))
+		}
+		res.print(os.Stdout)
+		if opt.out != "" {
+			doc := benchparse.New()
+			doc.Add(res.record())
+			if err := doc.WriteFile(opt.out); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "loadtest: wrote coldset results to %s\n", opt.out)
+		}
+		return
+	}
 
 	endpoints := splitTargets(opt.targets)
 	if len(endpoints) == 0 {
@@ -203,6 +232,7 @@ type result struct {
 	errors    int64
 	hits      int64 // responses served from a cache (hit or shared)
 	latencies []time.Duration
+	extra     map[string]float64 // workload-specific metrics merged into the record
 }
 
 func runWorkload(ctx context.Context, m *client.Multi, workload string, opt options) (*result, error) {
@@ -348,6 +378,178 @@ func runWorkload(ctx context.Context, m *client.Multi, workload string, opt opti
 	return res, nil
 }
 
+// coldReq maps a key index to its deterministic plan request. Fill and
+// re-touch both enumerate through it, so index i names the same canonical
+// key in both phases. The space holds 1332 distinct keys (37 sizes x 2
+// kernels x 3 merge factors x 2 aux toggles x 3 cube dims).
+const coldKeySpace = 37 * 2 * 3 * 2 * 3
+
+func coldReq(i int) *client.PlanRequest {
+	idx := i
+	size := int64(4 + idx%37)
+	idx /= 37
+	kernel := []string{"l1", "matmul"}[idx%2]
+	idx /= 2
+	merge := int64(1 + idx%3)
+	idx /= 3
+	noAux := idx%2 == 1
+	idx /= 2
+	d := 2 + idx%3
+	return &client.PlanRequest{
+		Kernel: kernel, Size: size, CubeDim: &d,
+		MergeFactor: merge, NoAux: noAux,
+	}
+}
+
+// runColdset drives the larger-than-RAM workload: an in-process daemon
+// with deliberately tiny RAM budgets (1 MiB plan cache, 256 KiB encoded
+// cache) and a temp-dir disk tier is filled with a keyspace far past
+// those budgets, then re-touched with a Zipf-skewed draw for -duration.
+// The measured phase must recompute nothing: every re-touch is either
+// still warm in RAM or promoted back from the disk tier, which the run
+// asserts via the daemon's own plan-computation counter. First touches of
+// a key during the measured phase are overwhelmingly disk promotions, so
+// their percentile is reported separately as disk-p95-ms.
+func runColdset(ctx context.Context, opt options) (*result, error) {
+	keys := opt.keys * 24
+	if keys > coldKeySpace {
+		keys = coldKeySpace
+	}
+	if keys < 64 {
+		keys = 64
+	}
+
+	dir, err := os.MkdirTemp("", "loadtest-coldset-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	srv := serve.New(serve.Config{
+		CacheBytes:        1 << 20,
+		RespCacheBytes:    256 << 10,
+		DiskCacheDir:      dir,
+		DiskMemtableBytes: 64 << 10,
+		ScrubInterval:     -1,
+	})
+	defer srv.Close()
+	if _, err := srv.Recover(ctx); err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(l)
+	defer hs.Close()
+	m, err := client.NewMulti(client.MultiConfig{Endpoints: []string{"http://" + l.Addr().String()}})
+	if err != nil {
+		return nil, err
+	}
+
+	// Fill: every key computed exactly once, write-through to the tier.
+	var next atomic.Int64
+	var fillErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < opt.conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= keys {
+					return
+				}
+				if _, err := m.Plan(ctx, coldReq(i)); err != nil {
+					fillErr.CompareAndSwap(nil, fmt.Errorf("filling key %d: %w", i, err))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := fillErr.Load().(error); err != nil {
+		return nil, err
+	}
+	pre := srv.Metrics()
+	if pre.TieredKeys < int64(keys) {
+		return nil, fmt.Errorf("tier holds %d keys after filling %d — write-through demotion is broken", pre.TieredKeys, keys)
+	}
+
+	// Re-touch: Zipf-skewed draws over the filled keyspace. The skew keeps
+	// popular keys RAM-resident while the long tail faults in from disk.
+	res := &result{workload: "coldset"}
+	var mu sync.Mutex
+	var coldLat []time.Duration
+	touched := make([]atomic.Bool, keys)
+	var requests, errors, hits atomic.Int64
+	deadline := time.Now().Add(opt.duration)
+	start := time.Now()
+	for w := 0; w < opt.conc; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opt.seed + int64(w)*7919))
+			zipf := rand.NewZipf(rng, 1.2, 1, uint64(keys-1))
+			var local, localCold []time.Duration
+			for time.Now().Before(deadline) {
+				i := int(zipf.Uint64())
+				first := touched[i].CompareAndSwap(false, true)
+				from := time.Now()
+				pr, err := m.Plan(ctx, coldReq(i))
+				d := time.Since(from)
+				if err != nil {
+					errors.Add(1)
+					continue
+				}
+				requests.Add(1)
+				if pr.Cache != client.CacheMiss {
+					hits.Add(1)
+				}
+				local = append(local, d)
+				if first {
+					localCold = append(localCold, d)
+				}
+			}
+			mu.Lock()
+			res.latencies = append(res.latencies, local...)
+			coldLat = append(coldLat, localCold...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	res.requests = requests.Load()
+	res.trips = res.requests
+	res.errors = errors.Load()
+	res.hits = hits.Load()
+	if res.requests == 0 {
+		return nil, fmt.Errorf("no re-touch succeeded (%d errors)", res.errors)
+	}
+
+	post := srv.Metrics()
+	recomputes := post.PlanComputations - pre.PlanComputations
+	diskHits := post.TieredDiskHits - pre.TieredDiskHits
+	sort.Slice(coldLat, func(i, j int) bool { return coldLat[i] < coldLat[j] })
+	res.extra = map[string]float64{
+		"keyspace":    float64(keys),
+		"recomputes":  float64(recomputes),
+		"disk-hits":   float64(diskHits),
+		"segments":    float64(post.TieredSegments),
+		"disk-p95-ms": float64(pct(coldLat, 95)) / float64(time.Millisecond),
+	}
+	fmt.Fprintf(os.Stderr, "loadtest: coldset keyspace=%d segments=%d disk-hits=%d recomputes=%d cold-touches=%d\n",
+		keys, post.TieredSegments, diskHits, recomputes, len(coldLat))
+	if recomputes != 0 {
+		return nil, fmt.Errorf("%d plans recomputed during re-touch — the disk tier should have served them", recomputes)
+	}
+	if diskHits == 0 {
+		return nil, fmt.Errorf("no re-touch was served from the disk tier (keyspace %d)", keys)
+	}
+	return res, nil
+}
+
 // pct returns the p-th percentile of the sorted latency set.
 func pct(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
@@ -379,7 +581,7 @@ func (r *result) print(w *os.File) {
 func (r *result) record() benchparse.Result {
 	s := r.sorted()
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
-	return benchparse.Result{
+	res := benchparse.Result{
 		Name: "Loadtest/" + r.workload,
 		Runs: r.requests,
 		Metrics: map[string]float64{
@@ -393,6 +595,10 @@ func (r *result) record() benchparse.Result {
 			"max-ms":    ms(pct(s, 100)),
 		},
 	}
+	for k, v := range r.extra {
+		res.Metrics[k] = v
+	}
+	return res
 }
 
 func fail(err error) {

@@ -44,6 +44,10 @@ func main() {
 	maxSize := flag.Int64("max-size", 128, "largest kernel size parameter accepted")
 	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown grace period")
 	stateDir := flag.String("state-dir", "", "durable plan store directory: the cache warm-starts from it and survives crashes (empty = ephemeral)")
+	diskCacheDir := flag.String("disk-cache-dir", "", "tiered on-disk plan store directory: evicted plans demote to indexed segments and promote back on touch instead of recomputing; restart replays only the WAL tail (mutually exclusive with -state-dir)")
+	diskCacheGB := flag.Float64("disk-cache-gb", 0, "disk-cache segment budget in GiB; compaction evicts oldest segments past it (0 = unbounded)")
+	compactTrigger := flag.Int("compact-trigger", 0, "L0 segments that accumulate before the disk cache compacts (0 = default 4)")
+	diskMemtableKB := flag.Int64("disk-memtable-kb", 0, "disk-cache memtable flush threshold in KiB (0 = default 4096); harnesses shrink it to force segment churn")
 	fsync := flag.String("fsync", "interval", "WAL durability policy: always, interval, never")
 	scrubInterval := flag.Duration("scrub-interval", 0, "background storage-scrub period (0 = 1m default, negative disables)")
 	scrubRateMB := flag.Int64("scrub-rate-mb", 0, "scrub read-bandwidth throttle in MiB/s (0 = 8 default, negative unthrottled)")
@@ -65,21 +69,25 @@ func main() {
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv := serve.New(serve.Config{
-		CacheBytes:     *cacheMB << 20,
-		MaxInflight:    *inflight,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxKernelSize:  *maxSize,
-		StateDir:       *stateDir,
-		Fsync:          *fsync,
-		ScrubInterval:  *scrubInterval,
-		ScrubRate:      scrubRate(*scrubRateMB),
-		GroupCommit:    *groupCommit,
-		GroupWindow:    *groupWindow,
-		RespCacheBytes: respCacheBytes(*respCacheMB),
-		MaxBatchItems:  *maxBatch,
-		AdminToken:     *adminToken,
-		Logger:         logger,
+		CacheBytes:        *cacheMB << 20,
+		MaxInflight:       *inflight,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		MaxKernelSize:     *maxSize,
+		StateDir:          *stateDir,
+		DiskCacheDir:      *diskCacheDir,
+		DiskCacheBytes:    int64(*diskCacheGB * (1 << 30)),
+		CompactTrigger:    *compactTrigger,
+		DiskMemtableBytes: *diskMemtableKB << 10,
+		Fsync:             *fsync,
+		ScrubInterval:     *scrubInterval,
+		ScrubRate:         scrubRate(*scrubRateMB),
+		GroupCommit:       *groupCommit,
+		GroupWindow:       *groupWindow,
+		RespCacheBytes:    respCacheBytes(*respCacheMB),
+		MaxBatchItems:     *maxBatch,
+		AdminToken:        *adminToken,
+		Logger:            logger,
 	})
 	rs, err := srv.Recover(context.Background())
 	if err != nil {
@@ -87,10 +95,16 @@ func main() {
 		os.Exit(1)
 	}
 	if rs.Enabled {
+		dir := *stateDir
+		if dir == "" {
+			dir = *diskCacheDir
+		}
 		logger.Info("warm start",
-			"state_dir", *stateDir,
+			"state_dir", dir,
 			"recovered", rs.Recovered,
 			"skipped", rs.Skipped,
+			"rejected", rs.Rejected,
+			"frames", rs.FrameRecords,
 			"snapshot_records", rs.SnapshotRecords,
 			"wal_records", rs.WALRecords,
 			"dropped_tail_bytes", rs.DroppedTailBytes,
@@ -171,7 +185,6 @@ func main() {
 			logger.Info("cluster mode", "shard", m.Self(), "n", m.N(), "dim", m.Dim())
 		}()
 	}
-
 
 	if err := serveUntil(ctx, srv, handler, ln, *drain, logger); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -197,6 +197,24 @@ type faultFile struct {
 	name string
 }
 
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	kind, ok := ff.fs.decide(OpRead, ff.name)
+	if ok && kind != KindBitrot {
+		return 0, errFor(kind, OpRead, ff.name)
+	}
+	n, err := ff.f.ReadAt(p, off)
+	if ok && kind == KindBitrot && n > 0 {
+		// Read-side bitrot scoped to this one read, exactly like the
+		// ReadFile path: the bytes on disk stay intact, the caller's CRC
+		// check is what must catch it.
+		ff.fs.mu.Lock()
+		bit := ff.fs.rng.Next() % uint64(n*8)
+		ff.fs.mu.Unlock()
+		p[bit/8] ^= 1 << (bit % 8)
+	}
+	return n, err
+}
+
 func (ff *faultFile) Write(p []byte) (int, error) {
 	kind, ok := ff.fs.decide(OpWrite, ff.name)
 	if !ok {

@@ -14,6 +14,26 @@ import (
 	"io"
 )
 
+// Magic is the 8-byte header opening every store-framed file and record
+// stream. Exported for the tiered tier, whose WAL files share the format.
+const Magic = fileMagic
+
+// EncodeFrame renders one record in the store frame format:
+// [len][CRC-32C][uvarint-keyed payload]. Exported for the tiered tier's
+// WAL appends; a file built from Magic + EncodeFrame output replays with
+// ReplayLog.
+func EncodeFrame(rec Record) []byte { return encodeFrame(rec) }
+
+// ReplayLog reads one store-framed log file with the WAL's tail-repair
+// semantics: every intact record up to the first bad one, the offset just
+// past the last good record (the truncate-repair point), the trailing
+// bytes dropped, and a description of what stopped the scan (nil on a
+// clean EOF). A missing file replays as empty. Exported for the tiered
+// tier's WAL replay.
+func ReplayLog(fsys FS, path string) (recs []Record, goodOff int64, dropped int64, tailErr error) {
+	return replayFile(fsys, path)
+}
+
 // WriteRecords streams records to w in the store file format (header
 // magic followed by framed records).
 func WriteRecords(w io.Writer, recs []Record) error {

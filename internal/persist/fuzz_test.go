@@ -28,13 +28,13 @@ func FuzzSnapshotReplay(f *testing.F) {
 	}
 	total := int64(len(base))
 
-	f.Add(uint32(0), byte(0), uint32(0))               // pristine
+	f.Add(uint32(0), byte(0), uint32(0))                   // pristine
 	f.Add(uint32(len(fileMagic)+3), byte(0x10), uint32(0)) // flip in frame 0
-	f.Add(uint32(offs[2]+5), byte(0x01), uint32(0))    // flip mid-file
-	f.Add(uint32(2), byte(0x80), uint32(0))            // flip in the magic
-	f.Add(uint32(0), byte(0), uint32(offs[3]+2))       // truncate mid-frame 3
-	f.Add(uint32(0), byte(0), uint32(offs[2]))         // truncate at a boundary
-	f.Add(uint32(offs[1]), byte(0xff), uint32(offs[4]+1)) // flip + truncate
+	f.Add(uint32(offs[2]+5), byte(0x01), uint32(0))        // flip mid-file
+	f.Add(uint32(2), byte(0x80), uint32(0))                // flip in the magic
+	f.Add(uint32(0), byte(0), uint32(offs[3]+2))           // truncate mid-frame 3
+	f.Add(uint32(0), byte(0), uint32(offs[2]))             // truncate at a boundary
+	f.Add(uint32(offs[1]), byte(0xff), uint32(offs[4]+1))  // flip + truncate
 
 	f.Fuzz(func(t *testing.T, pos uint32, mask byte, truncate uint32) {
 		data := append(base[:0:0], base...)

@@ -116,16 +116,26 @@ func (s *Server) handleAdminTransfer(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var recs []persist.Record
+	seen := make(map[string]bool)
 	for _, rec := range s.cache.records() {
+		seen[repBasePrefix+rec.Key] = true
 		if cluster.Owner(rec.Key, candidates) == req.ForShard {
 			recs = append(recs, persist.Record{Key: repBasePrefix + rec.Key, Value: rec.Value})
 		}
 	}
 	for _, d := range s.resp.dump() {
+		seen[repFramePrefix+d.key] = true
 		if cluster.Owner(frameBaseKey(d.key), candidates) == req.ForShard {
 			recs = append(recs, persist.Record{Key: repFramePrefix + d.key, Value: d.encoded})
 		}
 	}
+	// Disk-tier records the RAM caches evicted: a joiner streams the full
+	// keyspace it will own, not just what happens to be warm here.
+	s.forEachTierRecord(seen, func(wireKey, baseKey string, value []byte) {
+		if cluster.Owner(baseKey, candidates) == req.ForShard {
+			recs = append(recs, persist.Record{Key: wireKey, Value: value})
+		}
+	})
 
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if err := persist.WriteRecords(w, recs); err != nil {

@@ -109,10 +109,25 @@ type metrics struct {
 	panics             atomic.Int64
 	recoveredPlans     atomic.Int64
 	recoverySkipped    atomic.Int64
+	recoveryRejected   atomic.Int64 // skips caused by current admission limits specifically
 	walAppends         atomic.Int64
 	walErrors          atomic.Int64
 	walBytes           atomic.Int64
 	compactions        atomic.Int64
+
+	// tiered disk-store instruments (stay zero without -disk-cache-dir).
+	// Counters mirror tiered.Stats totals, refreshed at snapshot time.
+	tieredDiskHits       atomic.Int64
+	tieredDiskMisses     atomic.Int64
+	tieredBloomNegatives atomic.Int64
+	tieredFlushes        atomic.Int64
+	tieredCompactions    atomic.Int64
+	tieredEvictions      atomic.Int64
+	tieredCorruptions    atomic.Int64
+	tieredQuarantined    atomic.Int64
+	tieredSegments       atomic.Int64 // gauge: live segment files
+	tieredBytes          atomic.Int64 // gauge: total segment bytes
+	tieredKeys           atomic.Int64 // gauge: entries across segments + memtable
 
 	// storage-fault instruments.
 	storeDegraded      atomic.Int64 // gauge: 1 once the store latches read-only
@@ -214,10 +229,24 @@ type Snapshot struct {
 	Panics             int64
 	RecoveredPlans     int64
 	RecoverySkipped    int64
+	RecoveryRejected   int64
 	WALAppends         int64
 	WALErrors          int64
 	WALBytes           int64
 	Compactions        int64
+
+	// Tiered disk-store accounting (zero without a disk cache).
+	TieredDiskHits       int64
+	TieredDiskMisses     int64
+	TieredBloomNegatives int64
+	TieredFlushes        int64
+	TieredCompactions    int64
+	TieredEvictions      int64
+	TieredCorruptions    int64
+	TieredQuarantined    int64
+	TieredSegments       int64
+	TieredBytes          int64
+	TieredKeys           int64
 
 	// Storage-fault accounting.
 	StoreDegraded      int64
@@ -241,9 +270,9 @@ type Snapshot struct {
 	GroupCommitSize HistogramSnapshot
 
 	// Cluster-mode accounting (ClusterN == 0 in single-daemon mode).
-	ForwardsSent       int64
-	ForwardsReceived   int64
-	ForwardErrors      int64
+	ForwardsSent         int64
+	ForwardsReceived     int64
+	ForwardErrors        int64
 	ForwardBudgetStops   int64
 	ForwardHops          int64
 	ProbeFailures        int64
@@ -266,10 +295,10 @@ type Snapshot struct {
 	AntiEntropyErrors           int64
 	ForwardDeadlineRejects      int64
 
-	ClusterSelf        int
-	ClusterN           int
-	ClusterDim         int
-	ClusterPeers       []PeerHealth
+	ClusterSelf  int
+	ClusterN     int
+	ClusterDim   int
+	ClusterPeers []PeerHealth
 
 	// Go runtime health, sampled at snapshot time.
 	Goroutines          int
@@ -285,41 +314,53 @@ type Snapshot struct {
 
 func (m *metrics) snapshot() Snapshot {
 	s := Snapshot{
-		CacheHits:          m.cacheHits.Load(),
-		CacheMisses:        m.cacheMisses.Load(),
-		CacheEvictions:     m.cacheEvictions.Load(),
-		SingleflightShared: m.singleflightShared.Load(),
-		PlanComputations:   m.planComputations.Load(),
-		InflightPlans:      m.inflightPlans.Load(),
-		CacheBytes:         m.cacheBytes.Load(),
-		CacheEntries:       m.cacheEntries.Load(),
-		Panics:             m.panics.Load(),
-		RecoveredPlans:     m.recoveredPlans.Load(),
-		RecoverySkipped:    m.recoverySkipped.Load(),
-		WALAppends:         m.walAppends.Load(),
-		WALErrors:          m.walErrors.Load(),
-		WALBytes:           m.walBytes.Load(),
-		Compactions:        m.compactions.Load(),
-		StoreDegraded:      m.storeDegraded.Load(),
-		WALSyncErrors:      m.walSyncErrors.Load(),
-		SnapshotBytes:      m.snapshotBytes.Load(),
-		QuarantinedRecords: m.quarantinedRecords.Load(),
-		ScrubRuns:          m.scrubRuns.Load(),
-		ScrubRecords:       m.scrubRecords.Load(),
-		ScrubCorrupt:       m.scrubCorrupt.Load(),
-		ScrubRepairs:       m.scrubRepairs.Load(),
-		EncodedHits:        m.encodedHits.Load(),
-		NotModified:        m.notModified.Load(),
-		BytesServed:        m.bytesServed.Load(),
-		EncodedBytes:       m.encodedBytes.Load(),
-		BatchItems:         m.batchItems.Load(),
-		RespCacheBytes:     m.respCacheBytes.Load(),
-		RespCacheCount:     m.respCacheCount.Load(),
-		BatchSize:          m.batchSize.snapshot(),
-		GroupCommitSize:    m.groupCommitSize.snapshot(),
-		ForwardsSent:       m.forwardsSent.Load(),
-		ForwardsReceived:   m.forwardsReceived.Load(),
-		ForwardErrors:      m.forwardErrors.Load(),
+		CacheHits:            m.cacheHits.Load(),
+		CacheMisses:          m.cacheMisses.Load(),
+		CacheEvictions:       m.cacheEvictions.Load(),
+		SingleflightShared:   m.singleflightShared.Load(),
+		PlanComputations:     m.planComputations.Load(),
+		InflightPlans:        m.inflightPlans.Load(),
+		CacheBytes:           m.cacheBytes.Load(),
+		CacheEntries:         m.cacheEntries.Load(),
+		Panics:               m.panics.Load(),
+		RecoveredPlans:       m.recoveredPlans.Load(),
+		RecoverySkipped:      m.recoverySkipped.Load(),
+		RecoveryRejected:     m.recoveryRejected.Load(),
+		WALAppends:           m.walAppends.Load(),
+		WALErrors:            m.walErrors.Load(),
+		WALBytes:             m.walBytes.Load(),
+		Compactions:          m.compactions.Load(),
+		TieredDiskHits:       m.tieredDiskHits.Load(),
+		TieredDiskMisses:     m.tieredDiskMisses.Load(),
+		TieredBloomNegatives: m.tieredBloomNegatives.Load(),
+		TieredFlushes:        m.tieredFlushes.Load(),
+		TieredCompactions:    m.tieredCompactions.Load(),
+		TieredEvictions:      m.tieredEvictions.Load(),
+		TieredCorruptions:    m.tieredCorruptions.Load(),
+		TieredQuarantined:    m.tieredQuarantined.Load(),
+		TieredSegments:       m.tieredSegments.Load(),
+		TieredBytes:          m.tieredBytes.Load(),
+		TieredKeys:           m.tieredKeys.Load(),
+		StoreDegraded:        m.storeDegraded.Load(),
+		WALSyncErrors:        m.walSyncErrors.Load(),
+		SnapshotBytes:        m.snapshotBytes.Load(),
+		QuarantinedRecords:   m.quarantinedRecords.Load(),
+		ScrubRuns:            m.scrubRuns.Load(),
+		ScrubRecords:         m.scrubRecords.Load(),
+		ScrubCorrupt:         m.scrubCorrupt.Load(),
+		ScrubRepairs:         m.scrubRepairs.Load(),
+		EncodedHits:          m.encodedHits.Load(),
+		NotModified:          m.notModified.Load(),
+		BytesServed:          m.bytesServed.Load(),
+		EncodedBytes:         m.encodedBytes.Load(),
+		BatchItems:           m.batchItems.Load(),
+		RespCacheBytes:       m.respCacheBytes.Load(),
+		RespCacheCount:       m.respCacheCount.Load(),
+		BatchSize:            m.batchSize.snapshot(),
+		GroupCommitSize:      m.groupCommitSize.snapshot(),
+		ForwardsSent:         m.forwardsSent.Load(),
+		ForwardsReceived:     m.forwardsReceived.Load(),
+		ForwardErrors:        m.forwardErrors.Load(),
 		ForwardBudgetStops:   m.forwardBudgetStops.Load(),
 		ForwardHops:          m.forwardHops.Load(),
 		ProbeFailures:        m.probeFailures.Load(),
@@ -367,6 +408,7 @@ func (s Snapshot) render(w io.Writer) {
 	counter("loopmapd_panics_total", "Handler panics recovered by the middleware.", s.Panics)
 	counter("loopmapd_recovered_plans_total", "Plans recomputed into the cache during warm restart.", s.RecoveredPlans)
 	counter("loopmapd_recovery_skipped_total", "Durable records skipped during warm restart (undecodable, invalid, or key-mismatched).", s.RecoverySkipped)
+	counter("loopmapd_recovery_rejected_total", "Durable records dropped during warm restart because they no longer pass the admission limits.", s.RecoveryRejected)
 	counter("loopmapd_wal_appends_total", "Plan records appended to the durable WAL.", s.WALAppends)
 	counter("loopmapd_wal_errors_total", "Durable store write failures (the daemon keeps serving).", s.WALErrors)
 	counter("loopmapd_compactions_total", "Background snapshot compactions completed.", s.Compactions)
@@ -382,6 +424,19 @@ func (s Snapshot) render(w io.Writer) {
 	gauge("loopmapd_inflight_plans", "Plan computations currently admitted.", s.InflightPlans)
 	gauge("loopmapd_cache_bytes", "Estimated bytes held by the plan cache.", s.CacheBytes)
 	gauge("loopmapd_cache_entries", "Entries held by the plan cache.", s.CacheEntries)
+
+	// Tiered disk store (all zero without -disk-cache-dir).
+	counter("loopmapd_tiered_disk_hits_total", "Reads served from the on-disk tier (segment or pre-flush memtable).", s.TieredDiskHits)
+	counter("loopmapd_tiered_disk_misses_total", "Reads that missed the on-disk tier entirely.", s.TieredDiskMisses)
+	counter("loopmapd_tiered_bloom_negatives_total", "Segment probes answered absent by the bloom filter without a disk read.", s.TieredBloomNegatives)
+	counter("loopmapd_tiered_flushes_total", "Memtable-to-segment flushes completed by the tier.", s.TieredFlushes)
+	counter("loopmapd_tiered_compactions_total", "Background segment compactions completed by the tier.", s.TieredCompactions)
+	counter("loopmapd_tiered_evictions_total", "Segments evicted by compaction to stay under the disk budget.", s.TieredEvictions)
+	counter("loopmapd_tiered_corruptions_total", "CRC or decode failures observed on tier reads.", s.TieredCorruptions)
+	counter("loopmapd_tiered_quarantined_total", "Segments quarantined after failing verification.", s.TieredQuarantined)
+	gauge("loopmapd_tiered_segments", "Live segment files in the on-disk tier.", s.TieredSegments)
+	gauge("loopmapd_tiered_bytes", "Total segment bytes held by the on-disk tier.", s.TieredBytes)
+	gauge("loopmapd_tiered_keys", "Entries across the tier's segments and memtable.", s.TieredKeys)
 
 	// Zero-copy and batching.
 	counter("loopmapd_encoded_hits_total", "Responses served whole from the encoded-response cache.", s.EncodedHits)

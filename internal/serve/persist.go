@@ -12,12 +12,15 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	loopmap "repro"
 	"repro/internal/persist"
 	"repro/internal/pool"
+	"repro/internal/tiered"
 )
 
 // storedRequest is the durable encoding of a plan's canonical request:
@@ -91,6 +94,15 @@ type RecoveryStats struct {
 	// key-mismatched, or failed to recompute.
 	Recovered int
 	Skipped   int
+	// Rejected is the subset of Skipped dropped specifically because the
+	// record no longer passes the daemon's admission limits (e.g. a
+	// smaller MaxKernelSize than when it was written). Exposed as
+	// loopmapd_recovery_rejected_total so a shrunk limit silently
+	// discarding state is visible, not inferred.
+	Rejected int
+	// FrameRecords counts encoded response frames restored straight into
+	// the response cache (tiered recovery only).
+	FrameRecords int
 	// DroppedTailBytes and TailErr report corrupt-tail repair (see
 	// persist.ReplayStats); a non-nil TailErr never fails recovery.
 	DroppedTailBytes int64
@@ -112,6 +124,12 @@ type RecoveryStats struct {
 // state directory fails recovery.
 func (s *Server) Recover(ctx context.Context) (RecoveryStats, error) {
 	var rs RecoveryStats
+	if s.cfg.StateDir != "" && s.cfg.DiskCacheDir != "" {
+		return rs, errors.New("serve: StateDir and DiskCacheDir are mutually exclusive")
+	}
+	if s.cfg.DiskCacheDir != "" {
+		return s.recoverTiered(ctx)
+	}
 	if s.cfg.StateDir == "" {
 		return rs, nil
 	}
@@ -194,6 +212,7 @@ func (s *Server) Recover(ctx context.Context) (RecoveryStats, error) {
 			// MaxKernelSize); recomputing it would admit work the daemon
 			// now rejects.
 			rs.Skipped++
+			s.noteRecoveryRejected(&rs, rec.Key, err)
 			continue
 		}
 		slots = append(slots, &slot{req: req, rec: rec})
@@ -229,10 +248,125 @@ func (s *Server) Recover(ctx context.Context) (RecoveryStats, error) {
 	return rs, nil
 }
 
+// noteRecoveryRejected accounts one durable record dropped because it no
+// longer passes the admission limits: a dedicated counter (distinct from
+// the catch-all skip count) and one log line per recovery naming the
+// first offender — shrinking a limit should discard state loudly.
+func (s *Server) noteRecoveryRejected(rs *RecoveryStats, key string, err error) {
+	rs.Rejected++
+	s.metrics.recoveryRejected.Add(1)
+	if rs.Rejected == 1 {
+		s.cfg.Logger.Warn("recovery rejecting records invalid under current admission limits",
+			"first_key", key, "err", err)
+	}
+}
+
+// recoverTiered opens the tiered disk store at DiskCacheDir and replays
+// only its WAL tail — the records written since the last memtable flush.
+// Everything older is already segment-resident and is served (and
+// promoted back into RAM) on demand, which is what makes restart cost
+// O(tail) instead of O(history). Tail base records recompute concurrently
+// like the flat store's replay; tail frame records go straight into the
+// encoded-response cache.
+func (s *Server) recoverTiered(ctx context.Context) (RecoveryStats, error) {
+	var rs RecoveryStats
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	policy, err := persist.ParsePolicy(s.cfg.Fsync)
+	if err != nil {
+		return rs, err
+	}
+	tier, tail, err := tiered.Open(tiered.Config{
+		Dir:            s.cfg.DiskCacheDir,
+		FS:             s.cfg.FS,
+		Fsync:          policy,
+		Interval:       s.cfg.FsyncEvery,
+		BudgetBytes:    s.cfg.DiskCacheBytes,
+		CompactTrigger: s.cfg.CompactTrigger,
+		MemtableBytes:  s.cfg.DiskMemtableBytes,
+		OnDegrade:      s.latchStoreDegraded,
+	})
+	if err != nil {
+		return rs, fmt.Errorf("serve: opening disk cache %s: %w", s.cfg.DiskCacheDir, err)
+	}
+	s.tier = tier
+	rs.Enabled = true
+	rs.WALRecords = len(tail)
+	s.startScrubber()
+
+	type slot struct {
+		req  *PlanRequest
+		key  string
+		rec  persist.Record
+		plan *loopmap.Plan
+	}
+	var slots []*slot
+	for _, rec := range tail {
+		switch {
+		case strings.HasPrefix(rec.Key, repFramePrefix):
+			if s.resp != nil {
+				s.resp.put(rec.Key[len(repFramePrefix):], newRespFrame(rec.Value))
+				rs.FrameRecords++
+			}
+		case strings.HasPrefix(rec.Key, repBasePrefix):
+			key := rec.Key[len(repBasePrefix):]
+			var sr storedRequest
+			if err := json.Unmarshal(rec.Value, &sr); err != nil {
+				rs.Skipped++
+				continue
+			}
+			req := sr.planRequest()
+			if req.Key() != key {
+				rs.Skipped++
+				continue
+			}
+			if err := s.validatePlanRequest(req); err != nil {
+				rs.Skipped++
+				s.noteRecoveryRejected(&rs, key, err)
+				continue
+			}
+			slots = append(slots, &slot{req: req, key: key, rec: rec})
+		default:
+			rs.Skipped++
+		}
+	}
+	pool.Run(len(slots), s.cfg.MaxInflight, func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		k, err := loopmap.LookupKernel(slots[i].req.Kernel, slots[i].req.Size)
+		if err != nil {
+			return
+		}
+		p, err := loopmap.NewPlanCtx(ctx, k, planOptions(slots[i].req))
+		if err != nil {
+			return
+		}
+		slots[i].plan = p
+	})
+	if err := ctx.Err(); err != nil {
+		return rs, err
+	}
+	for _, sl := range slots {
+		if sl.plan == nil {
+			rs.Skipped++
+			continue
+		}
+		s.cache.put(sl.key, sl.plan, sl.rec.Value)
+		rs.Recovered++
+	}
+	s.metrics.recoveredPlans.Add(int64(rs.Recovered))
+	s.metrics.recoverySkipped.Add(int64(rs.Skipped))
+	rs.Elapsed = time.Since(start)
+	return rs, nil
+}
+
 // writableStore fails fast when the durable store has latched read-only:
 // a cache miss implies a durable write the store cannot take.
 func (s *Server) writableStore() error {
-	if s.store != nil && s.storeDegraded.Load() {
+	if (s.store != nil || s.tier != nil) && s.storeDegraded.Load() {
 		return ErrStoreDegraded
 	}
 	return nil
@@ -256,7 +390,22 @@ func (s *Server) latchStoreDegraded(cause error) {
 // append is returned to the caller — the plan must not be cached or acked
 // — and has already latched the store read-only.
 func (s *Server) persistPlan(key string, payload []byte) error {
-	if s.store == nil || payload == nil {
+	if payload == nil {
+		return nil
+	}
+	if s.tier != nil {
+		// The tier manages its own flush/compaction cadence; the wire key
+		// carries the replication prefix so transfer and ingest stream
+		// tier records verbatim.
+		if err := s.tier.Put(repBasePrefix+key, payload); err != nil {
+			s.metrics.walErrors.Add(1)
+			s.cfg.Logger.Error("tier append failed", "key", key, "err", err)
+			return err
+		}
+		s.metrics.walAppends.Add(1)
+		return nil
+	}
+	if s.store == nil {
 		return nil
 	}
 	if err := s.store.Append(persist.Record{Key: key, Value: payload}); err != nil {
@@ -304,6 +453,9 @@ func (s *Server) Close() error {
 	}
 	s.stopScrubber()
 	s.compactWG.Wait()
+	if s.tier != nil {
+		return s.tier.Close()
+	}
 	if s.store == nil {
 		return nil
 	}

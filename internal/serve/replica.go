@@ -261,21 +261,31 @@ func (r *replicator) epochWatch() {
 
 // sweepOwned enqueues a replica push for every locally-held record this
 // shard currently owns: base plans from the plan cache, encoded frames
-// from the response cache.
+// from the response cache, and — when a disk tier is attached — every
+// tier-resident record the RAM caches evicted.
 func (r *replicator) sweepOwned() {
 	pushed := 0
+	seen := make(map[string]bool)
 	for _, rec := range r.s.cache.records() {
+		seen[repBasePrefix+rec.Key] = true
 		if target, ok := r.s.replicaTargetFor(rec.Key); ok {
 			r.enqueuePush(target, persist.Record{Key: repBasePrefix + rec.Key, Value: rec.Value})
 			pushed++
 		}
 	}
 	for _, d := range r.s.resp.dump() {
+		seen[repFramePrefix+d.key] = true
 		if target, ok := r.s.replicaTargetFor(frameBaseKey(d.key)); ok {
 			r.enqueuePush(target, persist.Record{Key: repFramePrefix + d.key, Value: d.encoded})
 			pushed++
 		}
 	}
+	r.s.forEachTierRecord(seen, func(wireKey, baseKey string, value []byte) {
+		if target, ok := r.s.replicaTargetFor(baseKey); ok {
+			r.enqueuePush(target, persist.Record{Key: wireKey, Value: value})
+			pushed++
+		}
+	})
 	if pushed > 0 {
 		r.s.cfg.Logger.Info("re-replicated keyspace after map change",
 			"epoch", r.cn.m.Epoch(), "records", pushed)
@@ -347,14 +357,18 @@ func (s *Server) handleReplica(w http.ResponseWriter, r *http.Request) {
 
 // ingestRecords applies replica records locally: frames go straight into
 // the encoded-response cache; base requests queue for background
-// materialization (skipped when already cached). It returns the number
-// of records applied or queued.
+// materialization (skipped when already cached). Both kinds write through
+// to the disk tier when one is attached — replica records share the
+// tier's wire-key format, so a standby's copy is durable the moment it
+// lands, not only after materialization. It returns the number of
+// records applied or queued.
 func (s *Server) ingestRecords(recs []persist.Record) int {
 	applied := 0
 	for _, rec := range recs {
 		switch {
 		case strings.HasPrefix(rec.Key, repFramePrefix):
 			s.resp.put(rec.Key[len(repFramePrefix):], newRespFrame(rec.Value))
+			s.tierIngest(rec)
 			applied++
 		case strings.HasPrefix(rec.Key, repBasePrefix):
 			key := rec.Key[len(repBasePrefix):]
@@ -369,6 +383,7 @@ func (s *Server) ingestRecords(recs []persist.Record) int {
 			if req.Key() != key || s.validatePlanRequest(req) != nil {
 				continue
 			}
+			s.tierIngest(rec)
 			if cn := s.cnode(); cn != nil {
 				cn.rep.enqueueMaterialize(req)
 				applied++
@@ -376,6 +391,45 @@ func (s *Server) ingestRecords(recs []persist.Record) int {
 		}
 	}
 	return applied
+}
+
+// tierIngest writes one validated replica record through to the disk
+// tier, skipping records already durable there (a redundant sweep or
+// transfer must not bloat the WAL). Failures latch degraded inside the
+// tier; ingest itself stays best-effort.
+func (s *Server) tierIngest(rec persist.Record) {
+	if s.tier == nil {
+		return
+	}
+	if _, ok, _ := s.tier.Get(rec.Key); ok {
+		return
+	}
+	_ = s.tier.Put(rec.Key, rec.Value)
+}
+
+// forEachTierRecord visits every record the disk tier holds, skipping
+// wire keys in seen (the RAM caches were streamed first and are newer),
+// and hands the callback the wire key, the base-plan key its ownership
+// hashes by, and the value. Transfer and epoch sweeps use it to stream
+// keys the RAM tier has long evicted.
+func (s *Server) forEachTierRecord(seen map[string]bool, fn func(wireKey, baseKey string, value []byte)) {
+	if s.tier == nil {
+		return
+	}
+	_ = s.tier.ForEach(func(key string, value []byte) error {
+		if seen[key] {
+			return nil
+		}
+		base := key
+		switch {
+		case strings.HasPrefix(key, repFramePrefix):
+			base = frameBaseKey(key[len(repFramePrefix):])
+		case strings.HasPrefix(key, repBasePrefix):
+			base = key[len(repBasePrefix):]
+		}
+		fn(key, base, value)
+		return nil
+	})
 }
 
 // requireInternal gates node-to-node endpoints: when an admin token is

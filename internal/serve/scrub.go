@@ -9,6 +9,7 @@
 package serve
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -25,9 +26,9 @@ type scrubber struct {
 }
 
 // startScrubber launches the background scrub loop (no-op without a
-// store, or when ScrubInterval is negative).
+// store or disk tier, or when ScrubInterval is negative).
 func (s *Server) startScrubber() {
-	if s.store == nil || s.cfg.ScrubInterval < 0 {
+	if (s.store == nil && s.tier == nil) || s.cfg.ScrubInterval < 0 {
 		return
 	}
 	sc := &scrubber{
@@ -66,7 +67,7 @@ func (sc *scrubber) loop() {
 // false when the daemon has no durable store. Harnesses and operators use
 // it to verify storage on demand instead of waiting for the interval.
 func (s *Server) ScrubNow() (persist.ScrubReport, bool) {
-	if s.store == nil {
+	if s.store == nil && s.tier == nil {
 		return persist.ScrubReport{}, false
 	}
 	return s.runScrub(), true
@@ -77,9 +78,14 @@ func (s *Server) runScrub() persist.ScrubReport {
 	if rate < 0 {
 		rate = 0 // unthrottled
 	}
-	rep := s.store.Scrub(rate)
+	var rep persist.ScrubReport
+	if s.tier != nil {
+		rep = s.scrubTier(rate)
+	} else {
+		rep = s.store.Scrub(rate)
+		s.metrics.scrubRecords.Add(int64(rep.SnapshotRecords + rep.WALRecords))
+	}
 	s.metrics.scrubRuns.Add(1)
-	s.metrics.scrubRecords.Add(int64(rep.SnapshotRecords + rep.WALRecords))
 	if rep.Clean() {
 		return rep
 	}
@@ -91,7 +97,43 @@ func (s *Server) runScrub() persist.ScrubReport {
 		// local cache lost comes back from the Gray-neighbor standby.
 		cn.ae.requestKick()
 	}
-	s.repairStore()
+	if s.tier == nil {
+		// The flat store repairs by rewriting itself from the live cache;
+		// a sick tier segment was already quarantined by Scrub, its keys
+		// left to recompute on touch or to anti-entropy healing.
+		s.repairStore()
+	}
+	return rep
+}
+
+// scrubTier runs one pass over the tier's segments, re-verifying every
+// block checksum under the configured bandwidth throttle, and maps the
+// outcome onto the flat store's report shape: SnapshotRecords counts the
+// segments scanned and CorruptRegions the segments quarantined.
+func (s *Server) scrubTier(rate int64) persist.ScrubReport {
+	start := time.Now()
+	var scannedBytes int64
+	throttle := func(n int) {
+		scannedBytes += int64(n)
+		if rate <= 0 {
+			return
+		}
+		// Sleep whenever the pass is running ahead of the byte budget.
+		ahead := time.Duration(float64(scannedBytes)/float64(rate)*float64(time.Second)) - time.Since(start)
+		if ahead > 0 {
+			time.Sleep(ahead)
+		}
+	}
+	scanned, quarantined, _ := s.tier.Scrub(throttle)
+	rep := persist.ScrubReport{
+		SnapshotRecords: scanned,
+		CorruptRegions:  quarantined,
+		BytesScanned:    scannedBytes,
+		Elapsed:         time.Since(start),
+	}
+	if quarantined > 0 {
+		rep.FirstErr = fmt.Errorf("tiered: %d of %d segments failed verification and were quarantined", quarantined, scanned)
+	}
 	return rep
 }
 

@@ -38,6 +38,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/persist"
 	"repro/internal/pool"
+	"repro/internal/tiered"
 	"repro/internal/trace"
 )
 
@@ -95,6 +96,23 @@ type Config struct {
 	// cache from it and every computed plan's canonical request is
 	// appended to its WAL. Empty disables persistence.
 	StateDir string
+	// DiskCacheDir enables the tiered on-disk plan store (internal/tiered)
+	// instead of the flat snapshot+WAL store: computed plans and encoded
+	// response frames demote to indexed SSTable segments, reads that miss
+	// RAM promote back from disk without recomputing, and a warm restart
+	// replays only the WAL tail instead of the whole history. Mutually
+	// exclusive with StateDir.
+	DiskCacheDir string
+	// DiskCacheBytes caps the tier's total segment bytes; compaction
+	// evicts oldest-generation segments past it (0 = unbounded).
+	DiskCacheBytes int64
+	// CompactTrigger is how many L0 segments accumulate before the tier
+	// starts a background compaction (0 = the tier's default, 4).
+	CompactTrigger int
+	// DiskMemtableBytes overrides the tier's memtable flush threshold
+	// (0 = the tier's default, 4 MiB). Benchmarks and harnesses shrink it
+	// so segment churn shows up at small keyspace scales.
+	DiskMemtableBytes int64
 	// Fsync is the WAL durability policy: "always", "interval" (default),
 	// or "never"; FsyncEvery is the interval-policy flush period (default
 	// 100ms).
@@ -208,6 +226,13 @@ type Server struct {
 	compacting atomic.Bool
 	compactWG  sync.WaitGroup
 
+	// tier is the on-disk tiered store, attached by Recover when
+	// DiskCacheDir is set (nil otherwise; never set together with store).
+	// It holds the same wire records replication uses — b|<key> canonical
+	// requests and f|<key> encoded frames — so RAM misses promote from
+	// disk instead of recomputing.
+	tier *tiered.Store
+
 	// storeDegraded latches true (exactly once, never back) when the
 	// durable store hits a write/sync fault and goes read-only: cached
 	// reads keep serving, writes that require durability answer 503 +
@@ -301,6 +326,21 @@ func (s *Server) Metrics() Snapshot {
 	if s.store != nil {
 		s.metrics.walBytes.Store(s.store.WALBytes())
 		s.metrics.snapshotBytes.Store(s.store.SnapshotBytes())
+	}
+	if s.tier != nil {
+		ts := s.tier.Stats()
+		s.metrics.tieredDiskHits.Store(ts.DiskHits)
+		s.metrics.tieredDiskMisses.Store(ts.DiskMisses)
+		s.metrics.tieredBloomNegatives.Store(ts.BloomNegatives)
+		s.metrics.tieredFlushes.Store(ts.Flushes)
+		s.metrics.tieredCompactions.Store(ts.Compactions)
+		s.metrics.tieredEvictions.Store(ts.Evictions)
+		s.metrics.tieredCorruptions.Store(ts.Corruptions)
+		s.metrics.tieredQuarantined.Store(ts.Quarantined)
+		s.metrics.tieredSegments.Store(ts.Segments)
+		s.metrics.tieredBytes.Store(ts.Bytes)
+		s.metrics.tieredKeys.Store(ts.Keys)
+		s.metrics.walBytes.Store(ts.WALBytes)
 	}
 	snap := s.metrics.snapshot()
 
@@ -580,11 +620,23 @@ func (s *Server) basePlan(ctx context.Context, req *PlanRequest) (*loopmap.Plan,
 			return p, nil
 		}
 		s.metrics.cacheMisses.Add(1)
+		// Disk tier probe: a key whose canonical request already sits in a
+		// segment needs no new WAL write — it recomputes (the pipeline is a
+		// pure function of it) and re-enters RAM, even while the store is
+		// latched read-only.
+		diskDurable := false
+		if s.tier != nil {
+			if _, ok, _ := s.tier.Get(repBasePrefix + key); ok {
+				diskDurable = true
+			}
+		}
 		// A miss means new durable state: fail fast while the store is
 		// read-only instead of burning a gate slot on a plan that cannot
 		// be acked.
-		if err := s.writableStore(); err != nil {
-			return nil, err
+		if !diskDurable {
+			if err := s.writableStore(); err != nil {
+				return nil, err
+			}
 		}
 		if err := s.acquire(ctx); err != nil {
 			return nil, err
@@ -603,7 +655,7 @@ func (s *Server) basePlan(ctx context.Context, req *PlanRequest) (*loopmap.Plan,
 			return nil, err
 		}
 		var payload []byte
-		if s.store != nil || s.cnode() != nil {
+		if s.store != nil || s.tier != nil || s.cnode() != nil {
 			// Cluster mode needs the canonical payload even without a
 			// local store: it is the replication and transfer currency.
 			payload = persistPayload(req)
@@ -611,9 +663,13 @@ func (s *Server) basePlan(ctx context.Context, req *PlanRequest) (*loopmap.Plan,
 		// Durability before visibility: the WAL append must succeed
 		// before the plan enters the cache or the client sees a 200. A
 		// failed append latches the store read-only and fails this
-		// request — never ack what did not reach disk.
-		if err := s.persistPlan(key, payload); err != nil {
-			return nil, err
+		// request — never ack what did not reach disk. A key already
+		// segment-durable skips the append: re-touching an evicted key
+		// costs zero new WAL writes.
+		if !diskDurable {
+			if err := s.persistPlan(key, payload); err != nil {
+				return nil, err
+			}
 		}
 		if ev := s.cache.put(key, p, payload); ev > 0 {
 			s.metrics.cacheEvictions.Add(int64(ev))
@@ -705,6 +761,12 @@ func (s *Server) planFrame(ctx context.Context, req *PlanRequest) (*respFrame, C
 			return f, CacheHit, true, nil
 		}
 	}
+	// Disk tier: a frame evicted from RAM but still segment-resident is
+	// re-sliced and promoted back into the encoded cache — the whole
+	// pipeline (plan, remap, encode) is skipped.
+	if f, ok := s.tierFrame(ekey); ok {
+		return f, CacheHit, true, nil
+	}
 	p, outcome, err := s.mappedPlan(ctx, req)
 	if err != nil {
 		return nil, outcome, false, err
@@ -716,8 +778,45 @@ func (s *Server) planFrame(ctx context.Context, req *PlanRequest) (*respFrame, C
 	if s.resp != nil {
 		s.resp.put(ekey, f)
 	}
+	s.demoteFrame(ekey, f)
 	s.replicateFrame(req, ekey, f)
 	return f, outcome, false, nil
+}
+
+// tierFrame looks one encoded frame up in the disk tier and, on a hit,
+// promotes it into the encoded-response cache.
+func (s *Server) tierFrame(ekey string) (*respFrame, bool) {
+	if s.tier == nil {
+		return nil, false
+	}
+	enc, ok, _ := s.tier.Get(repFramePrefix + ekey)
+	if !ok {
+		return nil, false
+	}
+	f := newRespFrame(enc)
+	if s.resp != nil {
+		s.resp.put(ekey, f)
+	}
+	s.metrics.encodedHits.Add(1)
+	s.metrics.cacheHits.Add(1)
+	return f, true
+}
+
+// demoteFrame writes one freshly-encoded frame through to the disk tier
+// (write-ahead demotion: it lands on disk at encode time, not when the
+// RAM cache eventually evicts it). The frame is derivable from the
+// already-durable b| record, so a write failure only costs a future
+// recompute — the error is counted, not surfaced.
+func (s *Server) demoteFrame(ekey string, f *respFrame) {
+	if s.tier == nil {
+		return
+	}
+	enc := make([]byte, 0, len(f.prefix)+2)
+	enc = append(enc, f.prefix...)
+	enc = append(enc, '}', '\n')
+	if err := s.tier.Put(repFramePrefix+ekey, enc); err != nil {
+		s.metrics.walErrors.Add(1)
+	}
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {

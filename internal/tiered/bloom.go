@@ -1,0 +1,96 @@
+// The per-segment bloom filter: a read that misses RAM must not pay a
+// block read per segment just to learn the key is absent. Each segment
+// carries a filter sized at build time for its exact key count, so a
+// lookup consults ~1 filter per segment (a few cache lines) and touches
+// disk only for the segments that may hold the key.
+package tiered
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+)
+
+// bloomBitsPerKey sizes filters at ~10 bits/key: with the double-hashing
+// probe count below, the theoretical false-positive rate is < 1%.
+const bloomBitsPerKey = 10
+
+// bloomProbes is the number of derived hash probes (k). 7 is the optimum
+// k = m/n · ln 2 for 10 bits/key, rounded to the nearest integer.
+const bloomProbes = 7
+
+// bloom is a classic split-free bloom filter using Kirsch–Mitzenmacher
+// double hashing: two 32-bit halves of one 64-bit FNV-1a hash generate
+// all k probe positions, so a membership test costs one string hash.
+type bloom struct {
+	bits []byte
+	m    uint32 // bit count
+}
+
+// newBloom sizes a filter for n keys. A zero-key filter still allocates
+// one word so MayContain stays branch-free.
+func newBloom(n int) *bloom {
+	m := n * bloomBitsPerKey
+	if m < 64 {
+		m = 64
+	}
+	return &bloom{bits: make([]byte, (m+7)/8), m: uint32(m)}
+}
+
+// hash2 derives the two base hashes for a key.
+func hash2(key string) (uint32, uint32) {
+	h := fnv.New64a()
+	// io.WriteString on a hash never fails.
+	_, _ = h.Write([]byte(key))
+	sum := h.Sum64()
+	h1 := uint32(sum)
+	h2 := uint32(sum >> 32)
+	if h2 == 0 {
+		// A zero step would probe one position k times; any odd constant
+		// restores independent probes.
+		h2 = 0x9e3779b9
+	}
+	return h1, h2
+}
+
+// add inserts a key.
+func (b *bloom) add(key string) {
+	h1, h2 := hash2(key)
+	for i := uint32(0); i < bloomProbes; i++ {
+		bit := (h1 + i*h2) % b.m
+		b.bits[bit/8] |= 1 << (bit % 8)
+	}
+}
+
+// mayContain reports whether the key might be present. False means
+// definitely absent.
+func (b *bloom) mayContain(key string) bool {
+	h1, h2 := hash2(key)
+	for i := uint32(0); i < bloomProbes; i++ {
+		bit := (h1 + i*h2) % b.m
+		if b.bits[bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// marshal renders the filter as [uint32 m][bits].
+func (b *bloom) marshal() []byte {
+	out := make([]byte, 4+len(b.bits))
+	binary.LittleEndian.PutUint32(out[0:4], b.m)
+	copy(out[4:], b.bits)
+	return out
+}
+
+// unmarshalBloom parses a marshal output.
+func unmarshalBloom(data []byte) (*bloom, error) {
+	if len(data) < 4 {
+		return nil, errors.New("tiered: bloom too short")
+	}
+	m := binary.LittleEndian.Uint32(data[0:4])
+	if m == 0 || int((m+7)/8) != len(data)-4 {
+		return nil, errors.New("tiered: bloom size mismatch")
+	}
+	return &bloom{bits: data[4:], m: m}, nil
+}

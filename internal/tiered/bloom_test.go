@@ -1,0 +1,69 @@
+package tiered
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestBloomNoFalseNegatives is the filter's correctness contract: every
+// inserted key must answer "maybe".
+func TestBloomNoFalseNegatives(t *testing.T) {
+	const n = 10000
+	b := newBloom(n)
+	for i := 0; i < n; i++ {
+		b.add(fmt.Sprintf("kernel=matmul|size=%d|present", i))
+	}
+	for i := 0; i < n; i++ {
+		if !b.mayContain(fmt.Sprintf("kernel=matmul|size=%d|present", i)) {
+			t.Fatalf("false negative for inserted key %d", i)
+		}
+	}
+}
+
+// TestBloomFalsePositiveBound checks the sizing math holds: at 10
+// bits/key with 7 probes the theoretical FPR is ~0.8%, so observing
+// ≥2% over 20k absent probes means the filter is mis-sized or the
+// hashing is broken.
+func TestBloomFalsePositiveBound(t *testing.T) {
+	const n, probes = 10000, 20000
+	b := newBloom(n)
+	for i := 0; i < n; i++ {
+		b.add(fmt.Sprintf("kernel=matmul|size=%d|present", i))
+	}
+	fp := 0
+	for i := 0; i < probes; i++ {
+		if b.mayContain(fmt.Sprintf("kernel=absent|size=%d|never-inserted", i)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate >= 0.02 {
+		t.Fatalf("false positive rate %.4f (%d/%d), want < 0.02", rate, fp, probes)
+	}
+}
+
+// TestBloomRoundTrip proves the serialized form answers identically.
+func TestBloomRoundTrip(t *testing.T) {
+	b := newBloom(100)
+	for i := 0; i < 100; i++ {
+		b.add(fmt.Sprintf("key-%d", i))
+	}
+	got, err := unmarshalBloom(b.marshal())
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if got.mayContain(k) != b.mayContain(k) {
+			t.Fatalf("round-trip disagreement on %q", k)
+		}
+	}
+}
+
+// TestBloomUnmarshalRejectsGarbage guards the corrupt-segment path.
+func TestBloomUnmarshalRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{nil, {1, 2}, {0, 0, 0, 0}, {255, 255, 255, 255, 1}} {
+		if _, err := unmarshalBloom(data); err == nil {
+			t.Fatalf("unmarshalBloom(%v) accepted garbage", data)
+		}
+	}
+}

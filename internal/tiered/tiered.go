@@ -1,0 +1,1005 @@
+// Package tiered is the on-disk plan tier behind the RAM LRU: a small
+// LSM tree purpose-built as a durable cache. Writes append to a WAL and
+// land in a memtable; when the memtable outgrows its budget it freezes
+// and flushes to an immutable L0 segment; background compaction merges
+// L0 segments and the L1 run into a fresh non-overlapping L1, dropping
+// superseded keys. A read consults memtable → frozen memtable → L0
+// (newest first) → L1, pruned by per-segment bloom filters so an absent
+// key usually costs zero disk reads and a present one costs exactly one
+// block read.
+//
+// Restart is O(WAL tail): the MANIFEST names the live segments (opened
+// by reading footer+bloom+index only) and the store replays just the
+// wal-*.log files — which flushing retires promptly — instead of its
+// whole history.
+//
+// The tier is a cache with durability, not a database: when the disk
+// budget is exceeded, compaction evicts whole segments (coarse,
+// write-recency-ordered — see compact), and the owner recomputes any
+// key that was dropped. Every write-path failure latches a sticky
+// degraded read-only state whose errors wrap persist.ErrDegraded, so
+// the serving layer's PR-9 read-only handling applies unchanged. All
+// file I/O goes through persist.FS, which keeps the diskchaos fault
+// matrix in play for every path here.
+package tiered
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/persist"
+)
+
+// Config tunes a Store.
+type Config struct {
+	// Dir is the tier's directory (created if missing).
+	Dir string
+	// FS is the filesystem seam (default: the real one).
+	FS persist.FS
+	// Fsync is the WAL durability policy; Interval is the FsyncInterval
+	// flush period (default 100ms).
+	Fsync    persist.Policy
+	Interval time.Duration
+	// MemtableBytes triggers a flush once the memtable holds this much
+	// key+value data (default 4 MiB).
+	MemtableBytes int64
+	// BudgetBytes caps total segment bytes; 0 means unbounded. Exceeding
+	// it makes the next compaction evict oldest-generation segments.
+	BudgetBytes int64
+	// CompactTrigger is how many L0 segments accumulate before a
+	// background compaction starts (default 4).
+	CompactTrigger int
+	// OnDegrade, if set, fires exactly once when the store latches
+	// degraded, outside the store's locks.
+	OnDegrade func(cause error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.FS == nil {
+		c.FS = persist.OS()
+	}
+	if c.MemtableBytes <= 0 {
+		c.MemtableBytes = 4 << 20
+	}
+	if c.CompactTrigger <= 0 {
+		c.CompactTrigger = 4
+	}
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Stats is a snapshot of the tier's counters and gauges.
+type Stats struct {
+	// Counters.
+	DiskHits       int64 // Gets served from a segment (or pre-flush memtable)
+	DiskMisses     int64 // Gets not found anywhere in the tier
+	BloomNegatives int64 // segment probes answered "definitely absent" without a disk read
+	Flushes        int64 // memtable → L0 segment flushes
+	Compactions    int64 // completed compaction runs
+	Evictions      int64 // segments dropped to stay under BudgetBytes
+	Corruptions    int64 // CRC/decode failures observed on reads
+	Quarantined    int64 // segments quarantined (dropped from the manifest)
+
+	// Gauges.
+	Segments int64 // live segment files
+	Bytes    int64 // total segment bytes on disk
+	Keys     int64 // entries across segments (counts duplicates) + memtable
+	WALBytes int64 // active WAL tail size
+}
+
+// Store is the tiered disk cache. Safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu       sync.Mutex
+	mem      map[string][]byte // active memtable
+	memBytes int64
+	frozen   map[string][]byte // memtable being flushed (nil when idle)
+	man      *manifest
+	l0       []*segment // parallel to man.L0 (oldest first)
+	l1       []*segment // parallel to man.L1 (sorted by MinKey)
+	wal      persist.File
+	walSeq   uint64
+	walBytes int64
+	oldWALs  []uint64 // replayed-but-unflushed WAL seqs, retired by flush
+	flushing bool
+	closed   bool
+
+	degraded     error // latched first write failure (nil = healthy)
+	degradeFired bool
+
+	compacting atomic.Bool
+	bg         sync.WaitGroup
+
+	// counters (atomics so Get never takes mu for bookkeeping)
+	diskHits, diskMisses, bloomNegs atomic.Int64
+	flushes, compactions, evictions atomic.Int64
+	corruptions, quarantined        atomic.Int64
+}
+
+// Open recovers a tiered store from dir. It loads the manifest, opens
+// the live segments (footer/bloom/index reads only — no data scan),
+// sweeps crash debris, and replays the WAL tail into the memtable. The
+// returned records are that tail, in replay order with newest-wins
+// dedup, so the owner can rebuild its RAM state from exactly the data
+// that never reached a segment.
+func Open(cfg Config) (*Store, []persist.Record, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, nil, fmt.Errorf("tiered: Dir required")
+	}
+	fsys := cfg.FS
+	if err := fsys.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	man, err := loadManifest(fsys, cfg.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	names, err := listDir(cfg.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	man.Seq = maxSeq(man, names)
+	sweepOrphans(fsys, cfg.Dir, man, names)
+
+	s := &Store{
+		cfg: cfg,
+		mem: make(map[string][]byte),
+		man: man,
+	}
+
+	// Open live segments; one that fails its structural checks is
+	// quarantined on the spot (the cache recomputes; anti-entropy heals).
+	openLevel := func(metas []SegmentMeta) ([]SegmentMeta, []*segment) {
+		keptMeta := metas[:0]
+		var kept []*segment
+		for _, meta := range metas {
+			seg, err := openSegment(fsys, cfg.Dir, meta)
+			if err != nil {
+				s.quarantined.Add(1)
+				s.corruptions.Add(1)
+				_ = fsys.Remove(filepath.Join(cfg.Dir, meta.Name))
+				continue
+			}
+			keptMeta = append(keptMeta, seg.meta)
+			kept = append(kept, seg)
+		}
+		return keptMeta, kept
+	}
+	l0Before, l1Before := len(man.L0), len(man.L1)
+	man.L0, s.l0 = openLevel(man.L0)
+	man.L1, s.l1 = openLevel(man.L1)
+	if len(man.L0) != l0Before || len(man.L1) != l1Before {
+		if err := saveManifest(fsys, cfg.Dir, man); err != nil {
+			s.closeSegments()
+			return nil, nil, err
+		}
+	}
+
+	// Replay every WAL present, oldest first, so a later write to the
+	// same key wins. Normally there is exactly one (the active tail); a
+	// crash mid-flush leaves the frozen WAL too, and replaying both just
+	// reconstructs the pre-crash memtable.
+	var walSeqs []uint64
+	for _, name := range names {
+		if strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log") {
+			walSeqs = append(walSeqs, seqOf(name))
+		}
+	}
+	sort.Slice(walSeqs, func(i, j int) bool { return walSeqs[i] < walSeqs[j] })
+	var tail []persist.Record
+	pos := make(map[string]int)
+	for _, seq := range walSeqs {
+		path := filepath.Join(cfg.Dir, walName(seq))
+		recs, goodOff, _, tailErr := persist.ReplayLog(fsys, path)
+		if tailErr != nil {
+			// Torn tail (the crash's final partial frame): truncate the
+			// file to its last good record, same repair the WAL makes.
+			if f, err := fsys.OpenFile(path, os.O_WRONLY, 0o644); err == nil {
+				_ = f.Truncate(goodOff)
+				_ = f.Sync()
+				_ = f.Close()
+			}
+		}
+		for _, rec := range recs {
+			val := append([]byte(nil), rec.Value...)
+			if old, ok := s.mem[rec.Key]; ok {
+				s.memBytes -= int64(len(rec.Key) + len(old))
+			}
+			s.mem[rec.Key] = val
+			s.memBytes += int64(len(rec.Key) + len(val))
+			if i, ok := pos[rec.Key]; ok {
+				tail[i] = persist.Record{Key: rec.Key, Value: val}
+			} else {
+				pos[rec.Key] = len(tail)
+				tail = append(tail, persist.Record{Key: rec.Key, Value: val})
+			}
+		}
+	}
+
+	// The replayed WALs stay on disk (their data lives only in the
+	// memtable) until a flush makes it segment-durable; new appends go to
+	// a fresh WAL so retirement never races the active file.
+	s.oldWALs = walSeqs
+	s.walSeq = man.Seq
+	man.Seq++
+	f, err := fsys.OpenFile(filepath.Join(cfg.Dir, walName(s.walSeq)), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		s.closeSegments()
+		return nil, nil, err
+	}
+	s.wal = f
+	if _, err := f.Write([]byte(persist.Magic)); err != nil {
+		_ = f.Close()
+		s.closeSegments()
+		return nil, nil, err
+	}
+	s.walBytes = int64(len(persist.Magic))
+
+	if cfg.Fsync == persist.FsyncInterval {
+		s.bg.Add(1)
+		go s.syncLoop()
+	}
+
+	// A fat replayed memtable (crash before flush) is flushed now so the
+	// next restart's tail is small again.
+	if s.memBytes >= s.cfg.MemtableBytes {
+		s.mu.Lock()
+		s.maybeFlushLocked()
+	}
+	return s, tail, nil
+}
+
+func (s *Store) closeSegments() {
+	for _, seg := range s.l0 {
+		seg.close()
+	}
+	for _, seg := range s.l1 {
+		seg.close()
+	}
+}
+
+// syncLoop is the FsyncInterval background flusher.
+func (s *Store) syncLoop() {
+	defer s.bg.Done()
+	t := time.NewTicker(s.cfg.Interval)
+	defer t.Stop()
+	for range t.C {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		var err error
+		if s.degraded == nil && s.wal != nil {
+			err = s.wal.Sync()
+			if err != nil {
+				s.latchLocked(err)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// latchLocked records the first write-path failure and flips the store
+// read-only. Caller holds mu.
+func (s *Store) latchLocked(cause error) {
+	if s.degraded != nil {
+		return
+	}
+	s.degraded = fmt.Errorf("%w: tiered: %v", persist.ErrDegraded, cause)
+	if s.cfg.OnDegrade != nil && !s.degradeFired {
+		s.degradeFired = true
+		go s.cfg.OnDegrade(s.degraded)
+	}
+}
+
+// Degraded returns the latched failure, or nil while healthy.
+func (s *Store) Degraded() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
+// Put appends one record to the WAL and memtable. The value is copied.
+// Once a Put returns nil under FsyncAlways the record survives a crash.
+func (s *Store) Put(key string, value []byte) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("tiered: store closed")
+	}
+	if s.degraded != nil {
+		err := s.degraded
+		s.mu.Unlock()
+		return err
+	}
+	frame := persist.EncodeFrame(persist.Record{Key: key, Value: value})
+	if _, err := s.wal.Write(frame); err != nil {
+		s.latchLocked(err)
+		err = s.degraded
+		s.mu.Unlock()
+		return err
+	}
+	if s.cfg.Fsync == persist.FsyncAlways {
+		if err := s.wal.Sync(); err != nil {
+			s.latchLocked(err)
+			err = s.degraded
+			s.mu.Unlock()
+			return err
+		}
+	}
+	s.walBytes += int64(len(frame))
+	val := append([]byte(nil), value...)
+	if old, ok := s.mem[key]; ok {
+		s.memBytes -= int64(len(key) + len(old))
+	}
+	s.mem[key] = val
+	s.memBytes += int64(len(key) + len(val))
+	if s.memBytes >= s.cfg.MemtableBytes {
+		s.maybeFlushLocked()
+		return nil // maybeFlushLocked released mu
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// maybeFlushLocked freezes the memtable and flushes it to an L0
+// segment. Called with mu held; always releases it. The freeze+WAL
+// rotation happens under the lock (cheap); the segment write does not,
+// so concurrent Puts keep landing in the fresh memtable.
+func (s *Store) maybeFlushLocked() {
+	if s.flushing || s.frozen != nil || len(s.mem) == 0 || s.degraded != nil {
+		s.mu.Unlock()
+		return
+	}
+	// Rotate the WAL first: frozen data = every WAL at or below the old
+	// active seq, which flush retires once the segment is durable.
+	newSeq := s.man.Seq
+	f, err := s.cfg.FS.OpenFile(filepath.Join(s.cfg.Dir, walName(newSeq)), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		s.latchLocked(err)
+		s.mu.Unlock()
+		return
+	}
+	if _, err := f.Write([]byte(persist.Magic)); err != nil {
+		_ = f.Close()
+		s.latchLocked(err)
+		s.mu.Unlock()
+		return
+	}
+	s.man.Seq++
+	oldWAL, oldSeq := s.wal, s.walSeq
+	s.wal, s.walSeq, s.walBytes = f, newSeq, int64(len(persist.Magic))
+	retire := append(append([]uint64(nil), s.oldWALs...), oldSeq)
+	s.oldWALs = retire
+	s.frozen = s.mem
+	s.mem = make(map[string][]byte)
+	s.memBytes = 0
+	s.flushing = true
+	segSeq := s.man.Seq
+	s.man.Seq++
+	s.mu.Unlock()
+
+	// Flush durability: the frozen data is already WAL-durable, so sync
+	// and close the retired WAL handle, then write the segment.
+	if err := oldWAL.Sync(); err != nil {
+		_ = oldWAL.Close()
+		s.failFlush(err)
+		return
+	}
+	if err := oldWAL.Close(); err != nil {
+		s.failFlush(err)
+		return
+	}
+	s.doFlush(segSeq, retire)
+}
+
+// failFlush abandons an in-progress flush: the frozen memtable stays
+// readable in RAM and its WALs stay on disk, so nothing is lost — the
+// store just latches degraded.
+func (s *Store) failFlush(err error) {
+	s.mu.Lock()
+	s.flushing = false
+	s.latchLocked(err)
+	s.mu.Unlock()
+}
+
+// doFlush writes the frozen memtable as segment segSeq, commits it to
+// the manifest, and retires the WALs it supersedes.
+func (s *Store) doFlush(segSeq uint64, retire []uint64) {
+	s.mu.Lock()
+	frozen := s.frozen
+	s.mu.Unlock()
+
+	keys := make([]string, 0, len(frozen))
+	for k := range frozen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	w, err := newSegWriter(s.cfg.FS, s.cfg.Dir, segName(segSeq))
+	if err != nil {
+		s.failFlush(err)
+		return
+	}
+	for _, k := range keys {
+		if err := w.add(k, frozen[k]); err != nil {
+			w.abort()
+			s.failFlush(err)
+			return
+		}
+	}
+	meta, err := w.finish()
+	if err != nil {
+		s.failFlush(err)
+		return
+	}
+	seg, err := openSegment(s.cfg.FS, s.cfg.Dir, meta)
+	if err != nil {
+		s.failFlush(err)
+		return
+	}
+
+	s.mu.Lock()
+	s.man.L0 = append(s.man.L0, meta)
+	if err := saveManifest(s.cfg.FS, s.cfg.Dir, s.man); err != nil {
+		s.man.L0 = s.man.L0[:len(s.man.L0)-1]
+		s.mu.Unlock()
+		seg.close()
+		s.failFlush(err)
+		return
+	}
+	s.l0 = append(s.l0, seg)
+	s.frozen = nil
+	s.flushing = false
+	s.oldWALs = nil
+	needCompact := len(s.l0) >= s.cfg.CompactTrigger ||
+		(s.cfg.BudgetBytes > 0 && s.diskBytesLocked() > s.cfg.BudgetBytes)
+	s.mu.Unlock()
+	s.flushes.Add(1)
+
+	// The segment now holds everything those WALs did; drop them so the
+	// next restart replays only the new tail.
+	for _, seq := range retire {
+		_ = s.cfg.FS.Remove(filepath.Join(s.cfg.Dir, walName(seq)))
+	}
+	_ = s.cfg.FS.SyncDir(s.cfg.Dir)
+
+	if needCompact {
+		s.kickCompact()
+	}
+}
+
+// Flush forces the memtable to disk (tests and shutdown hooks).
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	if len(s.mem) == 0 || s.flushing || s.frozen != nil {
+		err := s.degraded
+		s.mu.Unlock()
+		return err
+	}
+	s.maybeFlushLocked()
+	return s.Degraded()
+}
+
+func (s *Store) diskBytesLocked() int64 {
+	var n int64
+	for _, m := range s.man.L0 {
+		n += m.Bytes
+	}
+	for _, m := range s.man.L1 {
+		n += m.Bytes
+	}
+	return n
+}
+
+// Get looks a key up in the tier. ok=false with nil error is a clean
+// miss (the caller recomputes). Read errors inside one segment are
+// counted and treated as misses for that segment — the tier is a cache,
+// so degrading to a recompute is always safe.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	if v, ok := s.mem[key]; ok {
+		out := append([]byte(nil), v...)
+		s.mu.Unlock()
+		s.diskHits.Add(1)
+		return out, true, nil
+	}
+	if s.frozen != nil {
+		if v, ok := s.frozen[key]; ok {
+			out := append([]byte(nil), v...)
+			s.mu.Unlock()
+			s.diskHits.Add(1)
+			return out, true, nil
+		}
+	}
+	// Snapshot the segment lists; segments are immutable and their
+	// ReadAt is concurrency-safe, so the scan runs outside the lock. A
+	// compaction may close a snapshotted segment mid-scan; that read
+	// error degrades to a miss, which the recompute path absorbs.
+	l0 := append([]*segment(nil), s.l0...)
+	l1 := append([]*segment(nil), s.l1...)
+	s.mu.Unlock()
+
+	for i := len(l0) - 1; i >= 0; i-- { // newest L0 first
+		if v, ok := s.segGet(l0[i], key); ok {
+			return v, true, nil
+		}
+	}
+	for _, seg := range l1 {
+		if v, ok := s.segGet(seg, key); ok {
+			return v, true, nil
+		}
+	}
+	s.diskMisses.Add(1)
+	return nil, false, nil
+}
+
+// segGet probes one segment with counter bookkeeping. ok reports
+// whether the probe found the key.
+func (s *Store) segGet(seg *segment, key string) ([]byte, bool) {
+	v, ok, bloomNeg, err := seg.get(key)
+	if err != nil {
+		s.corruptions.Add(1)
+		return nil, false
+	}
+	if bloomNeg {
+		s.bloomNegs.Add(1)
+	}
+	if ok {
+		s.diskHits.Add(1)
+		return v, true
+	}
+	return nil, false
+}
+
+// kickCompact starts a background compaction unless one is running.
+func (s *Store) kickCompact() {
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		defer s.compacting.Store(false)
+		s.compact()
+	}()
+}
+
+// Compact runs one compaction synchronously (tests, admin hooks).
+func (s *Store) Compact() error {
+	if !s.compacting.CompareAndSwap(false, true) {
+		return nil
+	}
+	defer s.compacting.Store(false)
+	return s.compact()
+}
+
+// compact merges every L0 segment and the current L1 run into a fresh
+// L1, newest value winning per key, then atomically swaps the manifest.
+// Invariants: inputs are only removed after the new manifest (listing
+// the outputs) is durable; the output run is non-overlapping and sorted;
+// a compaction never runs while degraded (the latch is read-only mode).
+//
+// Budget: if the inputs exceed BudgetBytes, whole oldest-generation
+// segments are dropped before merging — L1 first (its data is by
+// construction older than any L0), then oldest L0s. Eviction is coarse
+// (segment granularity) and recency is write-recency, not read-recency;
+// a dropped key is simply recomputed on next touch.
+func (s *Store) compact() error {
+	s.mu.Lock()
+	if s.closed || s.degraded != nil || len(s.l0) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	inL0 := append([]*segment(nil), s.l0...)
+	inL1 := append([]*segment(nil), s.l1...)
+	s.mu.Unlock()
+
+	// Budget pre-selection: drop oldest data until inputs fit.
+	var total int64
+	for _, seg := range inL0 {
+		total += seg.meta.Bytes
+	}
+	for _, seg := range inL1 {
+		total += seg.meta.Bytes
+	}
+	dropped := make(map[*segment]bool)
+	if s.cfg.BudgetBytes > 0 {
+		for _, seg := range inL1 { // L1 holds the oldest generation
+			if total <= s.cfg.BudgetBytes {
+				break
+			}
+			dropped[seg] = true
+			total -= seg.meta.Bytes
+			s.evictions.Add(1)
+		}
+		for _, seg := range inL0 { // then oldest L0 first
+			if total <= s.cfg.BudgetBytes {
+				break
+			}
+			dropped[seg] = true
+			total -= seg.meta.Bytes
+			s.evictions.Add(1)
+		}
+	}
+
+	// Merge sources: higher priority wins a key tie. L0 priority grows
+	// with position (newer flush = newer data); all of L1 sits below L0.
+	type source struct {
+		it   *segIter
+		cur  entry
+		ok   bool
+		prio int
+	}
+	var srcs []*source
+	prio := 0
+	for _, seg := range inL1 {
+		if !dropped[seg] {
+			srcs = append(srcs, &source{it: seg.iter(), prio: prio})
+		}
+	}
+	for _, seg := range inL0 {
+		prio++
+		if !dropped[seg] {
+			srcs = append(srcs, &source{it: seg.iter(), prio: prio})
+		}
+	}
+	advance := func(src *source) error {
+		e, ok, err := src.it.next()
+		if err != nil {
+			// A corrupt block inside an input: skip the rest of that
+			// input (its keys recompute on demand) rather than aborting
+			// the whole compaction.
+			s.corruptions.Add(1)
+			src.ok = false
+			return nil
+		}
+		src.cur, src.ok = e, ok
+		return nil
+	}
+	for _, src := range srcs {
+		_ = advance(src)
+	}
+
+	// Output: a run of ~4 MiB segments.
+	const outTarget = 4 << 20
+	var (
+		outMetas []SegmentMeta
+		w        *segWriter
+		werr     error
+	)
+	// Sequence numbers come from the shared manifest counter under the
+	// lock: a flush may allocate concurrently, and names must not collide.
+	allocSeq := func() uint64 {
+		s.mu.Lock()
+		n := s.man.Seq
+		s.man.Seq++
+		s.mu.Unlock()
+		return n
+	}
+	emit := func(key string, value []byte) error {
+		if w == nil {
+			var err error
+			w, err = newSegWriter(s.cfg.FS, s.cfg.Dir, segName(allocSeq()))
+			if err != nil {
+				return err
+			}
+		}
+		if err := w.add(key, value); err != nil {
+			return err
+		}
+		if w.bytesBuffered() >= outTarget {
+			meta, err := w.finish()
+			w = nil
+			if err != nil {
+				return err
+			}
+			outMetas = append(outMetas, meta)
+		}
+		return nil
+	}
+	for werr == nil {
+		// Pick the smallest live key; highest priority wins ties.
+		var best *source
+		for _, src := range srcs {
+			if !src.ok {
+				continue
+			}
+			if best == nil || src.cur.key < best.cur.key ||
+				(src.cur.key == best.cur.key && src.prio > best.prio) {
+				best = src
+			}
+		}
+		if best == nil {
+			break
+		}
+		key := best.cur.key
+		werr = emit(key, best.cur.value)
+		// Consume this key from every source.
+		for _, src := range srcs {
+			for src.ok && src.cur.key == key {
+				_ = advance(src)
+			}
+		}
+	}
+	if werr == nil && w != nil {
+		meta, err := w.finish()
+		w = nil
+		werr = err
+		if err == nil {
+			outMetas = append(outMetas, meta)
+		}
+	}
+	if werr != nil {
+		if w != nil {
+			w.abort()
+		}
+		for _, m := range outMetas {
+			_ = s.cfg.FS.Remove(filepath.Join(s.cfg.Dir, m.Name))
+		}
+		s.mu.Lock()
+		s.latchLocked(werr)
+		s.mu.Unlock()
+		return werr
+	}
+
+	outSegs := make([]*segment, 0, len(outMetas))
+	for _, m := range outMetas {
+		seg, err := openSegment(s.cfg.FS, s.cfg.Dir, m)
+		if err != nil {
+			for _, o := range outSegs {
+				o.close()
+			}
+			for _, om := range outMetas {
+				_ = s.cfg.FS.Remove(filepath.Join(s.cfg.Dir, om.Name))
+			}
+			s.mu.Lock()
+			s.latchLocked(err)
+			s.mu.Unlock()
+			return err
+		}
+		outSegs = append(outSegs, seg)
+	}
+
+	// Commit: new manifest keeps any L0 flushed while we merged.
+	consumed := make(map[string]bool, len(inL0)+len(inL1))
+	for _, seg := range inL0 {
+		consumed[seg.meta.Name] = true
+	}
+	for _, seg := range inL1 {
+		consumed[seg.meta.Name] = true
+	}
+	s.mu.Lock()
+	var keepMeta []SegmentMeta
+	var keepSegs []*segment
+	for i, m := range s.man.L0 {
+		if !consumed[m.Name] {
+			keepMeta = append(keepMeta, m)
+			keepSegs = append(keepSegs, s.l0[i])
+		}
+	}
+	oldMan := *s.man
+	s.man.L0 = keepMeta
+	s.man.L1 = outMetas
+	if err := saveManifest(s.cfg.FS, s.cfg.Dir, s.man); err != nil {
+		*s.man = oldMan
+		s.latchLocked(err)
+		s.mu.Unlock()
+		for _, o := range outSegs {
+			o.close()
+		}
+		for _, m := range outMetas {
+			_ = s.cfg.FS.Remove(filepath.Join(s.cfg.Dir, m.Name))
+		}
+		return err
+	}
+	s.l0 = keepSegs
+	s.l1 = outSegs
+	s.mu.Unlock()
+	s.compactions.Add(1)
+
+	// Inputs are superseded by the committed manifest: close and remove.
+	for _, seg := range inL0 {
+		seg.close()
+		_ = s.cfg.FS.Remove(filepath.Join(s.cfg.Dir, seg.meta.Name))
+	}
+	for _, seg := range inL1 {
+		seg.close()
+		_ = s.cfg.FS.Remove(filepath.Join(s.cfg.Dir, seg.meta.Name))
+	}
+	_ = s.cfg.FS.SyncDir(s.cfg.Dir)
+	return nil
+}
+
+// Scrub re-reads every segment block and verifies its checksum, calling
+// throttle(bytes) between blocks so the caller can rate-limit. A
+// segment that fails is quarantined: dropped from the manifest and
+// deleted, its keys left to recompute or anti-entropy healing. Returns
+// segments scanned and segments quarantined.
+func (s *Store) Scrub(throttle func(int)) (scanned, quarantined int, err error) {
+	s.mu.Lock()
+	segs := append(append([]*segment(nil), s.l0...), s.l1...)
+	s.mu.Unlock()
+	for _, seg := range segs {
+		scanned++
+		if serr := seg.scrub(throttle); serr != nil {
+			s.corruptions.Add(1)
+			if s.quarantine(seg) {
+				quarantined++
+			}
+		}
+	}
+	return scanned, quarantined, nil
+}
+
+// quarantine drops one segment from the manifest and deletes its file.
+// Reports false if the segment was already gone (e.g. compacted away
+// while the scrub read it).
+func (s *Store) quarantine(sick *segment) bool {
+	s.mu.Lock()
+	found := false
+	for i, seg := range s.l0 {
+		if seg == sick {
+			s.l0 = append(s.l0[:i:i], s.l0[i+1:]...)
+			s.man.L0 = append(s.man.L0[:i:i], s.man.L0[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		for i, seg := range s.l1 {
+			if seg == sick {
+				s.l1 = append(s.l1[:i:i], s.l1[i+1:]...)
+				s.man.L1 = append(s.man.L1[:i:i], s.man.L1[i+1:]...)
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		s.mu.Unlock()
+		return false
+	}
+	if err := saveManifest(s.cfg.FS, s.cfg.Dir, s.man); err != nil {
+		s.latchLocked(err)
+	}
+	s.mu.Unlock()
+	sick.close()
+	_ = s.cfg.FS.Remove(filepath.Join(s.cfg.Dir, sick.meta.Name))
+	s.quarantined.Add(1)
+	return true
+}
+
+// ForEach visits every live key newest-value-first exactly once, in no
+// particular key order: memtable, frozen memtable, L0 newest-first,
+// then L1. Used by keyspace transfer to stream keys the RAM tier has
+// long evicted. The value slice is owned by the callback.
+func (s *Store) ForEach(fn func(key string, value []byte) error) error {
+	s.mu.Lock()
+	memKeys := make([]entry, 0, len(s.mem))
+	for k, v := range s.mem {
+		memKeys = append(memKeys, entry{k, append([]byte(nil), v...)})
+	}
+	if s.frozen != nil {
+		for k, v := range s.frozen {
+			memKeys = append(memKeys, entry{k, append([]byte(nil), v...)})
+		}
+	}
+	l0 := append([]*segment(nil), s.l0...)
+	l1 := append([]*segment(nil), s.l1...)
+	s.mu.Unlock()
+
+	seen := make(map[string]bool, len(memKeys))
+	for _, e := range memKeys {
+		if seen[e.key] {
+			continue
+		}
+		seen[e.key] = true
+		if err := fn(e.key, e.value); err != nil {
+			return err
+		}
+	}
+	scan := func(seg *segment) error {
+		it := seg.iter()
+		for {
+			e, ok, err := it.next()
+			if err != nil {
+				s.corruptions.Add(1)
+				return nil // skip the sick remainder; scrub will handle it
+			}
+			if !ok {
+				return nil
+			}
+			if seen[e.key] {
+				continue
+			}
+			seen[e.key] = true
+			if err := fn(e.key, e.value); err != nil {
+				return err
+			}
+		}
+	}
+	for i := len(l0) - 1; i >= 0; i-- {
+		if err := scan(l0[i]); err != nil {
+			return err
+		}
+	}
+	for _, seg := range l1 {
+		if err := scan(seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats snapshots the tier's counters and gauges.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Segments: int64(len(s.l0) + len(s.l1)),
+		Bytes:    s.diskBytesLocked(),
+		WALBytes: s.walBytes,
+		Keys:     int64(len(s.mem)),
+	}
+	if s.frozen != nil {
+		st.Keys += int64(len(s.frozen))
+	}
+	for _, m := range s.man.L0 {
+		st.Keys += m.Count
+	}
+	for _, m := range s.man.L1 {
+		st.Keys += m.Count
+	}
+	s.mu.Unlock()
+	st.DiskHits = s.diskHits.Load()
+	st.DiskMisses = s.diskMisses.Load()
+	st.BloomNegatives = s.bloomNegs.Load()
+	st.Flushes = s.flushes.Load()
+	st.Compactions = s.compactions.Load()
+	st.Evictions = s.evictions.Load()
+	st.Corruptions = s.corruptions.Load()
+	st.Quarantined = s.quarantined.Load()
+	return st
+}
+
+// Close syncs the WAL tail, waits for background work, and releases
+// every file handle. The memtable is NOT flushed: the WAL replays it on
+// the next Open, which is exactly the O(tail) restart contract.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.wal != nil && s.degraded == nil {
+		if serr := s.wal.Sync(); serr != nil {
+			err = serr
+		}
+	}
+	s.mu.Unlock()
+	s.bg.Wait()
+	s.mu.Lock()
+	if s.wal != nil {
+		if cerr := s.wal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		s.wal = nil
+	}
+	s.closeSegments()
+	s.l0, s.l1 = nil, nil
+	s.mu.Unlock()
+	return err
+}
